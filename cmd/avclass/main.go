@@ -1,0 +1,77 @@
+// Command avclass is the standalone family labeler, mirroring the
+// AVclass tool the paper uses for Figure 1. It reads one JSON object per
+// line from stdin (engine name → AV label) and prints the derived family
+// (or "SINGLETON" when no token reaches support, following the original
+// tool's convention).
+//
+// With -aliases, it first runs the alias-detection pass over the whole
+// input, prints the detected alias map to stderr, and uses it for
+// labeling — AVclass's two-phase workflow.
+//
+// Example:
+//
+//	echo '{"Symantec":"Trojan.Zbot","Kaspersky":"Trojan-Spy.Win32.Zbot.ruxa","Microsoft":"PWS:Win32/Zbot"}' | avclass
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/avclass"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "avclass:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	detectAliases := flag.Bool("aliases", false, "run alias detection over the input first")
+	minSupport := flag.Int("support", 2, "minimum engines that must agree on a family token")
+	flag.Parse()
+
+	var corpus []map[string]string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var labels map[string]string
+		if err := json.Unmarshal(sc.Bytes(), &labels); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		corpus = append(corpus, labels)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	opts := []avclass.Option{avclass.WithMinSupport(*minSupport)}
+	if *detectAliases {
+		detector := avclass.NewLabeler()
+		cands := detector.DetectAliases(corpus, 20, 0.94)
+		aliases := avclass.AliasMap(cands)
+		for alias, canonical := range aliases {
+			fmt.Fprintf(os.Stderr, "alias: %s -> %s\n", alias, canonical)
+		}
+		opts = append(opts, avclass.WithAliases(aliases))
+	}
+	labeler := avclass.NewLabeler(opts...)
+	for _, labels := range corpus {
+		res := labeler.Label(labels)
+		if res.HasFamily() {
+			fmt.Printf("%s\t%d\n", res.Family, res.Support)
+		} else {
+			fmt.Println("SINGLETON")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+// Command gendata generates a synthetic download-telemetry dataset,
+// runs the full ground-truth labeling pipeline over it, and writes the
+// result to stdout (or a file) in the line-JSON format understood by
+// internal/export — one header line followed by meta/event/truth/url
+// records.
+//
+// Usage:
+//
+//	gendata [-seed N] [-scale F] [-o dataset.jsonl] [-unlabeled]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/avsim"
+	"repro/internal/export"
+	"repro/internal/labeling"
+	"repro/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gendata:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 42, "generation seed")
+	scale := flag.Float64("scale", 0.01, "fraction of the paper's data volume")
+	out := flag.String("o", "-", "output path ('-' for stdout)")
+	unlabeled := flag.Bool("unlabeled", false, "skip the ground-truth labeling pass")
+	flag.Parse()
+
+	res, err := synth.Generate(synth.DefaultConfig(*seed, *scale))
+	if err != nil {
+		return err
+	}
+	if !*unlabeled {
+		lab, err := labeling.New(avsim.NewDefaultService(), res.Oracle, nil, nil, 0)
+		if err != nil {
+			return err
+		}
+		if err := lab.LabelStore(res.Store, res.Samples); err != nil {
+			return err
+		}
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+	if err := export.WriteStoreWithOracle(w, res.Store, res.Oracle); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "gendata: wrote %d events, %d files\n",
+		res.Store.NumEvents(), len(res.Store.Files()))
+	return nil
+}

@@ -1,0 +1,115 @@
+// Command longtail runs the full reproduction: it generates the
+// synthetic telemetry, labels it with the ground-truth pipeline, and
+// regenerates every table and figure from the paper's evaluation,
+// printing measured values next to the paper's reported ones.
+//
+// Usage:
+//
+//	longtail [-seed N] [-scale F] [-only id1,id2] [-outdir dir] [-list]
+//
+// Experiment IDs follow the paper (table1..table17, fig1..fig6) plus
+// the auxiliary studies (packers, rulestats, avtypestats, baselines,
+// evasion, chains); -list enumerates them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "longtail:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 42, "generation seed")
+	scale := flag.Float64("scale", 0.02, "fraction of the paper's data volume (1.0 = 3M events)")
+	only := flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	outdir := flag.String("outdir", "", "also write each experiment's output to <outdir>/<id>.txt")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Printf("%-10s %s\n", e.ID, e.Name)
+		}
+		return nil
+	}
+
+	var selected []experiments.Experiment
+	if *only == "" {
+		selected = experiments.All
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Printf("generating synthetic telemetry (seed=%d scale=%v)...\n", *seed, *scale)
+	p, err := experiments.Run(synth.DefaultConfig(*seed, *scale))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("events=%s files=%s machines=%s (agent suppressed: %d not-executed, %d whitelisted-URL, %d prevalence-cap)\n\n",
+		count(p.Store.NumEvents()), count(len(p.Store.DownloadedFiles())), count(len(p.Store.Machines())),
+		p.Result.AgentStats.DroppedNotExecuted, p.Result.AgentStats.DroppedWhitelistedURL,
+		p.Result.AgentStats.DroppedPrevalenceCap)
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, e := range selected {
+		fmt.Printf("=== %s ===\n", e.Name)
+		var out io.Writer = os.Stdout
+		var f *os.File
+		if *outdir != "" {
+			var err error
+			f, err = os.Create(filepath.Join(*outdir, e.ID+".txt"))
+			if err != nil {
+				return err
+			}
+			out = io.MultiWriter(os.Stdout, f)
+		}
+		err := e.Run(p, out)
+		if f != nil {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+func count(n int) string {
+	s := fmt.Sprint(n)
+	if len(s) <= 3 {
+		return s
+	}
+	var out []byte
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}

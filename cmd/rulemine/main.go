@@ -1,0 +1,103 @@
+// Command rulemine trains the PART rule learner on one month of the
+// synthetic telemetry and dumps the resulting human-readable rule set,
+// the way a threat analyst would review the paper's classifier.
+//
+// Usage:
+//
+//	rulemine [-seed N] [-scale F] [-month 2014-01] [-tau 0.001] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/classify"
+	"repro/internal/experiments"
+	"repro/internal/features"
+	"repro/internal/part"
+	"repro/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rulemine:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 42, "generation seed")
+	scale := flag.Float64("scale", 0.02, "fraction of the paper's data volume")
+	monthFlag := flag.String("month", "", "training month (YYYY-MM; default: first month)")
+	tau := flag.Float64("tau", 0.001, "maximum training error rate for selected rules")
+	showAll := flag.Bool("all", false, "also dump rules that failed selection")
+	asJSON := flag.Bool("json", false, "emit the selected rules as JSON (reload with classify.NewFromRules)")
+	flag.Parse()
+
+	p, err := experiments.Run(synth.DefaultConfig(*seed, *scale))
+	if err != nil {
+		return err
+	}
+	months := p.Store.Months()
+	if len(months) == 0 {
+		return fmt.Errorf("no data generated")
+	}
+	month := months[0]
+	if *monthFlag != "" {
+		found := false
+		for _, m := range months {
+			if m.String() == *monthFlag {
+				month, found = m, true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("month %q not in dataset (have %v)", *monthFlag, months)
+		}
+	}
+
+	ex, err := features.NewExtractor(p.Store, p.Result.Oracle)
+	if err != nil {
+		return err
+	}
+	insts, err := ex.Instances(p.Store.EventIndexesInMonth(month))
+	if err != nil {
+		return err
+	}
+	clf, err := classify.Train(insts, *tau, classify.Reject)
+	if err != nil {
+		return err
+	}
+	benign, malicious := 0, 0
+	for _, in := range insts {
+		if in.Malicious {
+			malicious++
+		} else {
+			benign++
+		}
+	}
+	if *asJSON {
+		return part.EncodeRules(os.Stdout, clf.Rules)
+	}
+	fmt.Printf("trained on %s: %d labeled instances (%d malicious, %d benign)\n",
+		month, len(insts), malicious, benign)
+	fmt.Printf("PART produced %d rules; %d selected at tau=%.2f%%\n\n",
+		len(clf.AllRules), len(clf.Rules), 100**tau)
+	for _, r := range clf.Rules {
+		fmt.Printf("[cov=%4d err=%2d] %s\n", r.Covered, r.Errors, r.String())
+	}
+	if *showAll {
+		fmt.Printf("\nrules failing selection:\n")
+		selected := make(map[string]bool, len(clf.Rules))
+		for _, r := range clf.Rules {
+			selected[r.String()] = true
+		}
+		for _, r := range clf.AllRules {
+			if !selected[r.String()] {
+				fmt.Printf("[cov=%4d err=%2d] %s\n", r.Covered, r.Errors, r.String())
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package agent
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/reputation"
+)
+
+func rawEvent(file, machine string, executed bool, domain string) dataset.DownloadEvent {
+	return dataset.DownloadEvent{
+		File:     dataset.FileHash(file),
+		Machine:  dataset.MachineID(machine),
+		Process:  "proc",
+		URL:      "http://" + domain + "/f.exe",
+		Domain:   domain,
+		Time:     time.Date(2014, time.March, 1, 0, 0, 0, 0, time.UTC),
+		Executed: executed,
+	}
+}
+
+func TestNewCollectionServerValidation(t *testing.T) {
+	if _, err := NewCollectionServer(nil, 20, nil); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := NewCollectionServer(dataset.NewStore(), 0, nil); err == nil {
+		t.Error("sigma 0 accepted")
+	}
+}
+
+func TestReportExecutedOnly(t *testing.T) {
+	store := dataset.NewStore()
+	cs, err := NewCollectionServer(store, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Report(rawEvent("f1", "m1", false, "x.com")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Report(rawEvent("f1", "m2", true, "x.com")); err != nil {
+		t.Fatal(err)
+	}
+	if store.NumEvents() != 1 {
+		t.Errorf("stored %d events, want 1", store.NumEvents())
+	}
+	s := cs.Stats()
+	if s.Raw != 2 || s.DroppedNotExecuted != 1 || s.Reported != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestReportAgentWhitelist(t *testing.T) {
+	store := dataset.NewStore()
+	wl, err := reputation.NewDomainList([]string{"microsoft.com"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := NewCollectionServer(store, 20, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Report(rawEvent("f1", "m1", true, "microsoft.com")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Report(rawEvent("f1", "m2", true, "sketch.com")); err != nil {
+		t.Fatal(err)
+	}
+	if store.NumEvents() != 1 {
+		t.Errorf("stored %d events, want 1", store.NumEvents())
+	}
+	if got := cs.Stats().DroppedWhitelistedURL; got != 1 {
+		t.Errorf("whitelist drops = %d, want 1", got)
+	}
+}
+
+func TestReportPrevalenceCap(t *testing.T) {
+	store := dataset.NewStore()
+	cs, err := NewCollectionServer(store, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 distinct machines download f1; only the first 3 are reported.
+	for i := 0; i < 5; i++ {
+		m := fmt.Sprintf("m%d", i)
+		if err := cs.Report(rawEvent("f1", m, true, "x.com")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if store.NumEvents() != 3 {
+		t.Errorf("stored %d events, want 3 (sigma cap)", store.NumEvents())
+	}
+	if got := cs.Stats().DroppedPrevalenceCap; got != 2 {
+		t.Errorf("cap drops = %d, want 2", got)
+	}
+	store.Freeze()
+	if got := store.Prevalence("f1"); got != 3 {
+		t.Errorf("observed prevalence = %d, want 3", got)
+	}
+}
+
+func TestReportRedownloadBelowCap(t *testing.T) {
+	store := dataset.NewStore()
+	cs, err := NewCollectionServer(store, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same machine downloads the file twice while below the cap: both
+	// events reported (distinct-machine count stays 1 < 3).
+	if err := cs.Report(rawEvent("f1", "m1", true, "x.com")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Report(rawEvent("f1", "m1", true, "x.com")); err != nil {
+		t.Fatal(err)
+	}
+	if store.NumEvents() != 2 {
+		t.Errorf("stored %d events, want 2", store.NumEvents())
+	}
+}
+
+func TestReportRedownloadAtCapDropped(t *testing.T) {
+	store := dataset.NewStore()
+	cs, err := NewCollectionServer(store, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"m1", "m2"} {
+		if err := cs.Report(rawEvent("f1", m, true, "x.com")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// m1 downloads again: distinct count (2) is not below sigma (2).
+	if err := cs.Report(rawEvent("f1", "m1", true, "x.com")); err != nil {
+		t.Fatal(err)
+	}
+	if store.NumEvents() != 2 {
+		t.Errorf("stored %d events, want 2", store.NumEvents())
+	}
+}
+
+func TestReportInvalidEvent(t *testing.T) {
+	cs, err := NewCollectionServer(dataset.NewStore(), 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Report(dataset.DownloadEvent{}); err == nil {
+		t.Error("invalid event accepted")
+	}
+}
+
+func TestSoftwareAgent(t *testing.T) {
+	store := dataset.NewStore()
+	cs, err := NewCollectionServer(store, 20, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSoftwareAgent("", cs); err == nil {
+		t.Error("empty machine accepted")
+	}
+	if _, err := NewSoftwareAgent("m1", nil); err == nil {
+		t.Error("nil CS accepted")
+	}
+	a, err := NewSoftwareAgent("m1", cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Observe(rawEvent("f1", "m2", true, "x.com")); err == nil {
+		t.Error("foreign machine event accepted")
+	}
+	if err := a.Observe(rawEvent("f1", "m1", true, "x.com")); err != nil {
+		t.Fatal(err)
+	}
+	if store.NumEvents() != 1 {
+		t.Errorf("stored %d events", store.NumEvents())
+	}
+}

@@ -1,0 +1,162 @@
+// Package analysis implements the paper's measurement analytics: the
+// dataset summaries (Table I), malware family and type breakdowns
+// (Figure 1, Table II), file prevalence distributions (Figure 2),
+// download-domain studies (Tables III-V, XIII, Figures 3 and 6), signer
+// and packer studies (Tables VI-IX, Figure 4), per-process download
+// behaviour (Tables X-XII, XIV) and infection-transition timing
+// (Figure 5).
+package analysis
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/reputation"
+)
+
+// Analyzer computes measurements over a frozen, labeled store.
+type Analyzer struct {
+	store  *dataset.Store
+	oracle *reputation.Oracle
+
+	// signerSetsOnce caches the per-population signer sets; the store is
+	// immutable after Freeze, so one computation serves every signer
+	// analytic (Tables VII-IX, Figure 4).
+	signerSetsOnce  sync.Once
+	signerSetsCache map[string]map[string]struct{}
+}
+
+// New builds an Analyzer. The store must be frozen.
+func New(store *dataset.Store, oracle *reputation.Oracle) (*Analyzer, error) {
+	if store == nil || !store.Frozen() {
+		return nil, fmt.Errorf("analysis: store must be non-nil and frozen")
+	}
+	if oracle == nil {
+		return nil, fmt.Errorf("analysis: nil oracle")
+	}
+	return &Analyzer{store: store, oracle: oracle}, nil
+}
+
+// Store exposes the underlying store (read-only use).
+func (a *Analyzer) Store() *dataset.Store { return a.store }
+
+// LabelBreakdown counts distinct items (files or processes) per label.
+type LabelBreakdown struct {
+	Total           int
+	Benign          int
+	LikelyBenign    int
+	Malicious       int
+	LikelyMalicious int
+	Unknown         int
+}
+
+// add tallies one label.
+func (b *LabelBreakdown) add(l dataset.Label) {
+	b.Total++
+	switch l {
+	case dataset.LabelBenign:
+		b.Benign++
+	case dataset.LabelLikelyBenign:
+		b.LikelyBenign++
+	case dataset.LabelMalicious:
+		b.Malicious++
+	case dataset.LabelLikelyMalicious:
+		b.LikelyMalicious++
+	default:
+		b.Unknown++
+	}
+}
+
+// Share returns count/Total for the requested label.
+func (b *LabelBreakdown) Share(l dataset.Label) float64 {
+	if b.Total == 0 {
+		return 0
+	}
+	var n int
+	switch l {
+	case dataset.LabelBenign:
+		n = b.Benign
+	case dataset.LabelLikelyBenign:
+		n = b.LikelyBenign
+	case dataset.LabelMalicious:
+		n = b.Malicious
+	case dataset.LabelLikelyMalicious:
+		n = b.LikelyMalicious
+	default:
+		n = b.Unknown
+	}
+	return float64(n) / float64(b.Total)
+}
+
+// URLBreakdown counts distinct download domains per verdict.
+type URLBreakdown struct {
+	TotalURLs int // distinct URLs
+	Benign    int // distinct URLs on domains labeled benign
+	Malicious int
+}
+
+// MonthlySummary is one row of Table I.
+type MonthlySummary struct {
+	Month     dataset.Month
+	Machines  int
+	Events    int
+	Processes LabelBreakdown
+	Files     LabelBreakdown
+	URLs      URLBreakdown
+}
+
+// summarize tallies one set of event indexes.
+func (a *Analyzer) summarize(idx []int) MonthlySummary {
+	events := a.store.Events()
+	machines := make(map[dataset.MachineID]struct{})
+	files := make(map[dataset.FileHash]struct{})
+	procs := make(map[dataset.FileHash]struct{})
+	urls := make(map[string]struct{})
+	domainOf := make(map[string]string)
+	var s MonthlySummary
+	for _, i := range idx {
+		e := &events[i]
+		s.Events++
+		machines[e.Machine] = struct{}{}
+		if _, ok := files[e.File]; !ok {
+			files[e.File] = struct{}{}
+			s.Files.add(a.store.Label(e.File))
+		}
+		if _, ok := procs[e.Process]; !ok {
+			procs[e.Process] = struct{}{}
+			s.Processes.add(a.store.Label(e.Process))
+		}
+		if _, ok := urls[e.URL]; !ok {
+			urls[e.URL] = struct{}{}
+			domainOf[e.URL] = e.Domain
+		}
+	}
+	s.Machines = len(machines)
+	s.URLs.TotalURLs = len(urls)
+	for url := range urls {
+		switch a.store.URLVerdict(domainOf[url]) {
+		case dataset.URLBenign:
+			s.URLs.Benign++
+		case dataset.URLMalicious:
+			s.URLs.Malicious++
+		}
+	}
+	return s
+}
+
+// MonthlySummaries returns one Table I row per month plus the overall
+// row.
+func (a *Analyzer) MonthlySummaries() (rows []MonthlySummary, overall MonthlySummary) {
+	for _, m := range a.store.Months() {
+		row := a.summarize(a.store.EventIndexesInMonth(m))
+		row.Month = m
+		rows = append(rows, row)
+	}
+	all := make([]int, a.store.NumEvents())
+	for i := range all {
+		all[i] = i
+	}
+	overall = a.summarize(all)
+	return rows, overall
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// Download chains extend the paper's Section V analysis in the direction
+// of the downloader-graph work it builds on (Kwon et al., CCS 2015): a
+// malicious file fetched by a malicious process that was itself fetched
+// by another process forms a chain, and chain depth measures how far a
+// dropper-driven infection cascades.
+
+// ChainStats summarizes the malicious download chains in the dataset.
+type ChainStats struct {
+	// DepthHistogram counts malicious files by chain depth: depth 1 is a
+	// first-stage infection (delivered by a benign or unknown process),
+	// depth 2 was fetched by a depth-1 malicious file, and so on.
+	DepthHistogram *stats.Histogram
+	// MaxDepth is the deepest chain observed.
+	MaxDepth int
+	// DeepestChain lists the file hashes of one deepest chain, outermost
+	// ancestor first.
+	DeepestChain []dataset.FileHash
+}
+
+// DownloadChains computes chain depths for every malicious downloaded
+// file. The store must be frozen. Depth is well-defined because a
+// process must have been downloaded strictly before it downloads
+// anything, so the ancestor relation cannot cycle.
+func (a *Analyzer) DownloadChains() ChainStats {
+	events := a.store.Events()
+	// First event index that downloaded each file hash.
+	firstEvent := make(map[dataset.FileHash]int)
+	for i := range events {
+		if _, seen := firstEvent[events[i].File]; !seen {
+			firstEvent[events[i].File] = i
+		}
+	}
+	depthMemo := make(map[dataset.FileHash]int)
+	var depthOf func(h dataset.FileHash) int
+	depthOf = func(h dataset.FileHash) int {
+		if d, ok := depthMemo[h]; ok {
+			return d
+		}
+		// Mark in-progress to guard against malformed (non-chronological)
+		// stores; a self-referential lookup reads as depth 0.
+		depthMemo[h] = 0
+		d := 1
+		if ei, ok := firstEvent[h]; ok {
+			proc := events[ei].Process
+			if a.store.Label(proc) == dataset.LabelMalicious {
+				if _, downloaded := firstEvent[proc]; downloaded {
+					d = 1 + depthOf(proc)
+				} else {
+					d = 2 // malicious process never seen as a download
+				}
+			}
+		}
+		depthMemo[h] = d
+		return d
+	}
+
+	out := ChainStats{DepthHistogram: stats.NewHistogram()}
+	var deepest dataset.FileHash
+	for _, f := range a.store.DownloadedFiles() {
+		if a.store.Label(f) != dataset.LabelMalicious {
+			continue
+		}
+		d := depthOf(f)
+		out.DepthHistogram.Add(d)
+		if d > out.MaxDepth {
+			out.MaxDepth = d
+			deepest = f
+		}
+	}
+	// Reconstruct one deepest chain by walking ancestors.
+	if out.MaxDepth > 0 {
+		var chain []dataset.FileHash
+		cur := deepest
+		for {
+			chain = append([]dataset.FileHash{cur}, chain...)
+			ei, ok := firstEvent[cur]
+			if !ok {
+				break
+			}
+			proc := events[ei].Process
+			if a.store.Label(proc) != dataset.LabelMalicious {
+				break
+			}
+			if _, downloaded := firstEvent[proc]; !downloaded {
+				break
+			}
+			if proc == cur {
+				break
+			}
+			cur = proc
+		}
+		out.DeepestChain = chain
+	}
+	return out
+}

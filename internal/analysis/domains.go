@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// DomainPopularity computes Table III: the domains contacted by the most
+// distinct machines, overall and restricted to benign / malicious file
+// downloads.
+func (a *Analyzer) DomainPopularity(topK int) (overall, benign, malicious []stats.KV) {
+	events := a.store.Events()
+	all := make(map[string]map[dataset.MachineID]struct{})
+	ben := make(map[string]map[dataset.MachineID]struct{})
+	mal := make(map[string]map[dataset.MachineID]struct{})
+	addTo := func(m map[string]map[dataset.MachineID]struct{}, domain string, machine dataset.MachineID) {
+		set, ok := m[domain]
+		if !ok {
+			set = make(map[dataset.MachineID]struct{})
+			m[domain] = set
+		}
+		set[machine] = struct{}{}
+	}
+	for i := range events {
+		e := &events[i]
+		addTo(all, e.Domain, e.Machine)
+		switch a.store.Label(e.File) {
+		case dataset.LabelBenign:
+			addTo(ben, e.Domain, e.Machine)
+		case dataset.LabelMalicious:
+			addTo(mal, e.Domain, e.Machine)
+		}
+	}
+	top := func(m map[string]map[dataset.MachineID]struct{}) []stats.KV {
+		c := stats.NewCounter()
+		for d, set := range m {
+			c.AddN(d, len(set))
+		}
+		return c.Top(topK)
+	}
+	return top(all), top(ben), top(mal)
+}
+
+// DomainFileCounts computes Table IV: domains serving the highest number
+// of distinct benign / malicious files.
+func (a *Analyzer) DomainFileCounts(topK int) (benign, malicious []stats.KV) {
+	events := a.store.Events()
+	benSets := make(map[string]map[dataset.FileHash]struct{})
+	malSets := make(map[string]map[dataset.FileHash]struct{})
+	for i := range events {
+		e := &events[i]
+		var m map[string]map[dataset.FileHash]struct{}
+		switch a.store.Label(e.File) {
+		case dataset.LabelBenign:
+			m = benSets
+		case dataset.LabelMalicious:
+			m = malSets
+		default:
+			continue
+		}
+		set, ok := m[e.Domain]
+		if !ok {
+			set = make(map[dataset.FileHash]struct{})
+			m[e.Domain] = set
+		}
+		set[e.File] = struct{}{}
+	}
+	top := func(m map[string]map[dataset.FileHash]struct{}) []stats.KV {
+		c := stats.NewCounter()
+		for d, set := range m {
+			c.AddN(d, len(set))
+		}
+		return c.Top(topK)
+	}
+	return top(benSets), top(malSets)
+}
+
+// DomainsPerType computes Table V: for each malicious behaviour type,
+// the domains serving the most distinct files of that type.
+func (a *Analyzer) DomainsPerType(topK int) map[dataset.MalwareType][]stats.KV {
+	events := a.store.Events()
+	sets := make(map[dataset.MalwareType]map[string]map[dataset.FileHash]struct{})
+	for i := range events {
+		e := &events[i]
+		gt := a.store.Truth(e.File)
+		if gt.Label != dataset.LabelMalicious {
+			continue
+		}
+		byDomain, ok := sets[gt.Type]
+		if !ok {
+			byDomain = make(map[string]map[dataset.FileHash]struct{})
+			sets[gt.Type] = byDomain
+		}
+		set, ok := byDomain[e.Domain]
+		if !ok {
+			set = make(map[dataset.FileHash]struct{})
+			byDomain[e.Domain] = set
+		}
+		set[e.File] = struct{}{}
+	}
+	out := make(map[dataset.MalwareType][]stats.KV, len(sets))
+	for typ, byDomain := range sets {
+		c := stats.NewCounter()
+		for d, set := range byDomain {
+			c.AddN(d, len(set))
+		}
+		out[typ] = c.Top(topK)
+	}
+	return out
+}
+
+// UnknownDomains computes Table XIII: the domains serving the most
+// unknown-file downloads (by download events, as the paper counts
+// "# downloads").
+func (a *Analyzer) UnknownDomains(topK int) []stats.KV {
+	events := a.store.Events()
+	c := stats.NewCounter()
+	for i := range events {
+		if a.store.Label(events[i].File) == dataset.LabelUnknown {
+			c.Add(events[i].Domain)
+		}
+	}
+	return c.Top(topK)
+}
+
+// AlexaRankCDF computes Figures 3 and 6: the distribution of log10 Alexa
+// ranks over the distinct domains hosting files of the given label.
+// Unranked domains are excluded; the second return value is the share of
+// hosting domains that are ranked at all.
+func (a *Analyzer) AlexaRankCDF(label dataset.Label) (*stats.CDF, float64) {
+	events := a.store.Events()
+	domains := make(map[string]struct{})
+	for i := range events {
+		if a.store.Label(events[i].File) == label {
+			domains[events[i].Domain] = struct{}{}
+		}
+	}
+	cdf := &stats.CDF{}
+	ranked := 0
+	for d := range domains {
+		if r := a.oracle.AlexaRank(d); r > 0 {
+			cdf.Add(math.Log10(float64(r)))
+			ranked++
+		}
+	}
+	cdf.Finalize()
+	share := 0.0
+	if len(domains) > 0 {
+		share = float64(ranked) / float64(len(domains))
+	}
+	return cdf, share
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/avsim"
+	"repro/internal/dataset"
+	"repro/internal/labeling"
+	"repro/internal/synth"
+)
+
+var (
+	genOnce sync.Once
+	genAn   *Analyzer
+	genErr  error
+)
+
+// generatedAnalyzer builds one shared analyzer over a generated,
+// labeled dataset — the integration fixture for shape assertions.
+func generatedAnalyzer(t *testing.T) *Analyzer {
+	t.Helper()
+	genOnce.Do(func() {
+		res, err := synth.Generate(synth.DefaultConfig(321, 0.005))
+		if err != nil {
+			genErr = err
+			return
+		}
+		lab, err := labeling.New(avsim.NewDefaultService(), res.Oracle, nil, nil, 0)
+		if err != nil {
+			genErr = err
+			return
+		}
+		if err := lab.LabelStore(res.Store, res.Samples); err != nil {
+			genErr = err
+			return
+		}
+		res.Store.Freeze()
+		genAn, genErr = New(res.Store, res.Oracle)
+	})
+	if genErr != nil {
+		t.Fatal(genErr)
+	}
+	return genAn
+}
+
+func TestGeneratedDropperIsTopDefinedType(t *testing.T) {
+	a := generatedAnalyzer(t)
+	counts, total := a.TypeBreakdown()
+	if total == 0 {
+		t.Fatal("no malicious files")
+	}
+	for _, typ := range dataset.AllMalwareTypes {
+		if typ == dataset.TypeDropper || typ == dataset.TypeUndefined {
+			continue
+		}
+		if counts[typ] > counts[dataset.TypeDropper] {
+			t.Errorf("%v (%d) outnumbers droppers (%d); paper has droppers on top",
+				typ, counts[typ], counts[dataset.TypeDropper])
+		}
+	}
+}
+
+func TestGeneratedSigningShape(t *testing.T) {
+	a := generatedAnalyzer(t)
+	rows := a.SigningByPopulation()
+	byName := map[string]SigningRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	// Table VI's strongest contrasts.
+	if d, b := byName["dropper"], byName["bot"]; d.Files > 20 && b.Files > 5 {
+		if d.SignedShare() <= b.SignedShare() {
+			t.Errorf("droppers (%.2f) should sign more than bots (%.2f)",
+				d.SignedShare(), b.SignedShare())
+		}
+	}
+	mal, ben := byName["malicious"], byName["benign"]
+	if mal.SignedShare() <= ben.SignedShare() {
+		t.Errorf("malicious (%.2f) should sign more than benign (%.2f) — the paper's counterintuitive result",
+			mal.SignedShare(), ben.SignedShare())
+	}
+}
+
+func TestGeneratedTransitionsOrdering(t *testing.T) {
+	a := generatedAnalyzer(t)
+	curves := map[TransitionSource]TransitionStats{}
+	for _, c := range a.AllTransitions() {
+		curves[c.Source] = c
+	}
+	drop, adw, ben := curves[SourceDropper], curves[SourceAdware], curves[SourceBenign]
+	if drop.DeltaDays.Len() == 0 || adw.DeltaDays.Len() == 0 || ben.DeltaDays.Len() == 0 {
+		t.Skip("too few transitions at this scale")
+	}
+	day5 := func(c TransitionStats) float64 { return c.DeltaDays.At(5) }
+	if day5(drop) <= day5(ben) {
+		t.Errorf("dropper 5-day share (%.2f) should exceed benign (%.2f)", day5(drop), day5(ben))
+	}
+	if day5(adw) <= day5(ben) {
+		t.Errorf("adware 5-day share (%.2f) should exceed benign (%.2f)", day5(adw), day5(ben))
+	}
+}
+
+func TestGeneratedUnknownDominatesPrevalenceTail(t *testing.T) {
+	a := generatedAnalyzer(t)
+	ps := a.Prevalence()
+	unk := ps.ByLabel[dataset.LabelUnknown]
+	ben := ps.ByLabel[dataset.LabelBenign]
+	if unk == nil || ben == nil {
+		t.Fatal("missing prevalence histograms")
+	}
+	if unk.Fraction(1) <= ben.Fraction(1) {
+		t.Errorf("unknown prevalence-1 share (%.2f) should exceed benign (%.2f)",
+			unk.Fraction(1), ben.Fraction(1))
+	}
+}
+
+func TestGeneratedHostingDomainsAreMixed(t *testing.T) {
+	a := generatedAnalyzer(t)
+	_, benign, malicious := a.DomainPopularity(10)
+	benSet := map[string]bool{}
+	for _, kv := range benign {
+		benSet[kv.Key] = true
+	}
+	overlap := 0
+	for _, kv := range malicious {
+		if benSet[kv.Key] {
+			overlap++
+		}
+	}
+	if overlap == 0 {
+		t.Error("no domain appears in both benign and malicious top-10: mixed-reputation phenomenon missing")
+	}
+}
+
+func TestGeneratedAcrobatMostlyMalicious(t *testing.T) {
+	a := generatedAnalyzer(t)
+	rows := a.BenignProcessBehavior()
+	for _, r := range rows {
+		if r.Name != "acrobat reader" {
+			continue
+		}
+		if r.Malicious+r.Unknown+r.Benign < 5 {
+			t.Skip("too few acrobat downloads at this scale")
+		}
+		if r.Malicious <= r.Benign {
+			t.Errorf("acrobat reader row %+v: malicious should dominate benign", r)
+		}
+	}
+}
+
+func TestGeneratedUnknownShare(t *testing.T) {
+	a := generatedAnalyzer(t)
+	_, overall := a.MonthlySummaries()
+	share := overall.Files.Share(dataset.LabelUnknown)
+	if share < 0.7 || share > 0.92 {
+		t.Errorf("unknown file share = %.3f, want ~0.83", share)
+	}
+}

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// ProcessBehaviorRow is one row of Tables X/XI/XII: the download
+// behaviour of one process population.
+type ProcessBehaviorRow struct {
+	Name string
+	// Processes is the number of distinct process hashes observed.
+	Processes int
+	// Machines is the number of distinct machines running them.
+	Machines int
+	// Unknown/Benign/Malicious count distinct downloaded files by label.
+	Unknown   int
+	Benign    int
+	Malicious int
+	// InfectedMachines is how many of Machines downloaded and executed
+	// at least one known-malicious file via this population.
+	InfectedMachines int
+	// TypeShare is the behaviour-type mix of the malicious downloads.
+	TypeShare map[dataset.MalwareType]float64
+}
+
+// InfectedShare returns InfectedMachines/Machines.
+func (r *ProcessBehaviorRow) InfectedShare() float64 {
+	return stats.Ratio(r.InfectedMachines, r.Machines)
+}
+
+// behaviorAccumulator builds ProcessBehaviorRows incrementally.
+type behaviorAccumulator struct {
+	name      string
+	procs     map[dataset.FileHash]struct{}
+	machines  map[dataset.MachineID]struct{}
+	infected  map[dataset.MachineID]struct{}
+	files     map[dataset.FileHash]struct{}
+	unknown   int
+	benign    int
+	malicious int
+	types     map[dataset.MalwareType]int
+}
+
+func newBehaviorAccumulator(name string) *behaviorAccumulator {
+	return &behaviorAccumulator{
+		name:     name,
+		procs:    make(map[dataset.FileHash]struct{}),
+		machines: make(map[dataset.MachineID]struct{}),
+		infected: make(map[dataset.MachineID]struct{}),
+		files:    make(map[dataset.FileHash]struct{}),
+		types:    make(map[dataset.MalwareType]int),
+	}
+}
+
+func (b *behaviorAccumulator) observe(e *dataset.DownloadEvent, gt dataset.GroundTruth) {
+	b.procs[e.Process] = struct{}{}
+	b.machines[e.Machine] = struct{}{}
+	if gt.Label == dataset.LabelMalicious {
+		b.infected[e.Machine] = struct{}{}
+	}
+	if _, seen := b.files[e.File]; seen {
+		return
+	}
+	b.files[e.File] = struct{}{}
+	switch gt.Label {
+	case dataset.LabelUnknown:
+		b.unknown++
+	case dataset.LabelBenign:
+		b.benign++
+	case dataset.LabelMalicious:
+		b.malicious++
+		b.types[gt.Type]++
+	}
+}
+
+func (b *behaviorAccumulator) row() ProcessBehaviorRow {
+	row := ProcessBehaviorRow{
+		Name:             b.name,
+		Processes:        len(b.procs),
+		Machines:         len(b.machines),
+		Unknown:          b.unknown,
+		Benign:           b.benign,
+		Malicious:        b.malicious,
+		InfectedMachines: len(b.infected),
+		TypeShare:        make(map[dataset.MalwareType]float64, len(b.types)),
+	}
+	for typ, n := range b.types {
+		row.TypeShare[typ] = stats.Ratio(n, b.malicious)
+	}
+	return row
+}
+
+// BenignProcessBehavior computes Table X: download behaviour of
+// known-benign processes per category.
+func (a *Analyzer) BenignProcessBehavior() []ProcessBehaviorRow {
+	accs := map[dataset.ProcessCategory]*behaviorAccumulator{}
+	for _, cat := range dataset.AllProcessCategories {
+		accs[cat] = newBehaviorAccumulator(cat.String())
+	}
+	events := a.store.Events()
+	for i := range events {
+		e := &events[i]
+		proc := a.store.File(e.Process)
+		if proc == nil || a.store.Label(e.Process) != dataset.LabelBenign {
+			continue
+		}
+		accs[proc.Category].observe(e, a.store.Truth(e.File))
+	}
+	var out []ProcessBehaviorRow
+	for _, cat := range dataset.AllProcessCategories {
+		out = append(out, accs[cat].row())
+	}
+	return out
+}
+
+// BrowserBehavior computes Table XI: the per-browser split of the
+// browser row.
+func (a *Analyzer) BrowserBehavior() []ProcessBehaviorRow {
+	accs := map[dataset.Browser]*behaviorAccumulator{}
+	for _, br := range dataset.AllBrowsers {
+		accs[br] = newBehaviorAccumulator(br.String())
+	}
+	events := a.store.Events()
+	for i := range events {
+		e := &events[i]
+		proc := a.store.File(e.Process)
+		if proc == nil || proc.Category != dataset.CategoryBrowser ||
+			a.store.Label(e.Process) != dataset.LabelBenign {
+			continue
+		}
+		accs[proc.Browser].observe(e, a.store.Truth(e.File))
+	}
+	var out []ProcessBehaviorRow
+	for _, br := range dataset.AllBrowsers {
+		out = append(out, accs[br].row())
+	}
+	return out
+}
+
+// MaliciousProcessBehavior computes Table XII: download behaviour of
+// malicious processes grouped by the process's behaviour type, plus an
+// overall row.
+func (a *Analyzer) MaliciousProcessBehavior() (rows []ProcessBehaviorRow, overall ProcessBehaviorRow) {
+	accs := map[dataset.MalwareType]*behaviorAccumulator{}
+	for _, typ := range dataset.AllMalwareTypes {
+		accs[typ] = newBehaviorAccumulator(typ.String())
+	}
+	all := newBehaviorAccumulator("overall")
+	events := a.store.Events()
+	for i := range events {
+		e := &events[i]
+		procGT := a.store.Truth(e.Process)
+		if procGT.Label != dataset.LabelMalicious {
+			continue
+		}
+		fileGT := a.store.Truth(e.File)
+		accs[procGT.Type].observe(e, fileGT)
+		all.observe(e, fileGT)
+	}
+	for _, typ := range dataset.AllMalwareTypes {
+		rows = append(rows, accs[typ].row())
+	}
+	return rows, all.row()
+}
+
+// UnknownByCategory computes Table XIV: unknown-file downloads initiated
+// by known-benign processes, split by category. Counts are distinct
+// unknown files per category, with the total across categories.
+func (a *Analyzer) UnknownByCategory() (perCategory map[dataset.ProcessCategory]int, total int) {
+	perCategory = make(map[dataset.ProcessCategory]int)
+	seen := make(map[dataset.ProcessCategory]map[dataset.FileHash]struct{})
+	for _, cat := range dataset.AllProcessCategories {
+		seen[cat] = make(map[dataset.FileHash]struct{})
+	}
+	events := a.store.Events()
+	for i := range events {
+		e := &events[i]
+		proc := a.store.File(e.Process)
+		if proc == nil || a.store.Label(e.Process) != dataset.LabelBenign {
+			continue
+		}
+		if a.store.Label(e.File) != dataset.LabelUnknown {
+			continue
+		}
+		if _, dup := seen[proc.Category][e.File]; dup {
+			continue
+		}
+		seen[proc.Category][e.File] = struct{}{}
+		perCategory[proc.Category]++
+		total++
+	}
+	return perCategory, total
+}

@@ -1,0 +1,273 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// SigningRow is one row of Table VI: how many files of a population are
+// signed, overall and among browser-downloaded files.
+type SigningRow struct {
+	Name          string
+	Files         int
+	Signed        int
+	BrowserFiles  int
+	BrowserSigned int
+}
+
+// SignedShare returns Signed/Files.
+func (r *SigningRow) SignedShare() float64 { return stats.Ratio(r.Signed, r.Files) }
+
+// BrowserSignedShare returns BrowserSigned/BrowserFiles.
+func (r *SigningRow) BrowserSignedShare() float64 {
+	return stats.Ratio(r.BrowserSigned, r.BrowserFiles)
+}
+
+// browserDownloaded returns the set of files downloaded at least once by
+// a known-benign browser process.
+func (a *Analyzer) browserDownloaded() map[dataset.FileHash]struct{} {
+	events := a.store.Events()
+	out := make(map[dataset.FileHash]struct{})
+	for i := range events {
+		proc := a.store.File(events[i].Process)
+		if proc != nil && proc.Category == dataset.CategoryBrowser &&
+			a.store.Label(events[i].Process) == dataset.LabelBenign {
+			out[events[i].File] = struct{}{}
+		}
+	}
+	return out
+}
+
+// SigningByPopulation computes Table VI: per malicious behaviour type,
+// plus benign, unknown and all-malicious rows.
+func (a *Analyzer) SigningByPopulation() []SigningRow {
+	viaBrowser := a.browserDownloaded()
+	rows := make(map[string]*SigningRow)
+	rowFor := func(name string) *SigningRow {
+		r, ok := rows[name]
+		if !ok {
+			r = &SigningRow{Name: name}
+			rows[name] = r
+		}
+		return r
+	}
+	observe := func(name string, f dataset.FileHash, signed bool) {
+		r := rowFor(name)
+		r.Files++
+		_, br := viaBrowser[f]
+		if br {
+			r.BrowserFiles++
+		}
+		if signed {
+			r.Signed++
+			if br {
+				r.BrowserSigned++
+			}
+		}
+	}
+	for _, f := range a.store.DownloadedFiles() {
+		meta := a.store.File(f)
+		if meta == nil {
+			continue
+		}
+		gt := a.store.Truth(f)
+		switch gt.Label {
+		case dataset.LabelBenign:
+			observe("benign", f, meta.Signed())
+		case dataset.LabelUnknown:
+			observe("unknown", f, meta.Signed())
+		case dataset.LabelMalicious:
+			observe(gt.Type.String(), f, meta.Signed())
+			observe("malicious", f, meta.Signed())
+		}
+	}
+	// Deterministic row order: Table VI order.
+	order := []string{}
+	for _, t := range dataset.AllMalwareTypes {
+		order = append(order, t.String())
+	}
+	order = append(order, "benign", "unknown", "malicious")
+	var out []SigningRow
+	for _, name := range order {
+		if r, ok := rows[name]; ok {
+			out = append(out, *r)
+		}
+	}
+	return out
+}
+
+// SignerOverlapRow is one row of Table VII: distinct signers per type and
+// how many also sign benign files.
+type SignerOverlapRow struct {
+	Name             string
+	Signers          int
+	CommonWithBenign int
+}
+
+// signerSets returns the signer sets per population name, computed once.
+func (a *Analyzer) signerSets() map[string]map[string]struct{} {
+	a.signerSetsOnce.Do(func() {
+		a.signerSetsCache = a.computeSignerSets()
+	})
+	return a.signerSetsCache
+}
+
+func (a *Analyzer) computeSignerSets() map[string]map[string]struct{} {
+	sets := make(map[string]map[string]struct{})
+	add := func(name, signer string) {
+		set, ok := sets[name]
+		if !ok {
+			set = make(map[string]struct{})
+			sets[name] = set
+		}
+		set[signer] = struct{}{}
+	}
+	for _, f := range a.store.DownloadedFiles() {
+		meta := a.store.File(f)
+		if meta == nil || !meta.Signed() {
+			continue
+		}
+		gt := a.store.Truth(f)
+		switch gt.Label {
+		case dataset.LabelBenign:
+			add("benign", meta.Signer)
+		case dataset.LabelMalicious:
+			add(gt.Type.String(), meta.Signer)
+			add("malicious", meta.Signer)
+		}
+	}
+	return sets
+}
+
+// SignerOverlap computes Table VII.
+func (a *Analyzer) SignerOverlap() []SignerOverlapRow {
+	sets := a.signerSets()
+	benign := sets["benign"]
+	var out []SignerOverlapRow
+	names := []string{}
+	for _, t := range dataset.AllMalwareTypes {
+		names = append(names, t.String())
+	}
+	names = append(names, "malicious")
+	for _, name := range names {
+		set, ok := sets[name]
+		if !ok {
+			continue
+		}
+		row := SignerOverlapRow{Name: name, Signers: len(set)}
+		for s := range set {
+			if _, shared := benign[s]; shared {
+				row.CommonWithBenign++
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// TopSignerSets computes Tables VIII/IX: for the given population (a
+// behaviour type name, "benign" or "malicious"), the top signers
+// overall, the top signers shared with the benign population, and the
+// top signers exclusive to it. Counts are per distinct signed file.
+type TopSignerSets struct {
+	Top       []stats.KV
+	Common    []stats.KV
+	Exclusive []stats.KV
+}
+
+// TopSigners computes the Table VIII/IX view for one population.
+func (a *Analyzer) TopSigners(population string, topK int) TopSignerSets {
+	sets := a.signerSets()
+	benignSigners := sets["benign"]
+	malSigners := sets["malicious"]
+	all := stats.NewCounter()
+	common := stats.NewCounter()
+	exclusive := stats.NewCounter()
+	for _, f := range a.store.DownloadedFiles() {
+		meta := a.store.File(f)
+		if meta == nil || !meta.Signed() {
+			continue
+		}
+		gt := a.store.Truth(f)
+		match := false
+		switch population {
+		case "benign":
+			match = gt.Label == dataset.LabelBenign
+		case "malicious":
+			match = gt.Label == dataset.LabelMalicious
+		default:
+			match = gt.Label == dataset.LabelMalicious && gt.Type.String() == population
+		}
+		if !match {
+			continue
+		}
+		all.Add(meta.Signer)
+		if population == "benign" {
+			// For the benign row, "exclusive" means signers that signed
+			// no malicious file.
+			if _, sharedWithMal := malSigners[meta.Signer]; sharedWithMal {
+				common.Add(meta.Signer)
+			} else {
+				exclusive.Add(meta.Signer)
+			}
+		} else if _, shared := benignSigners[meta.Signer]; shared {
+			common.Add(meta.Signer)
+		} else {
+			exclusive.Add(meta.Signer)
+		}
+	}
+	return TopSignerSets{
+		Top:       all.Top(topK),
+		Common:    common.Top(topK),
+		Exclusive: exclusive.Top(topK),
+	}
+}
+
+// CommonSignerPoint is one signer in Figure 4: how many benign and
+// malicious files it signed.
+type CommonSignerPoint struct {
+	Signer    string
+	Benign    int
+	Malicious int
+}
+
+// CommonSigners computes Figure 4: signers appearing on both benign and
+// malicious files, with per-class file counts, sorted by total count
+// descending.
+func (a *Analyzer) CommonSigners() []CommonSignerPoint {
+	ben := stats.NewCounter()
+	mal := stats.NewCounter()
+	for _, f := range a.store.DownloadedFiles() {
+		meta := a.store.File(f)
+		if meta == nil || !meta.Signed() {
+			continue
+		}
+		switch a.store.Label(f) {
+		case dataset.LabelBenign:
+			ben.Add(meta.Signer)
+		case dataset.LabelMalicious:
+			mal.Add(meta.Signer)
+		}
+	}
+	var out []CommonSignerPoint
+	for _, s := range ben.Keys() {
+		if mal.Count(s) > 0 {
+			out = append(out, CommonSignerPoint{
+				Signer:    s,
+				Benign:    ben.Count(s),
+				Malicious: mal.Count(s),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ti := out[i].Benign + out[i].Malicious
+		tj := out[j].Benign + out[j].Malicious
+		if ti != tj {
+			return ti > tj
+		}
+		return out[i].Signer < out[j].Signer
+	})
+	return out
+}

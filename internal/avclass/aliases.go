@@ -1,0 +1,126 @@
+package avclass
+
+import (
+	"sort"
+)
+
+// AliasCandidate is one detected alias pair: every sample carrying Alias
+// (almost) always also carries Canonical, and Canonical is the more
+// frequent token.
+type AliasCandidate struct {
+	Alias     string
+	Canonical string
+	// AliasCount is how many samples carried the alias token.
+	AliasCount int
+	// Overlap is |samples with both| / |samples with alias|.
+	Overlap float64
+}
+
+// DetectAliases reimplements AVclass's alias-detection pass: it scans
+// the family-candidate tokens of a corpus of samples (each given as its
+// engine→label map) and reports token pairs whose co-occurrence is
+// one-sided enough that the rarer token is evidently an alias of the
+// more frequent one (e.g. "zeus" → "zbot"). minCount is the minimum
+// number of samples the alias token must appear on (AVclass uses 20) and
+// minOverlap the required co-occurrence ratio (AVclass uses 0.94).
+//
+// The returned candidates are sorted by descending alias count; feed
+// them back into NewLabeler via WithAliases to improve family labeling
+// on the next run, which is exactly AVclass's two-phase workflow.
+func (l *Labeler) DetectAliases(corpus []map[string]string, minCount int, minOverlap float64) []AliasCandidate {
+	if minCount < 1 {
+		minCount = 1
+	}
+	if minOverlap <= 0 || minOverlap > 1 {
+		minOverlap = 0.94
+	}
+	tokenCount := make(map[string]int)
+	pairCount := make(map[[2]string]int)
+	for _, labels := range corpus {
+		// Distinct candidate tokens for this sample.
+		seen := make(map[string]struct{})
+		for _, label := range labels {
+			for _, tok := range l.tokenize(label) {
+				seen[tok] = struct{}{}
+			}
+		}
+		toks := make([]string, 0, len(seen))
+		for t := range seen {
+			toks = append(toks, t)
+		}
+		sort.Strings(toks)
+		for _, t := range toks {
+			tokenCount[t]++
+		}
+		for i := 0; i < len(toks); i++ {
+			for j := i + 1; j < len(toks); j++ {
+				pairCount[[2]string{toks[i], toks[j]}]++
+			}
+		}
+	}
+	var out []AliasCandidate
+	for pair, n := range pairCount {
+		a, b := pair[0], pair[1]
+		// Orient: alias is the rarer token.
+		alias, canonical := a, b
+		if tokenCount[a] > tokenCount[b] ||
+			(tokenCount[a] == tokenCount[b] && a < b) {
+			alias, canonical = b, a
+		}
+		if tokenCount[alias] < minCount {
+			continue
+		}
+		overlap := float64(n) / float64(tokenCount[alias])
+		if overlap < minOverlap {
+			continue
+		}
+		out = append(out, AliasCandidate{
+			Alias:      alias,
+			Canonical:  canonical,
+			AliasCount: tokenCount[alias],
+			Overlap:    overlap,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AliasCount != out[j].AliasCount {
+			return out[i].AliasCount > out[j].AliasCount
+		}
+		if out[i].Alias != out[j].Alias {
+			return out[i].Alias < out[j].Alias
+		}
+		return out[i].Canonical < out[j].Canonical
+	})
+	return out
+}
+
+// AliasMap converts candidates into the map WithAliases consumes,
+// resolving chains (a→b, b→c becomes a→c) and dropping cycles.
+func AliasMap(cands []AliasCandidate) map[string]string {
+	direct := make(map[string]string, len(cands))
+	for _, c := range cands {
+		if direct[c.Canonical] == c.Alias {
+			// Would form a two-cycle; the earlier (stronger) edge wins.
+			continue
+		}
+		if _, dup := direct[c.Alias]; !dup {
+			direct[c.Alias] = c.Canonical
+		}
+	}
+	out := make(map[string]string, len(direct))
+	for alias := range direct {
+		target := direct[alias]
+		seen := map[string]bool{alias: true}
+		for {
+			next, ok := direct[target]
+			if !ok || seen[target] {
+				break
+			}
+			seen[target] = true
+			target = next
+		}
+		if target != alias {
+			out[alias] = target
+		}
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package avclass
+
+import (
+	"fmt"
+	"testing"
+)
+
+// aliasCorpus builds samples where "oldfam" always co-occurs with
+// "newfam" (newfam more frequent), plus unrelated samples.
+func aliasCorpus() []map[string]string {
+	var corpus []map[string]string
+	for i := 0; i < 30; i++ {
+		corpus = append(corpus, map[string]string{
+			"EngineA": "Trojan.Oldfam",
+			"EngineB": "W32.Newfam",
+		})
+	}
+	for i := 0; i < 20; i++ {
+		corpus = append(corpus, map[string]string{
+			"EngineA": "Trojan.Newfam",
+			"EngineB": fmt.Sprintf("W32.Otherfam%d", i%3),
+		})
+	}
+	return corpus
+}
+
+func TestDetectAliases(t *testing.T) {
+	l := NewLabeler()
+	cands := l.DetectAliases(aliasCorpus(), 20, 0.94)
+	found := false
+	for _, c := range cands {
+		if c.Alias == "oldfam" && c.Canonical == "newfam" {
+			found = true
+			if c.AliasCount != 30 {
+				t.Errorf("alias count = %d, want 30", c.AliasCount)
+			}
+			if c.Overlap < 0.99 {
+				t.Errorf("overlap = %v, want ~1.0", c.Overlap)
+			}
+		}
+		if c.Alias == "newfam" {
+			t.Error("the more frequent token must be the canonical one")
+		}
+	}
+	if !found {
+		t.Fatalf("oldfam->newfam not detected: %+v", cands)
+	}
+}
+
+func TestDetectAliasesMinCount(t *testing.T) {
+	l := NewLabeler()
+	// Only 30 oldfam samples: a 40-sample minimum filters them out.
+	cands := l.DetectAliases(aliasCorpus(), 40, 0.94)
+	for _, c := range cands {
+		if c.Alias == "oldfam" {
+			t.Errorf("alias below min count survived: %+v", c)
+		}
+	}
+}
+
+func TestDetectAliasesOverlapThreshold(t *testing.T) {
+	l := NewLabeler()
+	corpus := aliasCorpus()
+	// Break the co-occurrence for half the oldfam samples.
+	for i := 0; i < 15; i++ {
+		corpus[i] = map[string]string{"EngineA": "Trojan.Oldfam"}
+	}
+	cands := l.DetectAliases(corpus, 20, 0.94)
+	for _, c := range cands {
+		if c.Alias == "oldfam" && c.Canonical == "newfam" {
+			t.Errorf("weak co-occurrence (%.2f) passed 0.94 threshold", c.Overlap)
+		}
+	}
+}
+
+func TestDetectAliasesDefaults(t *testing.T) {
+	l := NewLabeler()
+	// Invalid parameters fall back to sane defaults without panicking.
+	if cands := l.DetectAliases(aliasCorpus(), 0, -1); cands == nil {
+		t.Log("no candidates at default thresholds; acceptable")
+	}
+}
+
+func TestAliasMapChainsAndCycles(t *testing.T) {
+	m := AliasMap([]AliasCandidate{
+		{Alias: "a", Canonical: "b", AliasCount: 30},
+		{Alias: "b", Canonical: "c", AliasCount: 40},
+		{Alias: "x", Canonical: "y", AliasCount: 10},
+		{Alias: "y", Canonical: "x", AliasCount: 9}, // cycle
+	})
+	if m["a"] != "c" {
+		t.Errorf("chain not resolved: a -> %q, want c", m["a"])
+	}
+	if m["b"] != "c" {
+		t.Errorf("b -> %q, want c", m["b"])
+	}
+	// The cycle must terminate and keep a usable direction.
+	if m["x"] != "y" && m["y"] != "x" {
+		t.Errorf("cycle lost both directions: %v", m)
+	}
+}
+
+func TestAliasWorkflowEndToEnd(t *testing.T) {
+	// Phase 1: detect aliases on a corpus; phase 2: label with them.
+	l := NewLabeler()
+	cands := l.DetectAliases(aliasCorpus(), 20, 0.94)
+	l2 := NewLabeler(WithAliases(AliasMap(cands)))
+	res := l2.Label(map[string]string{
+		"EngineA": "Trojan.Oldfam",
+		"EngineB": "W32.Newfam",
+	})
+	if res.Family != "newfam" {
+		t.Errorf("family = %q, want newfam (via detected alias)", res.Family)
+	}
+	if res.Support != 2 {
+		t.Errorf("support = %d, want 2 (votes merged through alias)", res.Support)
+	}
+}

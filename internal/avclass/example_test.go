@@ -1,0 +1,42 @@
+package avclass_test
+
+import (
+	"fmt"
+
+	"repro/internal/avclass"
+)
+
+// The paper's Zbot example: three engines carry the family token, one is
+// generic, so the plurality vote lands on zbot with support 3.
+func ExampleLabeler_Label() {
+	labeler := avclass.NewLabeler()
+	res := labeler.Label(map[string]string{
+		"Symantec":  "Trojan.Zbot",
+		"McAfee":    "Downloader-FYH!6C7411D1C043",
+		"Kaspersky": "Trojan-Spy.Win32.Zbot.ruxa",
+		"Microsoft": "PWS:Win32/Zbot",
+	})
+	fmt.Println(res.Family, res.Support)
+	// Output: zbot 3
+}
+
+// Alias detection feeds the second labeling phase: "zeusbot" always
+// co-occurs with the more common "zbot", so it resolves to it.
+func ExampleLabeler_DetectAliases() {
+	labeler := avclass.NewLabeler()
+	var corpus []map[string]string
+	for i := 0; i < 25; i++ {
+		corpus = append(corpus, map[string]string{
+			"A": "Trojan.Zeusbotnetx",
+			"B": "W32.Mainfam",
+		})
+	}
+	for i := 0; i < 10; i++ {
+		corpus = append(corpus, map[string]string{"A": "Trojan.Mainfam"})
+	}
+	cands := labeler.DetectAliases(corpus, 20, 0.94)
+	for _, c := range cands {
+		fmt.Printf("%s -> %s\n", c.Alias, c.Canonical)
+	}
+	// Output: zeusbotnetx -> mainfam
+}

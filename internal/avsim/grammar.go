@@ -1,0 +1,232 @@
+package avsim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Vendor-specific type tokens. These are the "behavior type keywords"
+// that the AVType interpretation map (Section II-C, provided to the
+// authors by Trend Micro) decodes back into behaviour types.
+
+var trendPrefix = map[dataset.MalwareType]string{
+	dataset.TypeTrojan:     "TROJ",
+	dataset.TypeDropper:    "TROJ_DLOADR",
+	dataset.TypePUP:        "PUA",
+	dataset.TypeAdware:     "ADW",
+	dataset.TypeBanker:     "TSPY_BANKER",
+	dataset.TypeBot:        "BKDR_BOT",
+	dataset.TypeFakeAV:     "TROJ_FAKEAV",
+	dataset.TypeRansomware: "RANSOM",
+	dataset.TypeWorm:       "WORM",
+	dataset.TypeSpyware:    "TSPY",
+	dataset.TypeUndefined:  "TROJ_GEN",
+}
+
+var symantecToken = map[dataset.MalwareType]string{
+	dataset.TypeTrojan:     "Trojan",
+	dataset.TypeDropper:    "Downloader",
+	dataset.TypePUP:        "PUA",
+	dataset.TypeAdware:     "Adware",
+	dataset.TypeBanker:     "Infostealer.Banker",
+	dataset.TypeBot:        "Backdoor.Bot",
+	dataset.TypeFakeAV:     "FakeAV",
+	dataset.TypeRansomware: "Ransom",
+	dataset.TypeWorm:       "Worm",
+	dataset.TypeSpyware:    "Spyware",
+	dataset.TypeUndefined:  "Trojan.Gen",
+}
+
+var kasperskyToken = map[dataset.MalwareType]string{
+	dataset.TypeTrojan:     "Trojan",
+	dataset.TypeDropper:    "Trojan-Downloader",
+	dataset.TypePUP:        "not-a-virus:Downloader",
+	dataset.TypeAdware:     "not-a-virus:AdWare",
+	dataset.TypeBanker:     "Trojan-Banker",
+	dataset.TypeBot:        "Backdoor",
+	dataset.TypeFakeAV:     "Trojan-FakeAV",
+	dataset.TypeRansomware: "Trojan-Ransom",
+	dataset.TypeWorm:       "Worm",
+	dataset.TypeSpyware:    "Trojan-Spy",
+	dataset.TypeUndefined:  "UDS:DangerousObject",
+}
+
+var microsoftToken = map[dataset.MalwareType]string{
+	dataset.TypeTrojan:     "Trojan",
+	dataset.TypeDropper:    "TrojanDownloader",
+	dataset.TypePUP:        "PUA",
+	dataset.TypeAdware:     "Adware",
+	dataset.TypeBanker:     "PWS",
+	dataset.TypeBot:        "Backdoor",
+	dataset.TypeFakeAV:     "Rogue",
+	dataset.TypeRansomware: "Ransom",
+	dataset.TypeWorm:       "Worm",
+	dataset.TypeSpyware:    "SpyWare",
+	dataset.TypeUndefined:  "Trojan",
+}
+
+var mcafeeToken = map[dataset.MalwareType]string{
+	dataset.TypeTrojan:     "Trojan",
+	dataset.TypeDropper:    "Downloader",
+	dataset.TypePUP:        "PUP",
+	dataset.TypeAdware:     "Adware",
+	dataset.TypeBanker:     "PWS-Banker",
+	dataset.TypeBot:        "BackDoor",
+	dataset.TypeFakeAV:     "FakeAlert",
+	dataset.TypeRansomware: "Ransom",
+	dataset.TypeWorm:       "W32/Worm",
+	dataset.TypeSpyware:    "Spyware",
+	dataset.TypeUndefined:  "Artemis",
+}
+
+// trendMicroGrammar renders labels like "TROJ_FAKEAV.SMU1" or, with a
+// family, "TSPY_ZBOT.ABC".
+func trendMicroGrammar(typ dataset.MalwareType, family string, u uint64) string {
+	if family != "" {
+		return fmt.Sprintf("TROJ_%s.%s", strings.ToUpper(family), strings.ToUpper(suffix(u, 3)))
+	}
+	return fmt.Sprintf("%s.%s", trendPrefix[typ], strings.ToUpper(suffix(u, 3)))
+}
+
+// symantecGrammar renders labels like "Trojan.Zbot" or "Downloader".
+func symantecGrammar(typ dataset.MalwareType, family string, u uint64) string {
+	if family != "" {
+		switch typ {
+		case dataset.TypeBanker, dataset.TypeSpyware:
+			return "Infostealer." + upperFirst(family)
+		case dataset.TypeAdware, dataset.TypePUP:
+			return "Adware." + upperFirst(family)
+		default:
+			return "Trojan." + upperFirst(family)
+		}
+	}
+	if typ == dataset.TypeUndefined {
+		return "Trojan.Gen." + fmt.Sprint(u%3+1)
+	}
+	return symantecToken[typ]
+}
+
+// kasperskyGrammar renders labels like "Trojan-Spy.Win32.Zbot.ruxa" and
+// generic "Trojan-Downloader.Win32.Agent.heqj".
+func kasperskyGrammar(typ dataset.MalwareType, family string, u uint64) string {
+	fam := "Agent"
+	if family != "" {
+		fam = upperFirst(family)
+	}
+	if typ == dataset.TypeUndefined && family == "" {
+		return kasperskyToken[typ]
+	}
+	return fmt.Sprintf("%s.Win32.%s.%s", kasperskyToken[typ], fam, suffix(u, 4))
+}
+
+// microsoftGrammar renders labels like "PWS:Win32/Zbot" and
+// "TrojanDownloader:Win32/Agent".
+func microsoftGrammar(typ dataset.MalwareType, family string, u uint64) string {
+	fam := "Agent"
+	if family != "" {
+		fam = upperFirst(family)
+	}
+	label := fmt.Sprintf("%s:Win32/%s", microsoftToken[typ], fam)
+	if u%2 == 0 {
+		label += "." + strings.ToUpper(suffix(u>>8, 1))
+	}
+	return label
+}
+
+// mcafeeGrammar renders labels like "Downloader-FYH!6C7411D1C043" and the
+// heuristic "Artemis!DEC3771868CB".
+func mcafeeGrammar(typ dataset.MalwareType, family string, u uint64) string {
+	if typ == dataset.TypeUndefined && family == "" {
+		return "Artemis!" + hexSuffix(u, 12)
+	}
+	if family != "" {
+		return fmt.Sprintf("%s-%s!%s", mcafeeToken[typ], strings.ToUpper(family), hexSuffix(u, 12))
+	}
+	return fmt.Sprintf("%s-%s!%s", mcafeeToken[typ], strings.ToUpper(suffix(u>>4, 3)), hexSuffix(u, 12))
+}
+
+// genericTrustedGrammar covers the remaining trusted vendors (Avira, AVG,
+// Avast, ESET, Bitdefender): family-bearing dotted labels with a typed
+// prefix, or "Gen:Variant" style generic names.
+func genericTrustedGrammar(typ dataset.MalwareType, family string, u uint64) string {
+	prefix := map[dataset.MalwareType]string{
+		dataset.TypeTrojan:     "Trojan",
+		dataset.TypeDropper:    "TR/Dldr",
+		dataset.TypePUP:        "PUA",
+		dataset.TypeAdware:     "Adware",
+		dataset.TypeBanker:     "Spy.Banker",
+		dataset.TypeBot:        "Backdoor",
+		dataset.TypeFakeAV:     "FraudTool",
+		dataset.TypeRansomware: "Ransom",
+		dataset.TypeWorm:       "Worm",
+		dataset.TypeSpyware:    "Spyware",
+		dataset.TypeUndefined:  "Gen:Variant",
+	}[typ]
+	if family != "" {
+		return fmt.Sprintf("%s.%s.%d", prefix, upperFirst(family), u%100)
+	}
+	return fmt.Sprintf("%s.Generic.%d", prefix, u%100000)
+}
+
+// minorEngineGrammar covers the long tail of less reliable engines: noisy
+// labels, frequent generic names, occasional family tokens.
+func minorEngineGrammar(typ dataset.MalwareType, family string, u uint64) string {
+	switch u % 4 {
+	case 0:
+		if family != "" {
+			return fmt.Sprintf("W32.%s.%s", upperFirst(family), suffix(u>>8, 2))
+		}
+		return fmt.Sprintf("W32.Malware.%s", suffix(u>>8, 4))
+	case 1:
+		return fmt.Sprintf("Malware.Generic.%d", u%1000000)
+	case 2:
+		if family != "" {
+			return fmt.Sprintf("Trojan/%s.%s", upperFirst(family), suffix(u>>16, 3))
+		}
+		return fmt.Sprintf("Trojan/Agent.%s", suffix(u>>16, 3))
+	default:
+		return fmt.Sprintf("Suspicious.%s!%d", strings.ToUpper(suffix(u>>24, 2)), u%100)
+	}
+}
+
+// LeadingEngineNames are the five vendors whose labels the AVType
+// interpretation map covers (footnote 2 in the paper).
+var LeadingEngineNames = []string{"Microsoft", "Symantec", "TrendMicro", "Kaspersky", "McAfee"}
+
+// DefaultEngines builds the full engine roster: ten trusted vendors
+// (including the five leading ones) plus totalMinor less reliable
+// engines, for a VirusTotal-like service of 50+ engines.
+func DefaultEngines(totalMinor int) []*Engine {
+	engines := []*Engine{
+		{Name: "Microsoft", Trusted: true, Leading: true, Coverage: 0.93, DifficultyPenalty: 0.55, MinDelayDays: 0, MaxDelayDays: 120, FamilyAwareness: 0.55, Grammar: microsoftGrammar},
+		{Name: "Symantec", Trusted: true, Leading: true, Coverage: 0.92, DifficultyPenalty: 0.55, MinDelayDays: 0, MaxDelayDays: 140, FamilyAwareness: 0.55, Grammar: symantecGrammar},
+		{Name: "TrendMicro", Trusted: true, Leading: true, Coverage: 0.91, DifficultyPenalty: 0.6, MinDelayDays: 0, MaxDelayDays: 150, FamilyAwareness: 0.5, Grammar: trendMicroGrammar},
+		{Name: "Kaspersky", Trusted: true, Leading: true, Coverage: 0.94, DifficultyPenalty: 0.5, MinDelayDays: 0, MaxDelayDays: 110, FamilyAwareness: 0.6, Grammar: kasperskyGrammar},
+		{Name: "McAfee", Trusted: true, Leading: true, Coverage: 0.92, DifficultyPenalty: 0.55, MinDelayDays: 0, MaxDelayDays: 130, FamilyAwareness: 0.45, Grammar: mcafeeGrammar},
+		{Name: "Avira", Trusted: true, Coverage: 0.9, DifficultyPenalty: 0.6, MinDelayDays: 0, MaxDelayDays: 160, FamilyAwareness: 0.45, Grammar: genericTrustedGrammar},
+		{Name: "AVG", Trusted: true, Coverage: 0.89, DifficultyPenalty: 0.6, MinDelayDays: 0, MaxDelayDays: 170, FamilyAwareness: 0.4, Grammar: genericTrustedGrammar},
+		{Name: "Avast", Trusted: true, Coverage: 0.9, DifficultyPenalty: 0.6, MinDelayDays: 0, MaxDelayDays: 160, FamilyAwareness: 0.4, Grammar: genericTrustedGrammar},
+		{Name: "ESET", Trusted: true, Coverage: 0.91, DifficultyPenalty: 0.55, MinDelayDays: 0, MaxDelayDays: 150, FamilyAwareness: 0.5, Grammar: genericTrustedGrammar},
+		{Name: "Bitdefender", Trusted: true, Coverage: 0.92, DifficultyPenalty: 0.55, MinDelayDays: 0, MaxDelayDays: 140, FamilyAwareness: 0.5, Grammar: genericTrustedGrammar},
+	}
+	prefixes := []string{"Nano", "Secure", "Cyber", "Net", "Total", "Ultra", "Prime", "Guard", "Iron", "Swift"}
+	suffixes := []string{"Shield", "Scan", "Defender", "Watch", "Armor", "Protect", "Lab", "Gate"}
+	for i := 0; i < totalMinor; i++ {
+		name := fmt.Sprintf("%s%s", prefixes[i%len(prefixes)], suffixes[(i/len(prefixes))%len(suffixes)])
+		if i >= len(prefixes)*len(suffixes) {
+			name = fmt.Sprintf("%s%d", name, i)
+		}
+		engines = append(engines, &Engine{
+			Name:              name,
+			Coverage:          0.55 + 0.3*float64(i%7)/7,
+			DifficultyPenalty: 0.8,
+			MinDelayDays:      5,
+			MaxDelayDays:      400,
+			FamilyAwareness:   0.25,
+			Grammar:           minorEngineGrammar,
+		})
+	}
+	return engines
+}

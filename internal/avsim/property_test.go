@@ -1,0 +1,113 @@
+package avsim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// Property: detections are monotone in scan time — once an engine
+// detects a sample, later scans still detect it.
+func TestDetectionMonotoneProperty(t *testing.T) {
+	svc := NewDefaultService()
+	f := func(hashSeed uint32, typIdx uint8, months uint8) bool {
+		s := &Sample{
+			Hash:          dataset.FileHash(fmt.Sprintf("mono-%08x", hashSeed)),
+			InCorpus:      true,
+			FirstScan:     t0,
+			LastScan:      t0.AddDate(3, 0, 0),
+			TrueMalicious: true,
+			Type:          dataset.AllMalwareTypes[int(typIdx)%len(dataset.AllMalwareTypes)],
+		}
+		early := svc.Scan(s, t0.AddDate(0, int(months%24), 0))
+		late := svc.Scan(s, t0.AddDate(0, int(months%24)+6, 0))
+		if early == nil || late == nil {
+			return false
+		}
+		detected := map[string]bool{}
+		for _, r := range early.Detections() {
+			detected[r.Engine] = true
+		}
+		for _, r := range early.Results {
+			if detected[r.Engine] {
+				// find same engine in late scan
+				found := false
+				for _, lr := range late.Results {
+					if lr.Engine == r.Engine && lr.Label != "" {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an engine that detects a sample keeps emitting the same
+// label string (deterministic grammar).
+func TestLabelStabilityProperty(t *testing.T) {
+	svc := NewDefaultService()
+	f := func(hashSeed uint32) bool {
+		s := malSample(fmt.Sprintf("stab-%08x", hashSeed), dataset.TypeDropper, "somoto")
+		a := svc.Scan(s, t2y)
+		b := svc.Scan(s, t2y.AddDate(0, 3, 0))
+		labelsA := a.AllLabels()
+		for eng, label := range labelsA {
+			if got := b.AllLabels()[eng]; got != label {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: benign samples never accumulate detections regardless of
+// scan time.
+func TestBenignNeverDetectedProperty(t *testing.T) {
+	svc := NewDefaultService()
+	f := func(hashSeed uint32, months uint8) bool {
+		s := &Sample{
+			Hash:      dataset.FileHash(fmt.Sprintf("ben-%08x", hashSeed)),
+			InCorpus:  true,
+			FirstScan: t0,
+			LastScan:  t0.AddDate(3, 0, 0),
+		}
+		rep := svc.Scan(s, t0.Add(time.Duration(months)*24*time.Hour*30))
+		return rep == nil || len(rep.Detections()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The aggregate trusted-engine detection rate for easy malicious
+// samples at the two-year rescan must be high enough to sustain the
+// labeling pipeline's malicious share.
+func TestTrustedDetectionRateAggregate(t *testing.T) {
+	svc := NewDefaultService()
+	detected := 0
+	const n = 300
+	for i := 0; i < n; i++ {
+		s := malSample(fmt.Sprintf("agg-%04d", i), dataset.TypeTrojan, "")
+		s.Difficulty = 0.2
+		if rep := svc.Scan(s, t2y); rep != nil && len(rep.TrustedDetections()) > 0 {
+			detected++
+		}
+	}
+	if rate := float64(detected) / n; rate < 0.95 {
+		t.Errorf("trusted detection rate = %.3f, want >= 0.95", rate)
+	}
+}

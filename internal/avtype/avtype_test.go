@@ -1,0 +1,195 @@
+package avtype
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestMapLabel(t *testing.T) {
+	tests := []struct {
+		label string
+		want  dataset.MalwareType
+	}{
+		{"Trojan.Zbot", dataset.TypeBanker},
+		{"PWS:Win32/Zbot", dataset.TypeBanker},
+		{"Trojan-Spy.Win32.Zbot.ruxa", dataset.TypeBanker},
+		{"Downloader-FYH!6C7411D1C043", dataset.TypeDropper},
+		{"Trojan-Downloader.Win32.Agent.heqj", dataset.TypeDropper},
+		{"Artemis!DEC3771868CB", dataset.TypeUndefined},
+		{"TROJ_FAKEAV.SMU1", dataset.TypeFakeAV},
+		{"Ransom:Win32/Crowti", dataset.TypeRansomware},
+		{"Trojan-Ransom.Win32.Foreign.a", dataset.TypeRansomware},
+		{"Backdoor.Win32.Agent.x", dataset.TypeBot},
+		{"Worm:Win32/Allaple", dataset.TypeWorm},
+		{"not-a-virus:AdWare.Win32.Agent.x", dataset.TypeAdware},
+		{"PUA.InstallMonster", dataset.TypePUP},
+		{"Trojan:Win32/Malex", dataset.TypeTrojan},
+		{"Trojan:Win32/Agent", dataset.TypeUndefined},
+		{"UDS:DangerousObject.Multi.Generic", dataset.TypeUndefined},
+		{"Trojan.Gen.2", dataset.TypeUndefined},
+		{"TSPY_KEYLOG.A", dataset.TypeSpyware},
+	}
+	for _, tt := range tests {
+		got, ok := MapLabel(tt.label)
+		if !ok {
+			t.Errorf("MapLabel(%q) not ok", tt.label)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("MapLabel(%q) = %v, want %v", tt.label, got, tt.want)
+		}
+	}
+}
+
+func TestMapLabelEmpty(t *testing.T) {
+	if _, ok := MapLabel(""); ok {
+		t.Error("empty label should not map")
+	}
+}
+
+func TestExtractPaperVotingExample(t *testing.T) {
+	// The paper's rule-1 example: 3 Zbot labels (banker) vs 1 Downloader
+	// (dropper) → banker via voting.
+	e := NewExtractor(nil)
+	typ, res := e.Extract(map[string]string{
+		"Symantec":  "Trojan.Zbot",
+		"McAfee":    "Downloader-FYH!6C7411D1C043",
+		"Kaspersky": "Trojan-Spy.Win32.Zbot.ruxa",
+		"Microsoft": "PWS:Win32/Zbot",
+	})
+	if typ != dataset.TypeBanker {
+		t.Errorf("type = %v, want banker", typ)
+	}
+	if res != ResolvedVoting {
+		t.Errorf("resolution = %v, want voting", res)
+	}
+}
+
+func TestExtractPaperSpecificityExample(t *testing.T) {
+	// The paper's rule-2 example: Kaspersky dropper vs McAfee generic →
+	// dropper via specificity.
+	e := NewExtractor(nil)
+	typ, res := e.Extract(map[string]string{
+		"Kaspersky": "Trojan-Downloader.Win32.Agent.heqj",
+		"McAfee":    "Artemis!DEC3771868CB",
+	})
+	if typ != dataset.TypeDropper {
+		t.Errorf("type = %v, want dropper", typ)
+	}
+	if res != ResolvedSpecificity {
+		t.Errorf("resolution = %v, want specificity", res)
+	}
+}
+
+func TestExtractUnanimous(t *testing.T) {
+	e := NewExtractor(nil)
+	typ, res := e.Extract(map[string]string{
+		"Symantec":  "Ransom.Cryptolocker",
+		"Microsoft": "Ransom:Win32/Crilock.A",
+	})
+	if typ != dataset.TypeRansomware || res != ResolvedUnanimous {
+		t.Errorf("got (%v, %v), want (ransomware, unanimous)", typ, res)
+	}
+}
+
+func TestExtractNoLabels(t *testing.T) {
+	e := NewExtractor(nil)
+	typ, res := e.Extract(nil)
+	if typ != dataset.TypeUndefined || res != ResolvedNone {
+		t.Errorf("got (%v, %v), want (undefined, none)", typ, res)
+	}
+}
+
+func TestExtractManualFallback(t *testing.T) {
+	// pup and adware share a specificity rank, so a 1-1 tie reaches the
+	// manual resolver.
+	called := false
+	e := NewExtractor(func(c []dataset.MalwareType, _ map[string]string) dataset.MalwareType {
+		called = true
+		if len(c) != 2 {
+			t.Errorf("manual resolver got %d candidates, want 2", len(c))
+		}
+		return dataset.TypePUP
+	})
+	typ, res := e.Extract(map[string]string{
+		"A": "PUA.SomethingElseX",
+		"B": "Adware.OtherThing",
+	})
+	if !called {
+		t.Fatal("manual resolver not invoked")
+	}
+	if typ != dataset.TypePUP || res != ResolvedManual {
+		t.Errorf("got (%v, %v), want (pup, manual)", typ, res)
+	}
+}
+
+func TestDefaultManualResolverDeterministic(t *testing.T) {
+	got := DefaultManualResolver([]dataset.MalwareType{dataset.TypePUP, dataset.TypeAdware}, nil)
+	// "adware" < "pup" lexicographically.
+	if got != dataset.TypeAdware {
+		t.Errorf("DefaultManualResolver = %v, want adware", got)
+	}
+	if DefaultManualResolver(nil, nil) != dataset.TypeUndefined {
+		t.Error("empty candidates should yield undefined")
+	}
+}
+
+func TestExtractSpecificityBeatsTrojanGeneric(t *testing.T) {
+	e := NewExtractor(nil)
+	// banker vs trojan 1-1 tie → banker (more specific), as in the
+	// paper's narrative.
+	typ, res := e.Extract(map[string]string{
+		"A": "Infostealer.Bancos",
+		"B": "Trojan:Win32/Agentab",
+	})
+	if typ != dataset.TypeBanker || res != ResolvedSpecificity {
+		t.Errorf("got (%v, %v), want (banker, specificity)", typ, res)
+	}
+}
+
+func TestExtractAllGenericIsUndefinedUnanimous(t *testing.T) {
+	e := NewExtractor(nil)
+	typ, res := e.Extract(map[string]string{
+		"McAfee":    "Artemis!AA",
+		"Kaspersky": "UDS:DangerousObject.Multi",
+	})
+	if typ != dataset.TypeUndefined || res != ResolvedUnanimous {
+		t.Errorf("got (%v, %v), want (undefined, unanimous)", typ, res)
+	}
+}
+
+func TestStats(t *testing.T) {
+	var s Stats
+	s.Observe(ResolvedUnanimous)
+	s.Observe(ResolvedUnanimous)
+	s.Observe(ResolvedVoting)
+	s.Observe(ResolvedManual)
+	s.Observe(ResolvedNone)
+	if s.Total != 5 {
+		t.Errorf("Total = %d", s.Total)
+	}
+	if got := s.Share(ResolvedUnanimous); got != 0.5 {
+		t.Errorf("Share(unanimous) = %v, want 0.5 (of 4 decided)", got)
+	}
+	if got := s.Share(ResolvedVoting); got != 0.25 {
+		t.Errorf("Share(voting) = %v, want 0.25", got)
+	}
+	var empty Stats
+	if empty.Share(ResolvedManual) != 0 {
+		t.Error("empty stats Share should be 0")
+	}
+}
+
+func TestResolutionString(t *testing.T) {
+	names := map[Resolution]string{
+		ResolvedNone: "none", ResolvedUnanimous: "unanimous",
+		ResolvedVoting: "voting", ResolvedSpecificity: "specificity",
+		ResolvedManual: "manual",
+	}
+	for r, want := range names {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(r), r.String(), want)
+		}
+	}
+}

@@ -1,0 +1,33 @@
+package avtype_test
+
+import (
+	"fmt"
+
+	"repro/internal/avtype"
+)
+
+// The paper's two worked examples from Section II-C.
+func ExampleExtractor_Extract() {
+	ex := avtype.NewExtractor(nil)
+
+	// Rule 1 (Voting): three Zbot labels indicate banker, one indicates
+	// dropper; banker wins the vote.
+	typ, res := ex.Extract(map[string]string{
+		"Symantec":  "Trojan.Zbot",
+		"McAfee":    "Downloader-FYH!6C7411D1C043",
+		"Kaspersky": "Trojan-Spy.Win32.Zbot.ruxa",
+		"Microsoft": "PWS:Win32/Zbot",
+	})
+	fmt.Println(typ, res)
+
+	// Rule 2 (Specificity): dropper vs a generic Artemis label; dropper
+	// is more specific.
+	typ, res = ex.Extract(map[string]string{
+		"Kaspersky": "Trojan-Downloader.Win32.Agent.heqj",
+		"McAfee":    "Artemis!DEC3771868CB",
+	})
+	fmt.Println(typ, res)
+	// Output:
+	// banker voting
+	// dropper specificity
+}

@@ -1,0 +1,341 @@
+package classify
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/part"
+)
+
+// mkInst builds a feature instance with the given file signer and class;
+// other features held constant.
+func mkInst(file, signer string, malicious bool) features.Instance {
+	return features.Instance{
+		Vector: features.Vector{
+			FileSigner:    signer,
+			FileCA:        "ca-of-" + signer,
+			FilePacker:    features.None,
+			ProcessSigner: "Google Inc",
+			ProcessCA:     "digicert",
+			ProcessPacker: features.None,
+			ProcessType:   "browser",
+			AlexaRank:     5000,
+		},
+		File:      dataset.FileHash("file-" + file),
+		Malicious: malicious,
+	}
+}
+
+// trainingSet builds a cleanly separable training set. Coverage is
+// staggered (GoodCo 40 > EvilCo 35 > GoodSoft 30) so PART extracts
+// conditioned rules for GoodCo and EvilCo before the residual
+// (GoodSoft) becomes pure and falls to the dropped default rule.
+func trainingSet() []features.Instance {
+	var out []features.Instance
+	for i := 0; i < 40; i++ {
+		out = append(out, mkInst(fmt.Sprintf("b%d", i), "GoodCo", false))
+	}
+	for i := 0; i < 35; i++ {
+		out = append(out, mkInst(fmt.Sprintf("m%d", i), "EvilCo", true))
+	}
+	for i := 0; i < 30; i++ {
+		out = append(out, mkInst(fmt.Sprintf("g%d", i), "GoodSoft", false))
+	}
+	return out
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, 0, Reject); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestTrainAndClassify(t *testing.T) {
+	clf, err := Train(trainingSet(), 0.001, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clf.Rules) == 0 {
+		t.Fatal("no rules selected")
+	}
+	benign, malicious := clf.RuleComposition()
+	if benign == 0 || malicious == 0 {
+		t.Errorf("rule composition benign=%d malicious=%d, want both > 0", benign, malicious)
+	}
+	v, matched := clf.ClassifyFile([]features.Instance{mkInst("new1", "EvilCo", false)})
+	if v != VerdictMalicious {
+		t.Errorf("EvilCo file = %v, want malicious", v)
+	}
+	if len(matched) == 0 {
+		t.Error("no attribution returned")
+	}
+	if v, _ := clf.ClassifyFile([]features.Instance{mkInst("new2", "GoodCo", false)}); v != VerdictBenign {
+		t.Errorf("GoodCo file = %v, want benign", v)
+	}
+	if v, _ := clf.ClassifyFile([]features.Instance{mkInst("new3", "NeverSeen Corp", false)}); v != VerdictNone {
+		t.Errorf("unseen signer = %v, want none", v)
+	}
+}
+
+func TestClassifyFileConflictRejection(t *testing.T) {
+	clf, err := Train(trainingSet(), 0.001, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A file downloaded twice: one event looks malicious, one benign.
+	group := []features.Instance{
+		mkInst("dual", "EvilCo", false),
+		mkInst("dual", "GoodCo", false),
+	}
+	if v, _ := clf.ClassifyFile(group); v != VerdictRejected {
+		t.Errorf("conflicting file = %v, want rejected", v)
+	}
+}
+
+func TestMajorityVotePolicy(t *testing.T) {
+	clf, err := Train(trainingSet(), 0.001, MajorityVote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := []features.Instance{
+		mkInst("dual", "EvilCo", false),
+		mkInst("dual", "GoodCo", false),
+	}
+	v, matched := clf.ClassifyFile(group)
+	// With exactly one rule per side this ties and is rejected; with
+	// more rules one side may win. Either way it must not abstain.
+	if v == VerdictNone {
+		t.Error("majority vote abstained on matched file")
+	}
+	if len(matched) < 2 {
+		t.Errorf("expected both rules to match, got %d", len(matched))
+	}
+}
+
+func TestMinRuleCoverageFilter(t *testing.T) {
+	// Two malicious instances with a unique signer: too little support
+	// for a malicious rule.
+	insts := trainingSet()
+	insts = append(insts,
+		mkInst("rare1", "RareEvil", true),
+		mkInst("rare2", "RareEvil", true),
+	)
+	clf, err := Train(insts, 0.001, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := clf.ClassifyFile([]features.Instance{mkInst("probe", "RareEvil", false)}); v == VerdictMalicious {
+		t.Error("low-support malicious rule survived selection")
+	}
+}
+
+func TestRescoringKillsContradictedRules(t *testing.T) {
+	// Signer "Mixed" appears on both classes; any rule on it must carry
+	// error and fail tau.
+	var insts []features.Instance
+	insts = append(insts, trainingSet()...)
+	for i := 0; i < 10; i++ {
+		insts = append(insts, mkInst(fmt.Sprintf("mm%d", i), "Mixed", true))
+		insts = append(insts, mkInst(fmt.Sprintf("mb%d", i), "Mixed", false))
+	}
+	clf, err := Train(insts, 0.001, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := clf.ClassifyFile([]features.Instance{mkInst("probe", "Mixed", false)}); v == VerdictMalicious || v == VerdictBenign {
+		t.Errorf("rule over contradicted signer survived: %v", v)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	clf, err := Train(trainingSet(), 0.001, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := []features.Instance{
+		mkInst("t1", "EvilCo", true),    // TP
+		mkInst("t2", "EvilCo", false),   // FP
+		mkInst("t3", "GoodCo", false),   // matched benign, correct
+		mkInst("t4", "GoodCo", true),    // FN
+		mkInst("t5", "Unmatched", true), // abstain
+	}
+	res := clf.Evaluate(test)
+	if res.MatchedMalicious != 2 {
+		t.Errorf("MatchedMalicious = %d, want 2", res.MatchedMalicious)
+	}
+	if res.MatchedBenign != 2 {
+		t.Errorf("MatchedBenign = %d, want 2", res.MatchedBenign)
+	}
+	if res.TruePositives != 1 || res.FalsePositives != 1 || res.FalseNegatives != 1 {
+		t.Errorf("TP=%d FP=%d FN=%d, want 1/1/1", res.TruePositives, res.FalsePositives, res.FalseNegatives)
+	}
+	if res.TPRate() != 0.5 || res.FPRate() != 0.5 {
+		t.Errorf("TPRate=%v FPRate=%v", res.TPRate(), res.FPRate())
+	}
+	if res.FPRules != 1 {
+		t.Errorf("FPRules = %d, want 1", res.FPRules)
+	}
+}
+
+func TestEvaluateEmptyRates(t *testing.T) {
+	var res EvalResult
+	if res.TPRate() != 0 || res.FPRate() != 0 {
+		t.Error("empty eval rates should be 0")
+	}
+}
+
+func TestClassifyUnknowns(t *testing.T) {
+	clf, err := Train(trainingSet(), 0.001, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unknowns := []features.Instance{
+		mkInst("u1", "EvilCo", false),
+		mkInst("u2", "GoodCo", false),
+		mkInst("u3", "Nobody", false),
+	}
+	res := clf.ClassifyUnknowns(unknowns, nil)
+	if res.Total != 3 {
+		t.Errorf("Total = %d", res.Total)
+	}
+	if res.Matched != 2 {
+		t.Errorf("Matched = %d, want 2", res.Matched)
+	}
+	if res.Malicious != 1 || res.Benign != 1 {
+		t.Errorf("Malicious=%d Benign=%d, want 1/1", res.Malicious, res.Benign)
+	}
+	if got := res.MatchRate(); got < 0.66 || got > 0.67 {
+		t.Errorf("MatchRate = %v", got)
+	}
+}
+
+func TestGroupByFileDeterministic(t *testing.T) {
+	insts := []features.Instance{
+		mkInst("b", "X", false),
+		mkInst("a", "X", false),
+		mkInst("b", "Y", false),
+	}
+	groups := GroupByFile(insts)
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	if groups[0][0].File != "file-a" {
+		t.Error("groups not sorted by file")
+	}
+	if len(groups[1]) != 2 {
+		t.Error("file-b group should have 2 instances")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		VerdictNone: "none", VerdictBenign: "benign",
+		VerdictMalicious: "malicious", VerdictRejected: "rejected",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q", int(v), v.String())
+		}
+	}
+}
+
+func TestSchema(t *testing.T) {
+	attrs, classes := Schema()
+	if len(attrs) != 8 {
+		t.Errorf("schema has %d attributes, want 8 (Table XV)", len(attrs))
+	}
+	numeric := 0
+	for _, a := range attrs {
+		if a.Numeric {
+			numeric++
+		}
+	}
+	if numeric != 1 {
+		t.Errorf("schema has %d numeric attributes, want 1 (Alexa rank)", numeric)
+	}
+	if len(classes) != 2 {
+		t.Errorf("classes = %v", classes)
+	}
+}
+
+func TestNewFromRules(t *testing.T) {
+	clf, err := Train(trainingSet(), 0.001, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := NewFromRules(clf.Rules, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := reloaded.ClassifyFile([]features.Instance{mkInst("x", "EvilCo", false)}); v != VerdictMalicious {
+		t.Errorf("reloaded classifier verdict = %v", v)
+	}
+	if _, err := NewFromRules(nil, Reject); err == nil {
+		t.Error("empty rule set accepted")
+	}
+	bad := clf.Rules[0]
+	bad.Conditions = nil
+	if _, err := NewFromRules([]part.Rule{bad}, Reject); err == nil {
+		t.Error("unconditioned rule accepted")
+	}
+	bad2 := clf.Rules[0]
+	bad2.Class = 7
+	if _, err := NewFromRules([]part.Rule{bad2}, Reject); err == nil {
+		t.Error("bad class accepted")
+	}
+}
+
+func TestRuleSetSerializationWorkflow(t *testing.T) {
+	// Full analyst loop: train -> export JSON -> reload -> classify.
+	clf, err := Train(trainingSet(), 0.001, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := part.EncodeRules(&buf, clf.Rules); err != nil {
+		t.Fatal(err)
+	}
+	attrs, _ := Schema()
+	rules, err := part.DecodeRules(&buf, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := NewFromRules(rules, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, signer := range []string{"EvilCo", "GoodCo"} {
+		orig, _ := clf.ClassifyFile([]features.Instance{mkInst("p", signer, false)})
+		got, _ := reloaded.ClassifyFile([]features.Instance{mkInst("p", signer, false)})
+		if orig != got {
+			t.Errorf("signer %s: reloaded verdict %v != original %v", signer, got, orig)
+		}
+	}
+}
+
+func TestTopRules(t *testing.T) {
+	clf, err := Train(trainingSet(), 0.001, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := []features.Instance{
+		mkInst("t1", "EvilCo", true),
+		mkInst("t2", "EvilCo", true),
+		mkInst("t3", "GoodCo", false),
+	}
+	hits := clf.TopRules(test, 5)
+	if len(hits) == 0 {
+		t.Fatal("no rule hits")
+	}
+	if hits[0].TruePositives != 2 {
+		t.Errorf("top rule TPs = %d, want 2", hits[0].TruePositives)
+	}
+	if hits[0].Rule == "" {
+		t.Error("rule text empty")
+	}
+	if got := clf.TopRules(test, 0); len(got) != len(hits) {
+		t.Error("k=0 should return all")
+	}
+}

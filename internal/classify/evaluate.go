@@ -1,0 +1,283 @@
+package classify
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/reputation"
+)
+
+// EvalResult summarizes one Table XVII test-window evaluation.
+type EvalResult struct {
+	// MatchedMalicious / MatchedBenign are the test files (by ground
+	// truth) that matched at least one rule and were not rejected for
+	// conflicts; TP and FP rates are computed over these, as in the
+	// paper ("rejecting a file in case of conflicting rules helps in
+	// reducing the errors").
+	MatchedMalicious int
+	MatchedBenign    int
+	// TruePositives: malicious test files classified malicious.
+	TruePositives int
+	// FalsePositives: benign test files classified malicious.
+	FalsePositives int
+	// FalseNegatives: malicious test files classified benign.
+	FalseNegatives int
+	// Rejected: matched test files with conflicting rules.
+	Rejected int
+	// FPRules: distinct rules involved in false positives.
+	FPRules int
+}
+
+// TPRate returns TruePositives / MatchedMalicious.
+func (e *EvalResult) TPRate() float64 {
+	if e.MatchedMalicious == 0 {
+		return 0
+	}
+	return float64(e.TruePositives) / float64(e.MatchedMalicious)
+}
+
+// FPRate returns FalsePositives / MatchedBenign.
+func (e *EvalResult) FPRate() float64 {
+	if e.MatchedBenign == 0 {
+		return 0
+	}
+	return float64(e.FalsePositives) / float64(e.MatchedBenign)
+}
+
+// Evaluate runs the classifier over labeled test instances, grouped per
+// file.
+func (c *Classifier) Evaluate(test []features.Instance) EvalResult {
+	var res EvalResult
+	fpRules := make(map[int]struct{})
+	for _, group := range GroupByFile(test) {
+		truthMalicious := group[0].Malicious
+		verdict, matched := c.ClassifyFile(group)
+		if verdict == VerdictNone {
+			continue
+		}
+		if verdict == VerdictRejected {
+			res.Rejected++
+			continue
+		}
+		if truthMalicious {
+			res.MatchedMalicious++
+		} else {
+			res.MatchedBenign++
+		}
+		switch verdict {
+		case VerdictMalicious:
+			if truthMalicious {
+				res.TruePositives++
+			} else {
+				res.FalsePositives++
+				for _, ri := range matched {
+					if c.Rules[ri].Class == ClassMalicious {
+						fpRules[ri] = struct{}{}
+					}
+				}
+			}
+		case VerdictBenign:
+			if truthMalicious {
+				res.FalseNegatives++
+			}
+		}
+	}
+	res.FPRules = len(fpRules)
+	return res
+}
+
+// UnknownResult summarizes the classification of unknown files
+// (Table XVII's "unknowns dataset" columns).
+type UnknownResult struct {
+	// Total is the number of distinct unknown files in the window.
+	Total int
+	// Matched is how many matched at least one rule (including rejects).
+	Matched int
+	// Malicious / Benign are the newly labeled files.
+	Malicious int
+	Benign    int
+	// Rejected matched conflicting rules.
+	Rejected int
+	// Machines is the number of distinct machines that downloaded a
+	// newly labeled unknown file.
+	Machines int
+}
+
+// MatchRate returns Matched / Total.
+func (u *UnknownResult) MatchRate() float64 {
+	if u.Total == 0 {
+		return 0
+	}
+	return float64(u.Matched) / float64(u.Total)
+}
+
+// ClassifyUnknowns labels unknown files and reports coverage. The store
+// is used to count affected machines.
+func (c *Classifier) ClassifyUnknowns(unknowns []features.Instance, store *dataset.Store) UnknownResult {
+	var res UnknownResult
+	labeledFiles := make(map[dataset.FileHash]struct{})
+	for _, group := range GroupByFile(unknowns) {
+		res.Total++
+		verdict, _ := c.ClassifyFile(group)
+		switch verdict {
+		case VerdictNone:
+			continue
+		case VerdictRejected:
+			res.Matched++
+			res.Rejected++
+		case VerdictMalicious:
+			res.Matched++
+			res.Malicious++
+			labeledFiles[group[0].File] = struct{}{}
+		case VerdictBenign:
+			res.Matched++
+			res.Benign++
+			labeledFiles[group[0].File] = struct{}{}
+		}
+	}
+	if store != nil && store.Frozen() {
+		machines := make(map[dataset.MachineID]struct{})
+		events := store.Events()
+		for f := range labeledFiles {
+			for _, idx := range store.EventsForFile(f) {
+				machines[events[idx].Machine] = struct{}{}
+			}
+		}
+		res.Machines = len(machines)
+	}
+	return res
+}
+
+// WindowResult is one train/test window of the monthly evaluation.
+type WindowResult struct {
+	TrainMonth dataset.Month
+	TestMonth  dataset.Month
+	Tau        float64
+
+	// RulesTotal is the full PART output size; RulesSelected the
+	// tau-filtered count, split into benign/malicious conclusions
+	// (Table XVI).
+	RulesTotal     int
+	RulesSelected  int
+	RulesBenign    int
+	RulesMalicious int
+
+	Eval     EvalResult
+	Unknowns UnknownResult
+
+	Classifier *Classifier
+}
+
+// RunMonthlyWindows trains on each month and tests on the next
+// (Jan→Feb, ..., Jun→Jul), at each tau, mirroring Tables XVI and XVII.
+// The store must be frozen and fully labeled.
+func RunMonthlyWindows(store *dataset.Store, oracle *reputation.Oracle, taus []float64, policy ConflictPolicy) ([]WindowResult, error) {
+	if store == nil || !store.Frozen() {
+		return nil, fmt.Errorf("classify: store must be frozen")
+	}
+	if len(taus) == 0 {
+		taus = []float64{0.0, 0.001}
+	}
+	ex, err := features.NewExtractor(store, oracle)
+	if err != nil {
+		return nil, err
+	}
+	months := store.Months()
+	var out []WindowResult
+	for i := 0; i+1 < len(months); i++ {
+		trainIdx := store.EventIndexesInMonth(months[i])
+		testIdx := store.EventIndexesInMonth(months[i+1])
+		trainInsts, err := ex.Instances(trainIdx)
+		if err != nil {
+			return nil, err
+		}
+		testInsts, err := ex.Instances(testIdx)
+		if err != nil {
+			return nil, err
+		}
+		unknownInsts, err := ex.UnknownInstances(testIdx)
+		if err != nil {
+			return nil, err
+		}
+		// The paper guarantees the train/test intersection is empty:
+		// drop test files already seen in training.
+		trainFiles := make(map[dataset.FileHash]struct{}, len(trainInsts))
+		for _, in := range trainInsts {
+			trainFiles[in.File] = struct{}{}
+		}
+		var cleanTest []features.Instance
+		for _, in := range testInsts {
+			if _, seen := trainFiles[in.File]; !seen {
+				cleanTest = append(cleanTest, in)
+			}
+		}
+		for _, tau := range taus {
+			clf, err := Train(trainInsts, tau, policy)
+			if err != nil {
+				return nil, fmt.Errorf("classify: window %v tau %v: %w", months[i], tau, err)
+			}
+			wb, wm := clf.RuleComposition()
+			wr := WindowResult{
+				TrainMonth:     months[i],
+				TestMonth:      months[i+1],
+				Tau:            tau,
+				RulesTotal:     len(clf.AllRules),
+				RulesSelected:  len(clf.Rules),
+				RulesBenign:    wb,
+				RulesMalicious: wm,
+				Eval:           clf.Evaluate(cleanTest),
+				Unknowns:       clf.ClassifyUnknowns(unknownInsts, store),
+				Classifier:     clf,
+			}
+			out = append(out, wr)
+		}
+	}
+	return out, nil
+}
+
+// RuleHit reports how often one rule correctly fired on malicious test
+// files (the paper's Section VII lists the rules "responsible for
+// correctly labeling many malicious downloads").
+type RuleHit struct {
+	RuleIndex int
+	Rule      string
+	// TruePositives counts malicious files this rule helped classify
+	// correctly.
+	TruePositives int
+}
+
+// TopRules returns the selected rules ranked by the number of malicious
+// test files they correctly fired on.
+func (c *Classifier) TopRules(test []features.Instance, k int) []RuleHit {
+	hits := make(map[int]int)
+	for _, group := range GroupByFile(test) {
+		if !group[0].Malicious {
+			continue
+		}
+		verdict, matched := c.ClassifyFile(group)
+		if verdict != VerdictMalicious {
+			continue
+		}
+		for _, ri := range matched {
+			if c.Rules[ri].Class == ClassMalicious {
+				hits[ri]++
+			}
+		}
+	}
+	out := make([]RuleHit, 0, len(hits))
+	for ri, n := range hits {
+		out = append(out, RuleHit{RuleIndex: ri, Rule: c.Rules[ri].String(), TruePositives: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TruePositives != out[j].TruePositives {
+			return out[i].TruePositives > out[j].TruePositives
+		}
+		return out[i].RuleIndex < out[j].RuleIndex
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package classify
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/reputation"
+)
+
+// buildWindowStore hand-crafts a two-month store: January provides
+// training ground truth (EvilCo malicious, GoodCo benign), February
+// provides labeled test files plus unknowns with the same signers.
+func buildWindowStore(t *testing.T) (*dataset.Store, *reputation.Oracle) {
+	t.Helper()
+	store := dataset.NewStore()
+	put := func(hash, signer string) {
+		t.Helper()
+		if err := store.PutFile(&dataset.FileMeta{
+			Hash: dataset.FileHash(hash), Signer: signer, CA: "ca-" + signer,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put("proc", "Google Inc")
+	add := func(hash string, day int, month time.Month) {
+		t.Helper()
+		if err := store.AddEvent(dataset.DownloadEvent{
+			File: dataset.FileHash(hash), Machine: dataset.MachineID("m-" + hash),
+			Process: "proc", URL: "http://host.com/" + hash, Domain: "host.com",
+			Time:     time.Date(2014, month, day, 0, 0, 0, 0, time.UTC),
+			Executed: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	truth := func(hash string, label dataset.Label) {
+		t.Helper()
+		if err := store.SetTruth(dataset.FileHash(hash), dataset.GroundTruth{Label: label}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// January training: staggered coverage as in the classify tests.
+	for i := 0; i < 40; i++ {
+		h := fmt.Sprintf("jan-ben-%02d", i)
+		put(h, "GoodCo")
+		add(h, i%27+1, time.January)
+		truth(h, dataset.LabelBenign)
+	}
+	for i := 0; i < 35; i++ {
+		h := fmt.Sprintf("jan-mal-%02d", i)
+		put(h, "EvilCo")
+		add(h, i%27+1, time.January)
+		truth(h, dataset.LabelMalicious)
+	}
+	for i := 0; i < 30; i++ {
+		h := fmt.Sprintf("jan-oth-%02d", i)
+		put(h, "GoodSoft")
+		add(h, i%27+1, time.January)
+		truth(h, dataset.LabelBenign)
+	}
+	// February test files and unknowns.
+	for i := 0; i < 10; i++ {
+		h := fmt.Sprintf("feb-mal-%02d", i)
+		put(h, "EvilCo")
+		add(h, i+1, time.February)
+		truth(h, dataset.LabelMalicious)
+		h = fmt.Sprintf("feb-ben-%02d", i)
+		put(h, "GoodCo")
+		add(h, i+1, time.February)
+		truth(h, dataset.LabelBenign)
+		h = fmt.Sprintf("feb-unk-%02d", i)
+		put(h, "EvilCo")
+		add(h, i+1, time.February)
+	}
+	store.Freeze()
+	return store, reputation.NewOracle(nil, nil, nil, nil, nil, nil)
+}
+
+func TestRunMonthlyWindows(t *testing.T) {
+	store, oracle := buildWindowStore(t)
+	windows, err := RunMonthlyWindows(store, oracle, []float64{0.001}, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 1 {
+		t.Fatalf("windows = %d, want 1 (Jan->Feb)", len(windows))
+	}
+	w := windows[0]
+	if w.TrainMonth.String() != "2014-01" || w.TestMonth.String() != "2014-02" {
+		t.Errorf("window months = %v -> %v", w.TrainMonth, w.TestMonth)
+	}
+	if w.RulesSelected == 0 {
+		t.Fatal("no rules selected")
+	}
+	if w.Eval.MatchedMalicious != 10 || w.Eval.TruePositives != 10 {
+		t.Errorf("eval = %+v", w.Eval)
+	}
+	if w.Eval.FalsePositives != 0 {
+		t.Errorf("FP = %d on separable data", w.Eval.FalsePositives)
+	}
+	// All 10 unknowns carry EvilCo's signature and must be labeled
+	// malicious.
+	if w.Unknowns.Total != 10 || w.Unknowns.Malicious != 10 {
+		t.Errorf("unknowns = %+v", w.Unknowns)
+	}
+	if w.Unknowns.Machines != 10 {
+		t.Errorf("unknown machines = %d, want 10", w.Unknowns.Machines)
+	}
+}
+
+func TestRunMonthlyWindowsDefaultTaus(t *testing.T) {
+	store, oracle := buildWindowStore(t)
+	windows, err := RunMonthlyWindows(store, oracle, nil, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 2 {
+		t.Errorf("default taus should yield 2 windows (0.0 and 0.1%%), got %d", len(windows))
+	}
+}
+
+func TestRunMonthlyWindowsValidation(t *testing.T) {
+	_, oracle := buildWindowStore(t)
+	if _, err := RunMonthlyWindows(nil, oracle, nil, Reject); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := RunMonthlyWindows(dataset.NewStore(), oracle, nil, Reject); err == nil {
+		t.Error("unfrozen store accepted")
+	}
+}
+
+func TestRunMonthlyWindowsTrainTestDisjoint(t *testing.T) {
+	// A file seen in both months must be excluded from the test set:
+	// matched counts must not include it.
+	store := dataset.NewStore()
+	if err := store.PutFile(&dataset.FileMeta{Hash: "proc", Signer: "P"}); err != nil {
+		t.Fatal(err)
+	}
+	add := func(hash, signer string, day int, month time.Month, label dataset.Label) {
+		t.Helper()
+		if err := store.PutFile(&dataset.FileMeta{Hash: dataset.FileHash(hash), Signer: signer}); err != nil {
+			t.Fatal(err)
+		}
+		if err := store.AddEvent(dataset.DownloadEvent{
+			File: dataset.FileHash(hash), Machine: "m1", Process: "proc",
+			URL: "http://x.com/" + hash, Domain: "x.com",
+			Time:     time.Date(2014, month, day, 0, 0, 0, 0, time.UTC),
+			Executed: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if label != dataset.LabelUnknown {
+			if err := store.SetTruth(dataset.FileHash(hash), dataset.GroundTruth{Label: label}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 10; i++ {
+		add(fmt.Sprintf("mal%d", i), "Evil", i+1, time.January, dataset.LabelMalicious)
+		add(fmt.Sprintf("ben%d", i), "Good", i+1, time.January, dataset.LabelBenign)
+	}
+	// The crossover file appears in January AND February.
+	add("crossover", "Evil", 28, time.January, dataset.LabelMalicious)
+	if err := store.AddEvent(dataset.DownloadEvent{
+		File: "crossover", Machine: "m2", Process: "proc",
+		URL: "http://x.com/crossover", Domain: "x.com",
+		Time:     time.Date(2014, time.February, 2, 0, 0, 0, 0, time.UTC),
+		Executed: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	store.Freeze()
+	oracle := reputation.NewOracle(nil, nil, nil, nil, nil, nil)
+	windows, err := RunMonthlyWindows(store, oracle, []float64{0.001}, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := windows[0].Eval.MatchedMalicious; got != 0 {
+		t.Errorf("crossover file leaked into test set: matched malicious = %d", got)
+	}
+}

@@ -1,0 +1,230 @@
+package dataset
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func makeEvent(file, machine string, day int) DownloadEvent {
+	return DownloadEvent{
+		File:     FileHash(file),
+		Machine:  MachineID(machine),
+		Process:  "proc1",
+		URL:      "http://example.com/" + file,
+		Domain:   "example.com",
+		Time:     time.Date(2014, time.January, day, 12, 0, 0, 0, time.UTC),
+		Executed: true,
+	}
+}
+
+func TestStoreAddAndFreeze(t *testing.T) {
+	s := NewStore()
+	if err := s.AddEvent(makeEvent("f1", "m1", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddEvent(makeEvent("f1", "m2", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddEvent(makeEvent("f2", "m1", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Frozen() {
+		t.Error("store should not be frozen yet")
+	}
+	s.Freeze()
+	if !s.Frozen() {
+		t.Error("store should be frozen")
+	}
+	evs := s.Events()
+	if len(evs) != 3 {
+		t.Fatalf("NumEvents = %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Time.Before(evs[i-1].Time) {
+			t.Error("events not sorted by time after Freeze")
+		}
+	}
+}
+
+func TestStoreRejectsWritesAfterFreeze(t *testing.T) {
+	s := NewStore()
+	s.Freeze()
+	if err := s.AddEvent(makeEvent("f", "m", 1)); err == nil {
+		t.Error("AddEvent after Freeze should fail")
+	}
+	if err := s.PutFile(&FileMeta{Hash: "f"}); err == nil {
+		t.Error("PutFile after Freeze should fail")
+	}
+	if err := s.SetTruth("f", GroundTruth{Label: LabelBenign}); err == nil {
+		t.Error("SetTruth after Freeze should fail")
+	}
+	if err := s.SetURLVerdict("example.com", URLBenign); err == nil {
+		t.Error("SetURLVerdict after Freeze should fail")
+	}
+}
+
+func TestStoreRejectsInvalidInput(t *testing.T) {
+	s := NewStore()
+	if err := s.AddEvent(DownloadEvent{}); err == nil {
+		t.Error("invalid event accepted")
+	}
+	if err := s.PutFile(nil); err == nil {
+		t.Error("nil file meta accepted")
+	}
+	if err := s.PutFile(&FileMeta{}); err == nil {
+		t.Error("hashless file meta accepted")
+	}
+	if err := s.SetTruth("", GroundTruth{}); err == nil {
+		t.Error("empty hash truth accepted")
+	}
+	if err := s.SetURLVerdict("", URLBenign); err == nil {
+		t.Error("empty domain verdict accepted")
+	}
+}
+
+func TestStorePrevalence(t *testing.T) {
+	s := NewStore()
+	// f1 downloaded by two distinct machines, one of them twice.
+	for _, e := range []DownloadEvent{
+		makeEvent("f1", "m1", 1),
+		makeEvent("f1", "m1", 2),
+		makeEvent("f1", "m2", 3),
+		makeEvent("f2", "m3", 4),
+	} {
+		if err := s.AddEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Freeze()
+	if got := s.Prevalence("f1"); got != 2 {
+		t.Errorf("Prevalence(f1) = %d, want 2 (distinct machines)", got)
+	}
+	if got := s.Prevalence("f2"); got != 1 {
+		t.Errorf("Prevalence(f2) = %d, want 1", got)
+	}
+	if got := s.Prevalence("missing"); got != 0 {
+		t.Errorf("Prevalence(missing) = %d, want 0", got)
+	}
+}
+
+func TestStoreIndexes(t *testing.T) {
+	s := NewStore()
+	for _, e := range []DownloadEvent{
+		makeEvent("f1", "m1", 5),
+		makeEvent("f1", "m2", 1),
+		makeEvent("f2", "m1", 3),
+	} {
+		if err := s.AddEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Freeze()
+	evs := s.Events()
+	f1idx := s.EventsForFile("f1")
+	if len(f1idx) != 2 {
+		t.Fatalf("EventsForFile(f1) = %d entries", len(f1idx))
+	}
+	if !evs[f1idx[0]].Time.Before(evs[f1idx[1]].Time) {
+		t.Error("file events not in time order")
+	}
+	m1idx := s.EventsForMachine("m1")
+	if len(m1idx) != 2 {
+		t.Fatalf("EventsForMachine(m1) = %d entries", len(m1idx))
+	}
+	if !evs[m1idx[0]].Time.Before(evs[m1idx[1]].Time) {
+		t.Error("machine events not in time order")
+	}
+	if got := len(s.Machines()); got != 2 {
+		t.Errorf("Machines = %d, want 2", got)
+	}
+	if got := len(s.DownloadedFiles()); got != 2 {
+		t.Errorf("DownloadedFiles = %d, want 2", got)
+	}
+}
+
+func TestStoreTruthAndVerdicts(t *testing.T) {
+	s := NewStore()
+	if err := s.SetTruth("f1", GroundTruth{Label: LabelMalicious, Type: TypeDropper, Family: "zbot"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetURLVerdict("bad.com", URLMalicious); err != nil {
+		t.Fatal(err)
+	}
+	gt := s.Truth("f1")
+	if gt.Label != LabelMalicious || gt.Type != TypeDropper || gt.Family != "zbot" {
+		t.Errorf("Truth = %+v", gt)
+	}
+	if s.Label("f1") != LabelMalicious {
+		t.Error("Label shorthand wrong")
+	}
+	if s.Label("never-seen") != LabelUnknown {
+		t.Error("unlabeled file should be unknown")
+	}
+	if s.URLVerdict("bad.com") != URLMalicious {
+		t.Error("URL verdict lost")
+	}
+	if s.URLVerdict("neutral.com") != URLUnknown {
+		t.Error("unrecorded domain should be unknown")
+	}
+}
+
+func TestStoreFileMeta(t *testing.T) {
+	s := NewStore()
+	meta := &FileMeta{Hash: "f1", Signer: "ACME", Size: 1000}
+	if err := s.PutFile(meta); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.File("f1"); got == nil || got.Signer != "ACME" {
+		t.Errorf("File(f1) = %+v", got)
+	}
+	if s.File("nope") != nil {
+		t.Error("missing file should return nil")
+	}
+	if got := len(s.Files()); got != 1 {
+		t.Errorf("Files() = %d entries", got)
+	}
+}
+
+func TestStoreMonths(t *testing.T) {
+	s := NewStore()
+	mk := func(mon time.Month, day int) DownloadEvent {
+		e := makeEvent(fmt.Sprintf("f-%d-%d", mon, day), "m1", 1)
+		e.Time = time.Date(2014, mon, day, 0, 0, 0, 0, time.UTC)
+		return e
+	}
+	for _, e := range []DownloadEvent{
+		mk(time.March, 5), mk(time.January, 10), mk(time.January, 20), mk(time.February, 1),
+	} {
+		if err := s.AddEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Freeze()
+	months := s.Months()
+	want := []Month{{2014, time.January}, {2014, time.February}, {2014, time.March}}
+	if len(months) != len(want) {
+		t.Fatalf("Months = %v", months)
+	}
+	for i := range want {
+		if months[i] != want[i] {
+			t.Errorf("Months[%d] = %v, want %v", i, months[i], want[i])
+		}
+	}
+	jan := s.EventIndexesInMonth(Month{2014, time.January})
+	if len(jan) != 2 {
+		t.Errorf("January events = %d, want 2", len(jan))
+	}
+}
+
+func TestStoreFreezeIdempotent(t *testing.T) {
+	s := NewStore()
+	if err := s.AddEvent(makeEvent("f1", "m1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Freeze()
+	s.Freeze() // must not panic or duplicate indexes
+	if got := s.Prevalence("f1"); got != 1 {
+		t.Errorf("Prevalence after double Freeze = %d", got)
+	}
+}

@@ -1,0 +1,128 @@
+// Package etld extracts effective second-level domains (e2LDs) from
+// hostnames and URLs, mirroring the domain grouping the paper applies to
+// download URLs ("effective second-level domains (e2LDs)").
+//
+// A full public-suffix list is unnecessary for the synthetic corpus; the
+// package embeds the multi-label suffixes that actually occur in the
+// paper's tables (e.g. com.br, co.uk, co.vu) plus the common generic and
+// country-code TLDs, and falls back to the rightmost two labels
+// otherwise, which matches the e2LD definition for single-label suffixes.
+package etld
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// multiLabelSuffixes lists public suffixes that span two labels. Keys are
+// the suffix without a leading dot.
+var multiLabelSuffixes = map[string]bool{
+	"com.br": true, "net.br": true, "org.br": true, "gov.br": true,
+	"co.uk": true, "org.uk": true, "ac.uk": true, "gov.uk": true, "me.uk": true,
+	"co.jp": true, "ne.jp": true, "or.jp": true, "ac.jp": true, "go.jp": true,
+	"co.kr": true, "or.kr": true, "re.kr": true,
+	"com.cn": true, "net.cn": true, "org.cn": true, "gov.cn": true,
+	"com.au": true, "net.au": true, "org.au": true,
+	"co.in": true, "net.in": true, "org.in": true, "gen.in": true,
+	"com.mx": true, "com.ar": true, "com.tr": true, "com.tw": true,
+	"co.za": true, "co.nz": true, "co.il": true, "co.th": true,
+	"com.sg": true, "com.my": true, "com.hk": true, "com.ph": true,
+	"com.vn": true, "com.ua": true, "com.pl": true, "com.ru": true,
+	"co.vu": true, "com.vu": true,
+	"co.id": true, "web.id": true,
+}
+
+// Domain returns the effective second-level domain of host. The host may
+// include a port, which is stripped. It returns an error for empty hosts,
+// IP addresses, and single-label hosts (which have no registrable e2LD).
+func Domain(host string) (string, error) {
+	h := strings.ToLower(strings.TrimSuffix(strings.TrimSpace(host), "."))
+	if i := strings.LastIndexByte(h, ':'); i >= 0 && !strings.Contains(h, "]") {
+		// Strip a port unless this is a bracketed IPv6 literal.
+		if _, err := parsePort(h[i+1:]); err == nil {
+			h = h[:i]
+		}
+	}
+	if h == "" {
+		return "", fmt.Errorf("etld: empty host")
+	}
+	if isIPLike(h) {
+		return "", fmt.Errorf("etld: host %q is an IP address", host)
+	}
+	labels := strings.Split(h, ".")
+	if len(labels) < 2 {
+		return "", fmt.Errorf("etld: host %q has no registrable domain", host)
+	}
+	for _, l := range labels {
+		if l == "" {
+			return "", fmt.Errorf("etld: host %q has an empty label", host)
+		}
+	}
+	// Check for a two-label public suffix; the e2LD then spans three
+	// labels (example.com.br).
+	if len(labels) >= 3 {
+		suffix := labels[len(labels)-2] + "." + labels[len(labels)-1]
+		if multiLabelSuffixes[suffix] {
+			return strings.Join(labels[len(labels)-3:], "."), nil
+		}
+	}
+	if len(labels) == 2 && multiLabelSuffixes[h] {
+		return "", fmt.Errorf("etld: host %q is a bare public suffix", host)
+	}
+	return strings.Join(labels[len(labels)-2:], "."), nil
+}
+
+// FromURL extracts the e2LD of the host component of rawURL. A scheme is
+// optional; bare hosts are accepted.
+func FromURL(rawURL string) (string, error) {
+	s := strings.TrimSpace(rawURL)
+	if s == "" {
+		return "", fmt.Errorf("etld: empty url")
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	u, err := url.Parse(s)
+	if err != nil {
+		return "", fmt.Errorf("etld: parse url %q: %w", rawURL, err)
+	}
+	if u.Host == "" {
+		return "", fmt.Errorf("etld: url %q has no host", rawURL)
+	}
+	return Domain(u.Host)
+}
+
+func parsePort(s string) (int, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty port")
+	}
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("non-numeric port")
+		}
+		n = n*10 + int(c-'0')
+		if n > 65535 {
+			return 0, fmt.Errorf("port out of range")
+		}
+	}
+	return n, nil
+}
+
+func isIPLike(h string) bool {
+	if strings.HasPrefix(h, "[") || strings.Contains(h, ":") {
+		return true // IPv6 literal
+	}
+	dots := 0
+	digitsOnly := true
+	for _, c := range h {
+		switch {
+		case c == '.':
+			dots++
+		case c < '0' || c > '9':
+			digitsOnly = false
+		}
+	}
+	return digitsOnly && dots == 3
+}

@@ -1,0 +1,123 @@
+package etld
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDomain(t *testing.T) {
+	tests := []struct {
+		host string
+		want string
+	}{
+		{"softonic.com", "softonic.com"},
+		{"www.softonic.com", "softonic.com"},
+		{"dl.cdn.softonic.com", "softonic.com"},
+		{"nzs.com.br", "nzs.com.br"},
+		{"files.nzs.com.br", "nzs.com.br"},
+		{"softonic.com.br", "softonic.com.br"},
+		{"example.co.uk", "example.co.uk"},
+		{"a.b.example.co.uk", "example.co.uk"},
+		{"ge.tt", "ge.tt"},
+		{"x.co.vu", "x.co.vu"},
+		{"wipmsc.ru", "wipmsc.ru"},
+		{"5k-stopadware2014.in", "5k-stopadware2014.in"},
+		{"SOFTONIC.COM", "softonic.com"},
+		{"softonic.com.", "softonic.com"},
+		{"softonic.com:8080", "softonic.com"},
+	}
+	for _, tt := range tests {
+		got, err := Domain(tt.host)
+		if err != nil {
+			t.Errorf("Domain(%q) error: %v", tt.host, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("Domain(%q) = %q, want %q", tt.host, got, tt.want)
+		}
+	}
+}
+
+func TestDomainErrors(t *testing.T) {
+	for _, host := range []string{
+		"", "localhost", "192.168.1.1", "com", "com.br",
+		"::1", "[fe80::1]:80", "a..b.com",
+	} {
+		if got, err := Domain(host); err == nil {
+			t.Errorf("Domain(%q) = %q, want error", host, got)
+		}
+	}
+}
+
+func TestFromURL(t *testing.T) {
+	tests := []struct {
+		url  string
+		want string
+	}{
+		{"http://dl.softonic.com/path/file.exe", "softonic.com"},
+		{"https://cdn.mediafire.com/x?y=1", "mediafire.com"},
+		{"inbox.com/download/setup.exe", "inbox.com"},
+		{"http://files.nzs.com.br:8080/a.exe", "nzs.com.br"},
+	}
+	for _, tt := range tests {
+		got, err := FromURL(tt.url)
+		if err != nil {
+			t.Errorf("FromURL(%q) error: %v", tt.url, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("FromURL(%q) = %q, want %q", tt.url, got, tt.want)
+		}
+	}
+}
+
+func TestFromURLErrors(t *testing.T) {
+	for _, u := range []string{"", "http://", "http://192.0.2.7/x.exe"} {
+		if got, err := FromURL(u); err == nil {
+			t.Errorf("FromURL(%q) = %q, want error", u, got)
+		}
+	}
+}
+
+// Property: the e2LD is always a suffix of the input host and contains at
+// least one dot.
+func TestDomainSuffixProperty(t *testing.T) {
+	f := func(sub, name uint16) bool {
+		host := hostFrom(sub, name)
+		d, err := Domain(host)
+		if err != nil {
+			return true // malformed synthesized host; fine
+		}
+		return strings.HasSuffix(host, d) && strings.Contains(d, ".")
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Domain is idempotent — extracting the e2LD of an e2LD returns
+// the same value.
+func TestDomainIdempotentProperty(t *testing.T) {
+	f := func(sub, name uint16) bool {
+		host := hostFrom(sub, name)
+		d, err := Domain(host)
+		if err != nil {
+			return true
+		}
+		d2, err := Domain(d)
+		if err != nil {
+			return false
+		}
+		return d == d2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func hostFrom(sub, name uint16) string {
+	subs := []string{"", "www.", "dl.cdn.", "a.b.c."}
+	names := []string{"example.com", "nzs.com.br", "site.co.uk", "ge.tt", "files.net"}
+	return subs[int(sub)%len(subs)] + names[int(name)%len(names)]
+}

@@ -1,0 +1,45 @@
+package etld
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzFromURL asserts the parser never panics and that any returned
+// e2LD is a non-empty suffix of some label sequence with at least one
+// dot.
+func FuzzFromURL(f *testing.F) {
+	for _, seed := range []string{
+		"http://dl.softonic.com/file.exe",
+		"softonic.com.br",
+		"http://192.0.2.1/x",
+		"https://[::1]:8080/y",
+		"http://a..b.com",
+		"ftp://x.co.uk:21/z",
+		"http://", "", "://", "com", "co.vu",
+		"http://example.com:99999/",
+		strings.Repeat("a.", 100) + "com",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		d, err := FromURL(raw)
+		if err != nil {
+			return
+		}
+		if d == "" {
+			t.Fatalf("FromURL(%q) returned empty domain without error", raw)
+		}
+		if !strings.Contains(d, ".") {
+			t.Fatalf("FromURL(%q) = %q lacks a dot", raw, d)
+		}
+		if strings.HasPrefix(d, ".") || strings.HasSuffix(d, ".") {
+			t.Fatalf("FromURL(%q) = %q has dangling dot", raw, d)
+		}
+		// Idempotence: the e2LD of an e2LD is itself.
+		d2, err := Domain(d)
+		if err != nil || d2 != d {
+			t.Fatalf("Domain(%q) = (%q, %v), want idempotent", d, d2, err)
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/classify"
+	"repro/internal/dataset"
+)
+
+// TestHeadlineResults pins the paper's headline claims end to end on the
+// shared pipeline; a regression in any substrate (generator, labeling,
+// learner) that breaks a headline shape fails here.
+func TestHeadlineResults(t *testing.T) {
+	p := sharedTestPipeline(t)
+
+	// 1. The long tail: unknown files dominate.
+	_, overall := p.Analyzer.MonthlySummaries()
+	if got := overall.Files.Share(dataset.LabelUnknown); got < 0.72 || got > 0.90 {
+		t.Errorf("unknown file share = %.3f, want ~0.83", got)
+	}
+
+	// 2. Prevalence-1 files dominate and unknowns drive the tail.
+	ps := p.Analyzer.Prevalence()
+	if got := ps.All.Fraction(1); got < 0.80 {
+		t.Errorf("prevalence-1 share = %.3f, want ~0.90", got)
+	}
+
+	// 3. Malicious files sign more than benign (Table VI inversion).
+	var mal, ben *analysis.SigningRow
+	rows := p.Analyzer.SigningByPopulation()
+	for i := range rows {
+		switch rows[i].Name {
+		case "malicious":
+			mal = &rows[i]
+		case "benign":
+			ben = &rows[i]
+		}
+	}
+	if mal == nil || ben == nil {
+		t.Fatal("signing rows missing")
+	}
+	if mal.SignedShare() <= ben.SignedShare() {
+		t.Errorf("malicious signed %.2f <= benign %.2f", mal.SignedShare(), ben.SignedShare())
+	}
+
+	// 4. The classifier: high TP, few absolute FPs, meaningful unknown
+	// coverage (aggregated across all windows).
+	windows, err := runWindows(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tpN, tpD, fpN, unkTotal, unkMatched int
+	for _, w := range windows {
+		if w.Tau != 0.001 {
+			continue
+		}
+		tpN += w.Eval.TruePositives
+		tpD += w.Eval.MatchedMalicious
+		fpN += w.Eval.FalsePositives
+		unkTotal += w.Unknowns.Total
+		unkMatched += w.Unknowns.Matched
+	}
+	if tpD == 0 {
+		t.Fatal("no matched malicious test files")
+	}
+	if tp := float64(tpN) / float64(tpD); tp < 0.95 {
+		t.Errorf("aggregate TP = %.3f, want >= 0.95 (paper > 0.95)", tp)
+	}
+	if fpN > tpD/10 {
+		t.Errorf("aggregate FP files = %d vs %d matched malicious; FPs should stay a small handful", fpN, tpD)
+	}
+	if unkTotal == 0 {
+		t.Fatal("no unknowns in test windows")
+	}
+	if share := float64(unkMatched) / float64(unkTotal); share < 0.15 || share > 0.65 {
+		t.Errorf("unknown match share = %.3f, want ~0.28-0.38", share)
+	}
+
+	// 5. Conflict rejection stays rare but available.
+	clf, err := classify.Train(nil, 0, classify.Reject)
+	if err == nil {
+		t.Error("empty training accepted")
+	}
+	_ = clf
+}

@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/avtype"
+	"repro/internal/classify"
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/report"
+)
+
+// evalTaus are the rule-selection thresholds Tables XVI/XVII compare.
+var evalTaus = []float64{0.0, 0.001}
+
+// runWindows memoizes the monthly-window evaluation on the pipeline.
+func runWindows(p *Pipeline) ([]classify.WindowResult, error) {
+	if p.windows == nil {
+		ws, err := classify.RunMonthlyWindows(p.Store, p.Result.Oracle, evalTaus, classify.Reject)
+		if err != nil {
+			return nil, err
+		}
+		p.windows = ws
+	}
+	return p.windows, nil
+}
+
+// TableXVI renders per-window rule extraction statistics.
+func TableXVI(p *Pipeline, w io.Writer) error {
+	windows, err := runWindows(p)
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable("Table XVI: extracted rules per training window",
+		"T_tr", "tau", "overall rules", "selected", "benign", "malicious")
+	for _, win := range windows {
+		tbl.AddRow(win.TrainMonth.String(), report.Pct2(win.Tau),
+			report.Count(win.RulesTotal), report.Count(win.RulesSelected),
+			report.Count(win.RulesBenign), report.Count(win.RulesMalicious))
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "paper (at scale 1.0): e.g. Feb: 1,766 rules overall, 1,020 selected at tau=0.0%% (889 benign / 131 malicious), 1,031 at tau=0.1%%; rule counts scale with training volume\n")
+	fmt.Fprintf(w, "note: at reduced scale, rules rarely sit between the two tau thresholds, so the selected counts often coincide\n\n")
+	return nil
+}
+
+// TableXVII renders the classifier evaluation and unknown-file labeling.
+func TableXVII(p *Pipeline, w io.Writer) error {
+	windows, err := runWindows(p)
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable("Table XVII: test evaluation and unknown classification",
+		"T_tr->T_ts", "tau", "#mal", "TP", "#ben", "FP", "#FP rules", "rejected",
+		"#unk", "matched", "unk->mal", "unk->ben")
+	for _, win := range windows {
+		tbl.AddRow(
+			fmt.Sprintf("%s->%s", win.TrainMonth, win.TestMonth),
+			report.Pct2(win.Tau),
+			report.Count(win.Eval.MatchedMalicious), report.Pct2(win.Eval.TPRate()),
+			report.Count(win.Eval.MatchedBenign), report.Pct2(win.Eval.FPRate()),
+			report.Count(win.Eval.FPRules), report.Count(win.Eval.Rejected),
+			report.Count(win.Unknowns.Total), report.Pct(win.Unknowns.MatchRate()),
+			report.Count(win.Unknowns.Malicious), report.Count(win.Unknowns.Benign),
+		)
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "paper: TP > 95%% and FP < 0.32%% at tau=0.1%% across all windows (FP counts of 0-8 rules); 22-38%% of each window's unknowns match rules, most labeled malicious\n")
+	fmt.Fprintf(w, "note: measured FP rates carry small-denominator noise at reduced scale; compare absolute FP file counts instead (paper: a handful per window)\n\n")
+	return nil
+}
+
+// RuleStats renders Section VII's rule introspection and the
+// ground-truth expansion result.
+func RuleStats(p *Pipeline, w io.Writer) error {
+	windows, err := runWindows(p)
+	if err != nil {
+		return err
+	}
+	usage := map[string]int{}
+	base, single, total := 0, 0, 0
+	totUnknown, totMatched, totMal, totBen := 0, 0, 0, 0
+	labeledMachines := map[dataset.MachineID]struct{}{}
+	for _, win := range windows {
+		if win.Tau != 0.001 {
+			continue
+		}
+		for _, r := range win.Classifier.Rules {
+			total++
+			if len(r.Conditions) == 1 {
+				single++
+			}
+			base++
+			seen := map[string]bool{}
+			for _, c := range r.Conditions {
+				if !seen[c.AttrName] {
+					usage[c.AttrName]++
+					seen[c.AttrName] = true
+				}
+			}
+		}
+		totUnknown += win.Unknowns.Total
+		totMatched += win.Unknowns.Matched
+		totMal += win.Unknowns.Malicious
+		totBen += win.Unknowns.Benign
+	}
+	tbl := report.NewTable("Section VII: feature usage across selected rules (tau=0.1%)",
+		"feature", "share of rules", "paper")
+	paperUsage := map[string]string{
+		"file's signer":                "75%",
+		"file's packer":                "8%",
+		"process's type":               "5%",
+		"process's signer":             "4%",
+		"download domain's Alexa rank": "1.4%",
+	}
+	for _, name := range []string{
+		"file's signer", "file's CA", "file's packer", "process's signer",
+		"process's CA", "process's packer", "process's type",
+		"download domain's Alexa rank",
+	} {
+		paper := paperUsage[name]
+		if paper == "" {
+			paper = "-"
+		}
+		share := 0.0
+		if base > 0 {
+			share = float64(usage[name]) / float64(base)
+		}
+		tbl.AddRow(name, report.Pct(share), paper)
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	if total > 0 {
+		fmt.Fprintf(w, "measured: %d selected rules, %s single-condition (paper: 89%% single-condition)\n",
+			total, report.Pct(float64(single)/float64(total)))
+	}
+	// Ground-truth expansion (Section VII).
+	strictLabeled := 0
+	for _, f := range p.Store.DownloadedFiles() {
+		switch p.Store.Label(f) {
+		case dataset.LabelBenign, dataset.LabelMalicious:
+			strictLabeled++
+		}
+	}
+	newly := totMal + totBen
+	fmt.Fprintf(w, "measured expansion: %s newly labeled unknown files (%s of %s unknowns seen in test windows); prior strict ground truth %s files -> %s increase\n",
+		report.Count(newly),
+		report.Pct(float64(totMatched)/float64(max(1, totUnknown))),
+		report.Count(totUnknown), report.Count(strictLabeled),
+		report.Pct(float64(newly)/float64(max(1, strictLabeled))))
+	_ = labeledMachines
+	fmt.Fprintf(w, "paper: 406,688 unknowns labeled Feb-Aug = 28.30%% of unknowns = a 233%% (2.3x) increase over available ground truth, touching 31%% of all machines\n")
+
+	// The paper lists the rules responsible for the most true positives;
+	// reproduce that view on the first window.
+	if len(windows) > 0 {
+		first := windows[0]
+		ex, err := features.NewExtractor(p.Store, p.Result.Oracle)
+		if err != nil {
+			return err
+		}
+		testInsts, err := ex.Instances(p.Store.EventIndexesInMonth(first.TestMonth))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nrules with the most true positives in %s (paper gives e.g. 'file's signer is Somoto ltd. -> malicious' for droppers):\n", first.TestMonth)
+		for _, hit := range first.Classifier.TopRules(testInsts, 3) {
+			fmt.Fprintf(w, "  [%d TPs] %s\n", hit.TruePositives, hit.Rule)
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// AVTypeStats reports the shares of the AVType conflict-resolution rules
+// observed while labeling this dataset's malicious files, next to the
+// paper's Section II-C breakdown (no conflict 44%, Voting 28%,
+// Specificity 23%, manual 5%).
+func AVTypeStats(p *Pipeline, w io.Writer) error {
+	st := p.Labeler.TypeStats
+	tbl := report.NewTable("Section II-C: AVType resolution rules",
+		"rule", "measured", "paper")
+	rows := []struct {
+		name  string
+		res   avtype.Resolution
+		paper string
+	}{
+		{"no conflict (unanimous)", avtype.ResolvedUnanimous, "44%"},
+		{"voting", avtype.ResolvedVoting, "28%"},
+		{"specificity", avtype.ResolvedSpecificity, "23%"},
+		{"manual analysis", avtype.ResolvedManual, "5%"},
+	}
+	for _, r := range rows {
+		tbl.AddRow(r.name, report.Pct(st.Share(r.res)), r.paper)
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "measured over %d type derivations\n\n", st.Total)
+	return nil
+}

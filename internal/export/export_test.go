@@ -1,0 +1,203 @@
+package export
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/reputation"
+	"repro/internal/synth"
+)
+
+func buildSample(t *testing.T) *dataset.Store {
+	t.Helper()
+	store := dataset.NewStore()
+	if err := store.PutFile(&dataset.FileMeta{
+		Hash: "f1", Size: 1234, Path: "C:/x.exe", Signer: "ACME", CA: "ca1",
+		Packer: "UPX",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.PutFile(&dataset.FileMeta{
+		Hash: "p1", Category: dataset.CategoryBrowser, Browser: dataset.BrowserChrome,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.AddEvent(dataset.DownloadEvent{
+		File: "f1", Machine: "m1", Process: "p1",
+		URL: "http://d.com/x.exe", Domain: "d.com",
+		Time: time.Date(2014, time.March, 3, 4, 5, 6, 0, time.UTC), Executed: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SetTruth("f1", dataset.GroundTruth{
+		Label: dataset.LabelMalicious, Type: dataset.TypeBanker, Family: "zbot",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SetURLVerdict("d.com", dataset.URLMalicious); err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := buildSample(t)
+	var buf bytes.Buffer
+	if err := WriteStore(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEvents() != 1 {
+		t.Fatalf("events = %d", got.NumEvents())
+	}
+	e := got.Events()[0]
+	if e.File != "f1" || e.Machine != "m1" || e.Domain != "d.com" || !e.Executed {
+		t.Errorf("event = %+v", e)
+	}
+	if !e.Time.Equal(time.Date(2014, time.March, 3, 4, 5, 6, 0, time.UTC)) {
+		t.Errorf("time = %v", e.Time)
+	}
+	m := got.File("f1")
+	if m == nil || m.Signer != "ACME" || m.Packer != "UPX" || m.Size != 1234 {
+		t.Errorf("meta = %+v", m)
+	}
+	p := got.File("p1")
+	if p == nil || p.Category != dataset.CategoryBrowser || p.Browser != dataset.BrowserChrome {
+		t.Errorf("process meta = %+v", p)
+	}
+	gt := got.Truth("f1")
+	if gt.Label != dataset.LabelMalicious || gt.Type != dataset.TypeBanker || gt.Family != "zbot" {
+		t.Errorf("truth = %+v", gt)
+	}
+	if got.URLVerdict("d.com") != dataset.URLMalicious {
+		t.Error("url verdict lost")
+	}
+}
+
+func TestWriteStoreNil(t *testing.T) {
+	if err := WriteStore(&bytes.Buffer{}, nil); err == nil {
+		t.Error("nil store accepted")
+	}
+}
+
+func TestReadStoreErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"no header":      `{"type":"event"}`,
+		"bad json":       "{not json",
+		"bad version":    `{"type":"header","version":99}`,
+		"unknown record": "{\"type\":\"header\",\"version\":1}\n{\"type\":\"wat\"}",
+		"invalid event":  "{\"type\":\"header\",\"version\":1}\n{\"type\":\"event\",\"file\":\"\"}",
+	}
+	for name, in := range cases {
+		if _, err := ReadStore(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRoundTripGenerated(t *testing.T) {
+	res, err := synth.Generate(synth.DefaultConfig(5, 0.002))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteStore(&buf, res.Store); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadStore(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEvents() != res.Store.NumEvents() {
+		t.Errorf("events %d != %d", got.NumEvents(), res.Store.NumEvents())
+	}
+	if len(got.Files()) != len(res.Store.Files()) {
+		t.Errorf("files %d != %d", len(got.Files()), len(res.Store.Files()))
+	}
+	// Spot-check one event end to end after both stores are frozen.
+	res.Store.Freeze()
+	got.Freeze()
+	a, b := res.Store.Events(), got.Events()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs after round trip", i)
+		}
+	}
+}
+
+// failingWriter errors after n bytes, exercising the write error paths.
+type failingWriter struct {
+	n       int
+	written int
+}
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	f.written += len(p)
+	if f.written > f.n {
+		return 0, errWriteFail
+	}
+	return len(p), nil
+}
+
+var errWriteFail = errors.New("synthetic write failure")
+
+func TestWriteStoreWriterFailures(t *testing.T) {
+	src := buildSample(t)
+	// Fail at several truncation points so each encode site sees an
+	// error at least once.
+	for _, limit := range []int{0, 10, 40, 200, 400} {
+		w := &failingWriter{n: limit}
+		if err := WriteStore(w, src); err == nil {
+			t.Errorf("limit %d: write failure not propagated", limit)
+		}
+	}
+}
+
+func TestWriteStoreWithOracleRanks(t *testing.T) {
+	src := buildSample(t)
+	alexa, err := reputation.NewAlexaList(map[string]int{"d.com": 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := reputation.NewOracle(alexa, nil, nil, nil, nil, nil)
+	var buf bytes.Buffer
+	if err := WriteStoreWithOracle(&buf, src, oracle); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"rank":77`) {
+		t.Error("rank not serialized")
+	}
+	_, got, err := ReadStoreWithOracle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AlexaRank("d.com") != 77 {
+		t.Errorf("rank after round trip = %d", got.AlexaRank("d.com"))
+	}
+}
+
+func TestReadStoreBadRecords(t *testing.T) {
+	header := `{"type":"header","version":1}` + "\n"
+	cases := map[string]string{
+		"meta missing hash": header + `{"type":"meta"}`,
+		"truth empty hash":  header + `{"type":"truth","hash":"","label":1}`,
+		"url empty domain":  header + `{"type":"url","domain":"","verdict":1}`,
+		"malformed meta":    header + `{"type":"meta","size":"x"}`,
+		"malformed event":   header + `{"type":"event","time":"nope"}`,
+		"malformed truth":   header + `{"type":"truth","label":"x"}`,
+		"malformed url":     header + `{"type":"url","verdict":"x"}`,
+	}
+	for name, in := range cases {
+		if _, err := ReadStore(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

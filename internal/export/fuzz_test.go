@@ -1,0 +1,35 @@
+package export
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadStore asserts the dataset parser never panics on malformed
+// input and that accepted streams yield a usable store.
+func FuzzReadStore(f *testing.F) {
+	f.Add(`{"type":"header","version":1}`)
+	f.Add("{\"type\":\"header\",\"version\":1}\n{\"type\":\"meta\",\"hash\":\"f1\"}")
+	f.Add("{\"type\":\"header\",\"version\":1}\n{\"type\":\"event\",\"file\":\"f\",\"machine\":\"m\",\"process\":\"p\",\"url\":\"u\",\"time\":\"2014-01-02T00:00:00Z\",\"executed\":true}")
+	f.Add("{\"type\":\"header\",\"version\":1}\n{\"type\":\"truth\",\"hash\":\"f\",\"label\":3}")
+	f.Add("{\"type\":\"header\",\"version\":1}\n{\"type\":\"url\",\"domain\":\"d.com\",\"verdict\":1,\"rank\":5}")
+	f.Add("")
+	f.Add("{nope")
+	f.Add(`{"type":"wat"}`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		store, oracle, err := ReadStoreWithOracle(strings.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if store == nil || oracle == nil {
+			t.Fatal("nil store/oracle without error")
+		}
+		// The store must be internally consistent: every event validates.
+		for _, e := range store.Events() {
+			if verr := e.Validate(); verr != nil {
+				t.Fatalf("accepted stream contains invalid event: %v", verr)
+			}
+		}
+		store.Freeze()
+	})
+}

@@ -1,0 +1,215 @@
+package features
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/reputation"
+)
+
+func testStore(t *testing.T) (*dataset.Store, *reputation.Oracle) {
+	t.Helper()
+	store := dataset.NewStore()
+	mustPut := func(m *dataset.FileMeta) {
+		t.Helper()
+		if err := store.PutFile(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustPut(&dataset.FileMeta{
+		Hash: "file1", Signer: "Somoto Ltd.", CA: "thawte", Packer: "NSIS",
+	})
+	mustPut(&dataset.FileMeta{Hash: "file2"}) // unsigned, unpacked
+	mustPut(&dataset.FileMeta{Hash: "fileU"})
+	mustPut(&dataset.FileMeta{
+		Hash: "proc1", Signer: "Google Inc", CA: "digicert",
+		Category: dataset.CategoryBrowser, Browser: dataset.BrowserChrome,
+	})
+	ev := func(file, proc, domain string, day int) dataset.DownloadEvent {
+		return dataset.DownloadEvent{
+			File: dataset.FileHash(file), Machine: "m1",
+			Process: dataset.FileHash(proc),
+			URL:     "http://" + domain + "/x.exe", Domain: domain,
+			Time:     time.Date(2014, time.January, day, 0, 0, 0, 0, time.UTC),
+			Executed: true,
+		}
+	}
+	for _, e := range []dataset.DownloadEvent{
+		ev("file1", "proc1", "ranked.com", 1),
+		ev("file2", "proc1", "unranked.net", 2),
+		ev("fileU", "ghostproc", "ranked.com", 3),
+	} {
+		if err := store.AddEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.SetTruth("file1", dataset.GroundTruth{Label: dataset.LabelMalicious, Type: dataset.TypeDropper}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SetTruth("file2", dataset.GroundTruth{Label: dataset.LabelBenign}); err != nil {
+		t.Fatal(err)
+	}
+	store.Freeze()
+	alexa, err := reputation.NewAlexaList(map[string]int{"ranked.com": 1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, reputation.NewOracle(alexa, nil, nil, nil, nil, nil)
+}
+
+func TestNewExtractorValidation(t *testing.T) {
+	store, oracle := testStore(t)
+	if _, err := NewExtractor(nil, oracle); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := NewExtractor(store, nil); err == nil {
+		t.Error("nil oracle accepted")
+	}
+}
+
+func TestVector(t *testing.T) {
+	store, oracle := testStore(t)
+	ex, err := NewExtractor(store, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := store.Events()
+	v, err := ex.Vector(&evs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.FileSigner != "Somoto Ltd." || v.FileCA != "thawte" || v.FilePacker != "NSIS" {
+		t.Errorf("file features = %+v", v)
+	}
+	if v.ProcessSigner != "Google Inc" || v.ProcessType != "browser" {
+		t.Errorf("process features = %+v", v)
+	}
+	if v.AlexaRank != 1234 {
+		t.Errorf("AlexaRank = %d", v.AlexaRank)
+	}
+}
+
+func TestVectorNoneAndUnranked(t *testing.T) {
+	store, oracle := testStore(t)
+	ex, err := NewExtractor(store, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := store.Events()
+	v, err := ex.Vector(&evs[1]) // file2 from unranked.net
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.FileSigner != None || v.FileCA != None || v.FilePacker != None {
+		t.Errorf("unsigned file features = %+v", v)
+	}
+	if v.AlexaRank != UnrankedValue {
+		t.Errorf("unranked AlexaRank = %d, want %d", v.AlexaRank, UnrankedValue)
+	}
+}
+
+func TestVectorUnknownProcess(t *testing.T) {
+	store, oracle := testStore(t)
+	ex, err := NewExtractor(store, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := store.Events()
+	v, err := ex.Vector(&evs[2]) // fileU via unregistered process
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ProcessSigner != None || v.ProcessType != "unknown" {
+		t.Errorf("unknown process features = %+v", v)
+	}
+}
+
+func TestVectorErrors(t *testing.T) {
+	store, oracle := testStore(t)
+	ex, err := NewExtractor(store, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Vector(nil); err == nil {
+		t.Error("nil event accepted")
+	}
+	bad := dataset.DownloadEvent{File: "not-registered", Machine: "m", Process: "p", URL: "u", Time: time.Now()}
+	if _, err := ex.Vector(&bad); err == nil {
+		t.Error("unregistered file accepted")
+	}
+}
+
+func TestInstancesFiltersStrictLabels(t *testing.T) {
+	store, oracle := testStore(t)
+	ex, err := NewExtractor(store, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := []int{0, 1, 2}
+	insts, err := ex.Instances(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 2 {
+		t.Fatalf("instances = %d, want 2 (unknown excluded)", len(insts))
+	}
+	for _, in := range insts {
+		switch in.File {
+		case "file1":
+			if !in.Malicious {
+				t.Error("file1 should be malicious")
+			}
+		case "file2":
+			if in.Malicious {
+				t.Error("file2 should be benign")
+			}
+		default:
+			t.Errorf("unexpected instance %s", in.File)
+		}
+	}
+	if _, err := ex.Instances([]int{99}); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestUnknownInstances(t *testing.T) {
+	store, oracle := testStore(t)
+	ex, err := NewExtractor(store, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts, err := ex.UnknownInstances([]int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 1 || insts[0].File != "fileU" {
+		t.Fatalf("unknown instances = %+v", insts)
+	}
+	if _, err := ex.UnknownInstances([]int{-1}); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestNominalAccessor(t *testing.T) {
+	v := Vector{
+		FileSigner: "a", FileCA: "b", FilePacker: "c",
+		ProcessSigner: "d", ProcessCA: "e", ProcessPacker: "f",
+		ProcessType: "g",
+	}
+	want := []string{"a", "b", "c", "d", "e", "f", "g"}
+	for i := 0; i < NumNominal; i++ {
+		if v.Nominal(i) != want[i] {
+			t.Errorf("Nominal(%d) = %q, want %q", i, v.Nominal(i), want[i])
+		}
+	}
+	if v.Nominal(99) != "" {
+		t.Error("out-of-range Nominal should be empty")
+	}
+}
+
+func TestAttributeNamesMatchTableXV(t *testing.T) {
+	if len(AttributeNames) != 8 {
+		t.Errorf("Table XV has 8 features, got %d", len(AttributeNames))
+	}
+}

@@ -1,0 +1,129 @@
+// Package part implements the PART rule-learning algorithm (Frank &
+// Witten, "Generating Accurate Rule Sets Without Global Optimization",
+// ICML 1998), which the paper uses to derive human-readable file
+// classification rules (Section VI-C).
+//
+// PART repeatedly builds a *partial* C4.5 decision tree over the
+// remaining training instances, turns the leaf covering the most
+// instances into a rule, removes the instances the rule covers, and
+// iterates until no instances remain. Partial trees are grown by always
+// expanding the lowest-entropy subset first and applying C4.5's
+// pessimistic-error subtree replacement on the explored spine, so only
+// the path needed for one good rule is ever materialized.
+package part
+
+import (
+	"fmt"
+	"math"
+)
+
+// Attribute describes one feature column.
+type Attribute struct {
+	Name string
+	// Numeric attributes split on thresholds; nominal ones on equality.
+	Numeric bool
+}
+
+// Value is one attribute value: S for nominal attributes, F for numeric.
+type Value struct {
+	S string
+	F float64
+}
+
+// Instance is one labeled feature vector.
+type Instance struct {
+	Values []Value
+	Class  int
+	// Ref is an opaque caller reference (e.g. the file hash).
+	Ref string
+}
+
+// Dataset is a fixed-schema instance collection.
+type Dataset struct {
+	Attrs      []Attribute
+	ClassNames []string
+	Instances  []Instance
+}
+
+// NewDataset validates and builds a dataset.
+func NewDataset(attrs []Attribute, classNames []string) (*Dataset, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("part: dataset needs at least one attribute")
+	}
+	if len(classNames) < 2 {
+		return nil, fmt.Errorf("part: dataset needs at least two classes")
+	}
+	return &Dataset{Attrs: attrs, ClassNames: classNames}, nil
+}
+
+// Add appends an instance after validating its shape.
+func (d *Dataset) Add(inst Instance) error {
+	if len(inst.Values) != len(d.Attrs) {
+		return fmt.Errorf("part: instance has %d values, schema has %d attributes",
+			len(inst.Values), len(d.Attrs))
+	}
+	if inst.Class < 0 || inst.Class >= len(d.ClassNames) {
+		return fmt.Errorf("part: class %d out of range", inst.Class)
+	}
+	d.Instances = append(d.Instances, inst)
+	return nil
+}
+
+// Len returns the instance count.
+func (d *Dataset) Len() int { return len(d.Instances) }
+
+// classCounts tallies classes over the instance indexes in idx.
+func (d *Dataset) classCounts(idx []int) []int {
+	counts := make([]int, len(d.ClassNames))
+	for _, i := range idx {
+		counts[d.Instances[i].Class]++
+	}
+	return counts
+}
+
+// majorityClass returns the most frequent class among idx and its count;
+// ties break toward the lower class index for determinism.
+func (d *Dataset) majorityClass(idx []int) (class, count int) {
+	counts := d.classCounts(idx)
+	best, bestN := 0, -1
+	for c, n := range counts {
+		if n > bestN {
+			best, bestN = c, n
+		}
+	}
+	return best, bestN
+}
+
+// entropy computes the class entropy (bits) of the subset idx.
+func (d *Dataset) entropy(idx []int) float64 {
+	counts := d.classCounts(idx)
+	total := len(idx)
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// pessimisticErrors returns the C4.5 upper-confidence-bound estimate of
+// the number of errors among n instances of which e are misclassified,
+// at the default confidence factor 0.25 (z = 0.6925).
+func pessimisticErrors(e, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	const z = 0.6925
+	f := float64(e) / float64(n)
+	nn := float64(n)
+	z2 := z * z
+	num := f + z2/(2*nn) + z*math.Sqrt(f/nn-f*f/nn+z2/(4*nn*nn))
+	den := 1 + z2/nn
+	return (num / den) * nn
+}

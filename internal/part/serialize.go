@@ -1,0 +1,135 @@
+package part
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The JSON rule format lets threat analysts review, edit and reload rule
+// sets, the workflow the paper highlights as the advantage of
+// human-readable rules over opaque models.
+
+// conditionJSON is the serialized form of a Condition.
+type conditionJSON struct {
+	Attr      string  `json:"attr"`
+	AttrIndex int     `json:"attrIndex"`
+	Op        string  `json:"op"` // "eq", "le", "gt"
+	Value     string  `json:"value,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// ruleJSON is the serialized form of a Rule.
+type ruleJSON struct {
+	Conditions []conditionJSON `json:"conditions"`
+	Class      int             `json:"class"`
+	ClassName  string          `json:"className"`
+	Covered    int             `json:"covered,omitempty"`
+	Errors     int             `json:"errors,omitempty"`
+	// Text is the human-readable rendering, informational only.
+	Text string `json:"text,omitempty"`
+}
+
+func opName(op Op) (string, error) {
+	switch op {
+	case OpEquals:
+		return "eq", nil
+	case OpLE:
+		return "le", nil
+	case OpGT:
+		return "gt", nil
+	default:
+		return "", fmt.Errorf("part: unknown op %d", int(op))
+	}
+}
+
+func opFromName(s string) (Op, error) {
+	switch s {
+	case "eq":
+		return OpEquals, nil
+	case "le":
+		return OpLE, nil
+	case "gt":
+		return OpGT, nil
+	default:
+		return 0, fmt.Errorf("part: unknown op %q", s)
+	}
+}
+
+// EncodeRules writes the rule list as indented JSON.
+func EncodeRules(w io.Writer, rules []Rule) error {
+	out := make([]ruleJSON, 0, len(rules))
+	for _, r := range rules {
+		rj := ruleJSON{
+			Class:     r.Class,
+			ClassName: r.ClassName,
+			Covered:   r.Covered,
+			Errors:    r.Errors,
+			Text:      r.String(),
+		}
+		for _, c := range r.Conditions {
+			name, err := opName(c.Op)
+			if err != nil {
+				return err
+			}
+			rj.Conditions = append(rj.Conditions, conditionJSON{
+				Attr: c.AttrName, AttrIndex: c.AttrIndex, Op: name,
+				Value: c.Value, Threshold: c.Threshold,
+			})
+		}
+		out = append(out, rj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// DecodeRules parses a rule list previously written by EncodeRules
+// (possibly edited by an analyst). Attribute indexes are validated
+// against the given schema; attribute names in the JSON win over stale
+// indexes when they match a schema entry.
+func DecodeRules(r io.Reader, attrs []Attribute) ([]Rule, error) {
+	var in []ruleJSON
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("part: decode rules: %w", err)
+	}
+	byName := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		byName[a.Name] = i
+	}
+	var out []Rule
+	for ri, rj := range in {
+		rule := Rule{
+			Class:     rj.Class,
+			ClassName: rj.ClassName,
+			Covered:   rj.Covered,
+			Errors:    rj.Errors,
+		}
+		for ci, cj := range rj.Conditions {
+			op, err := opFromName(cj.Op)
+			if err != nil {
+				return nil, fmt.Errorf("part: rule %d condition %d: %w", ri, ci, err)
+			}
+			idx := cj.AttrIndex
+			if i, ok := byName[cj.Attr]; ok {
+				idx = i
+			}
+			if idx < 0 || idx >= len(attrs) {
+				return nil, fmt.Errorf("part: rule %d condition %d: attribute %q not in schema", ri, ci, cj.Attr)
+			}
+			if attrs[idx].Numeric && op == OpEquals {
+				return nil, fmt.Errorf("part: rule %d condition %d: equality on numeric attribute %q", ri, ci, cj.Attr)
+			}
+			if !attrs[idx].Numeric && op != OpEquals {
+				return nil, fmt.Errorf("part: rule %d condition %d: threshold on nominal attribute %q", ri, ci, cj.Attr)
+			}
+			rule.Conditions = append(rule.Conditions, Condition{
+				AttrIndex: idx, AttrName: attrs[idx].Name, Op: op,
+				Value: cj.Value, Threshold: cj.Threshold,
+			})
+		}
+		out = append(out, rule)
+	}
+	return out, nil
+}

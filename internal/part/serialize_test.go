@@ -1,0 +1,109 @@
+package part
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleRules(t *testing.T) []Rule {
+	t.Helper()
+	return []Rule{
+		{
+			Conditions: []Condition{
+				{AttrIndex: 0, AttrName: "signer", Op: OpEquals, Value: "Somoto Ltd."},
+			},
+			Class: 1, ClassName: "malicious", Covered: 61, Errors: 0,
+		},
+		{
+			Conditions: []Condition{
+				{AttrIndex: 0, AttrName: "signer", Op: OpEquals, Value: "(none)"},
+				{AttrIndex: 2, AttrName: "rank", Op: OpGT, Threshold: 100000},
+			},
+			Class: 1, ClassName: "malicious", Covered: 20, Errors: 1,
+		},
+		{
+			Conditions: []Condition{
+				{AttrIndex: 1, AttrName: "packer", Op: OpEquals, Value: "MSI-Wrapper"},
+			},
+			Class: 0, ClassName: "benign", Covered: 9,
+		},
+	}
+}
+
+func serializeSchema() []Attribute {
+	return []Attribute{
+		{Name: "signer"},
+		{Name: "packer"},
+		{Name: "rank", Numeric: true},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rules := sampleRules(t)
+	var buf bytes.Buffer
+	if err := EncodeRules(&buf, rules); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRules(&buf, serializeSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rules) {
+		t.Fatalf("rules = %d, want %d", len(got), len(rules))
+	}
+	for i := range rules {
+		if got[i].String() != rules[i].String() {
+			t.Errorf("rule %d: %q != %q", i, got[i].String(), rules[i].String())
+		}
+		if got[i].Covered != rules[i].Covered || got[i].Errors != rules[i].Errors {
+			t.Errorf("rule %d stats lost", i)
+		}
+	}
+}
+
+func TestEncodeRulesIncludesText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeRules(&buf, sampleRules(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Somoto Ltd.") {
+		t.Error("encoded rules missing signer value")
+	}
+	if !strings.Contains(buf.String(), `"text"`) {
+		t.Error("encoded rules missing human-readable text")
+	}
+}
+
+func TestDecodeRulesValidation(t *testing.T) {
+	schema := serializeSchema()
+	cases := map[string]string{
+		"bad json":      "{",
+		"unknown op":    `[{"conditions":[{"attr":"signer","op":"xx","value":"v"}],"class":1}]`,
+		"unknown attr":  `[{"conditions":[{"attr":"nope","attrIndex":9,"op":"eq","value":"v"}],"class":1}]`,
+		"eq on numeric": `[{"conditions":[{"attr":"rank","op":"eq","value":"v"}],"class":1}]`,
+		"gt on nominal": `[{"conditions":[{"attr":"signer","op":"gt","threshold":5}],"class":1}]`,
+	}
+	for name, in := range cases {
+		if _, err := DecodeRules(strings.NewReader(in), schema); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDecodeRulesAnalystEdit(t *testing.T) {
+	// An analyst hand-writes a rule using names only; indexes resolve
+	// from the schema.
+	in := `[{"conditions":[{"attr":"packer","op":"eq","value":"Themida"}],"class":1,"className":"malicious"}]`
+	rules, err := DecodeRules(strings.NewReader(in), serializeSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rules[0].Conditions[0].AttrIndex != 1 {
+		t.Errorf("attr index resolved to %d, want 1", rules[0].Conditions[0].AttrIndex)
+	}
+	inst := Instance{Values: []Value{{S: "X"}, {S: "Themida"}, {F: 0}}}
+	if !rules[0].Matches(&inst) {
+		t.Error("decoded rule does not match")
+	}
+}

@@ -1,0 +1,373 @@
+package part
+
+import (
+	"math"
+	"sort"
+)
+
+// Op is a rule/split condition operator.
+type Op int
+
+// Operators.
+const (
+	// OpEquals tests a nominal attribute for equality.
+	OpEquals Op = iota + 1
+	// OpLE tests a numeric attribute for value <= threshold.
+	OpLE
+	// OpGT tests a numeric attribute for value > threshold.
+	OpGT
+)
+
+// Condition is one test on an attribute.
+type Condition struct {
+	AttrIndex int
+	AttrName  string
+	Op        Op
+	// Value is the nominal value for OpEquals.
+	Value string
+	// Threshold is the numeric cut for OpLE/OpGT.
+	Threshold float64
+}
+
+// matches reports whether the instance satisfies the condition.
+func (c *Condition) matches(inst *Instance) bool {
+	v := inst.Values[c.AttrIndex]
+	switch c.Op {
+	case OpEquals:
+		return v.S == c.Value
+	case OpLE:
+		return v.F <= c.Threshold
+	case OpGT:
+		return v.F > c.Threshold
+	default:
+		return false
+	}
+}
+
+// split describes a chosen test at an internal node.
+type split struct {
+	attr      int
+	numeric   bool
+	threshold float64  // numeric split point
+	values    []string // nominal branch values, aligned with subsets
+	subsets   [][]int  // instance indexes per branch
+	gain      float64
+	gainRatio float64
+}
+
+// treeNode is a node of a (partial) decision tree.
+type treeNode struct {
+	leaf  bool
+	class int
+	count int // instances reaching the node
+	errs  int // training misclassifications if used as leaf
+
+	// Internal-node fields.
+	conds    []Condition // condition per child branch
+	children []*treeNode // nil entries are unexpanded subsets
+	subsets  [][]int
+}
+
+// minLeaf is the C4.5 minimum number of instances per branch.
+const minLeaf = 2
+
+// builder carries the dataset during partial-tree construction.
+type builder struct {
+	d *Dataset
+}
+
+// leafFor builds a leaf node over idx.
+func (b *builder) leafFor(idx []int) *treeNode {
+	class, count := b.d.majorityClass(idx)
+	return &treeNode{leaf: true, class: class, count: len(idx), errs: len(idx) - count}
+}
+
+// bestSplit evaluates all attributes and returns the best split, or nil
+// when no useful split exists. Following C4.5, only candidate splits
+// whose information gain is at least the average gain over all
+// candidates compete on gain ratio; this stops low-split-info binary
+// splits (numeric thresholds) from crowding out high-gain multiway
+// splits such as the signer attribute.
+func (b *builder) bestSplit(idx []int) *split {
+	baseEntropy := b.d.entropy(idx)
+	if baseEntropy == 0 {
+		return nil
+	}
+	candidates := make([]*split, 0, len(b.d.Attrs))
+	totalGain := 0.0
+	for a := range b.d.Attrs {
+		var s *split
+		if b.d.Attrs[a].Numeric {
+			s = b.numericSplit(idx, a, baseEntropy)
+		} else {
+			s = b.nominalSplit(idx, a, baseEntropy)
+		}
+		if s == nil {
+			continue
+		}
+		candidates = append(candidates, s)
+		totalGain += s.gain
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	avgGain := totalGain / float64(len(candidates))
+	var best *split
+	for _, s := range candidates {
+		if s.gain+1e-12 < avgGain {
+			continue
+		}
+		if best == nil || s.gainRatio > best.gainRatio ||
+			(s.gainRatio == best.gainRatio && s.attr < best.attr) {
+			best = s
+		}
+	}
+	if best == nil {
+		best = candidates[0]
+	}
+	return best
+}
+
+// nominalSplit builds a multiway split on attribute a.
+func (b *builder) nominalSplit(idx []int, a int, baseEntropy float64) *split {
+	groups := make(map[string][]int)
+	for _, i := range idx {
+		v := b.d.Instances[i].Values[a].S
+		groups[v] = append(groups[v], i)
+	}
+	if len(groups) < 2 {
+		return nil
+	}
+	// Deterministic branch order.
+	values := make([]string, 0, len(groups))
+	for v := range groups {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	total := float64(len(idx))
+	cond, splitInfo := 0.0, 0.0
+	okBranches := 0
+	subsets := make([][]int, 0, len(values))
+	for _, v := range values {
+		sub := groups[v]
+		p := float64(len(sub)) / total
+		cond += p * b.d.entropy(sub)
+		splitInfo -= p * math.Log2(p)
+		if len(sub) >= minLeaf {
+			okBranches++
+		}
+		subsets = append(subsets, sub)
+	}
+	if okBranches < 2 || splitInfo <= 0 {
+		return nil
+	}
+	gain := baseEntropy - cond
+	if gain <= 1e-9 {
+		return nil
+	}
+	return &split{
+		attr:      a,
+		values:    values,
+		subsets:   subsets,
+		gain:      gain,
+		gainRatio: gain / splitInfo,
+	}
+}
+
+// numericSplit finds the best binary threshold split on attribute a.
+func (b *builder) numericSplit(idx []int, a int, baseEntropy float64) *split {
+	sorted := append([]int(nil), idx...)
+	sort.Slice(sorted, func(x, y int) bool {
+		return b.d.Instances[sorted[x]].Values[a].F < b.d.Instances[sorted[y]].Values[a].F
+	})
+	total := float64(len(sorted))
+	nClasses := len(b.d.ClassNames)
+	leftCounts := make([]int, nClasses)
+	rightCounts := b.d.classCounts(sorted)
+
+	entropyOf := func(counts []int, n int) float64 {
+		if n == 0 {
+			return 0
+		}
+		h := 0.0
+		for _, c := range counts {
+			if c == 0 {
+				continue
+			}
+			p := float64(c) / float64(n)
+			h -= p * math.Log2(p)
+		}
+		return h
+	}
+
+	bestGain := -1.0
+	bestCut := 0.0
+	bestLeft := -1
+	for i := 0; i < len(sorted)-1; i++ {
+		inst := &b.d.Instances[sorted[i]]
+		leftCounts[inst.Class]++
+		rightCounts[inst.Class]--
+		cur := inst.Values[a].F
+		next := b.d.Instances[sorted[i+1]].Values[a].F
+		if cur == next {
+			continue
+		}
+		nLeft := i + 1
+		nRight := len(sorted) - nLeft
+		if nLeft < minLeaf || nRight < minLeaf {
+			continue
+		}
+		cond := (float64(nLeft)*entropyOf(leftCounts, nLeft) +
+			float64(nRight)*entropyOf(rightCounts, nRight)) / total
+		gain := baseEntropy - cond
+		if gain > bestGain {
+			bestGain = gain
+			bestCut = (cur + next) / 2
+			bestLeft = nLeft
+		}
+	}
+	if bestGain <= 1e-9 || bestLeft < 0 {
+		return nil
+	}
+	// C4.5 (release 8) MDL correction: charge the gain for the number of
+	// candidate thresholds examined, so sparse data cannot buy spurious
+	// threshold windows for free.
+	distinct := 1
+	for i := 1; i < len(sorted); i++ {
+		if b.d.Instances[sorted[i]].Values[a].F != b.d.Instances[sorted[i-1]].Values[a].F {
+			distinct++
+		}
+	}
+	if distinct > 1 {
+		bestGain -= math.Log2(float64(distinct-1)) / total
+	}
+	if bestGain <= 1e-9 {
+		return nil
+	}
+	left := make([]int, 0, bestLeft)
+	right := make([]int, 0, len(sorted)-bestLeft)
+	for _, i := range sorted {
+		if b.d.Instances[i].Values[a].F <= bestCut {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	p := float64(len(left)) / total
+	splitInfo := -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+	if splitInfo <= 0 {
+		return nil
+	}
+	return &split{
+		attr:      a,
+		numeric:   true,
+		threshold: bestCut,
+		subsets:   [][]int{left, right},
+		gain:      bestGain,
+		gainRatio: bestGain / splitInfo,
+	}
+}
+
+// expand grows a partial tree over idx: the lowest-entropy subsets are
+// expanded first, expansion stops as soon as a subtree cannot be
+// collapsed into a leaf, and fully-expanded nodes are subject to C4.5
+// subtree replacement.
+func (b *builder) expand(idx []int) *treeNode {
+	counts := b.d.classCounts(idx)
+	pure := false
+	for _, c := range counts {
+		if c == len(idx) {
+			pure = true
+			break
+		}
+	}
+	if pure || len(idx) < 2*minLeaf {
+		return b.leafFor(idx)
+	}
+	s := b.bestSplit(idx)
+	if s == nil {
+		return b.leafFor(idx)
+	}
+	node := &treeNode{count: len(idx)}
+	_, maj := b.d.majorityClass(idx)
+	node.errs = len(idx) - maj
+	node.subsets = s.subsets
+	node.children = make([]*treeNode, len(s.subsets))
+	node.conds = make([]Condition, len(s.subsets))
+	for bi := range s.subsets {
+		cond := Condition{AttrIndex: s.attr, AttrName: b.d.Attrs[s.attr].Name}
+		if s.numeric {
+			cond.Threshold = s.threshold
+			if bi == 0 {
+				cond.Op = OpLE
+			} else {
+				cond.Op = OpGT
+			}
+		} else {
+			cond.Op = OpEquals
+			cond.Value = s.values[bi]
+		}
+		node.conds[bi] = cond
+	}
+	// Expansion order: increasing subset entropy.
+	order := make([]int, len(s.subsets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return b.d.entropy(s.subsets[order[x]]) < b.d.entropy(s.subsets[order[y]])
+	})
+	allLeaves := true
+	for _, bi := range order {
+		if !allLeaves {
+			break // leave remaining subsets unexpanded
+		}
+		child := b.expand(s.subsets[bi])
+		node.children[bi] = child
+		if !child.leaf {
+			allLeaves = false
+		}
+	}
+	if allLeaves {
+		// Subtree replacement: collapse when the node-as-leaf estimate
+		// is no worse than the subtree estimate.
+		subtreeErr := 0.0
+		for bi, child := range node.children {
+			if child != nil {
+				subtreeErr += pessimisticErrors(child.errs, len(s.subsets[bi]))
+			}
+		}
+		if pessimisticErrors(node.errs, len(idx)) <= subtreeErr+0.1 {
+			return b.leafFor(idx)
+		}
+	}
+	return node
+}
+
+// bestLeaf finds the expanded leaf covering the most instances and
+// returns the conditions along its path. Returns nil when the partial
+// tree has no expanded leaf below an internal root (cannot happen with
+// expand's construction, but guarded anyway).
+func bestLeaf(node *treeNode, path []Condition) (leaf *treeNode, conds []Condition) {
+	if node == nil {
+		return nil, nil
+	}
+	if node.leaf {
+		return node, append([]Condition(nil), path...)
+	}
+	var best *treeNode
+	var bestPath []Condition
+	for bi, child := range node.children {
+		if child == nil {
+			continue
+		}
+		l, p := bestLeaf(child, append(path, node.conds[bi]))
+		if l == nil {
+			continue
+		}
+		if best == nil || l.count > best.count {
+			best, bestPath = l, p
+		}
+	}
+	return best, bestPath
+}

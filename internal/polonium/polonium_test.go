@@ -1,0 +1,145 @@
+package polonium
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// buildGraphStore creates a store where machine hygiene is informative:
+// dirty machines host seeded malware plus an unlabeled file, clean
+// machines host seeded benign files plus an unlabeled file.
+func buildGraphStore(t *testing.T) *dataset.Store {
+	t.Helper()
+	store := dataset.NewStore()
+	at := time.Date(2014, time.January, 1, 0, 0, 0, 0, time.UTC)
+	add := func(file, machine string) {
+		t.Helper()
+		err := store.AddEvent(dataset.DownloadEvent{
+			File: dataset.FileHash(file), Machine: dataset.MachineID(machine),
+			Process: "proc", URL: "http://x.com/" + file, Domain: "x.com",
+			Time: at, Executed: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = at.Add(time.Minute)
+	}
+	for i := 0; i < 5; i++ {
+		dirty := fmt.Sprintf("dirty%d", i)
+		add("mal-seed", dirty)
+		add("probe-dirty", dirty) // unlabeled, hosted only by dirty machines
+		clean := fmt.Sprintf("clean%d", i)
+		add("ben-seed", clean)
+		add("probe-clean", clean)
+	}
+	if err := store.SetTruth("mal-seed", dataset.GroundTruth{Label: dataset.LabelMalicious, Type: dataset.TypeTrojan}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.SetTruth("ben-seed", dataset.GroundTruth{Label: dataset.LabelBenign}); err != nil {
+		t.Fatal(err)
+	}
+	store.Freeze()
+	return store
+}
+
+func allIdx(store *dataset.Store) []int {
+	out := make([]int, store.NumEvents())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestRunValidation(t *testing.T) {
+	store := buildGraphStore(t)
+	if _, err := Run(nil, nil, DefaultConfig()); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := Run(dataset.NewStore(), nil, DefaultConfig()); err == nil {
+		t.Error("unfrozen store accepted")
+	}
+	bad := DefaultConfig()
+	bad.Iterations = 0
+	if _, err := Run(store, allIdx(store), bad); err == nil {
+		t.Error("zero iterations accepted")
+	}
+	bad = DefaultConfig()
+	bad.Damping = 2
+	if _, err := Run(store, allIdx(store), bad); err == nil {
+		t.Error("damping > 1 accepted")
+	}
+	if _, err := Run(store, []int{9999}, DefaultConfig()); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+}
+
+func TestRunPropagatesHygiene(t *testing.T) {
+	store := buildGraphStore(t)
+	res, err := Run(store, allIdx(store), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seeds pinned.
+	if res.FileScore["mal-seed"] < 0.9 {
+		t.Errorf("mal seed score = %v", res.FileScore["mal-seed"])
+	}
+	if res.FileScore["ben-seed"] > 0.1 {
+		t.Errorf("ben seed score = %v", res.FileScore["ben-seed"])
+	}
+	// Belief flows to the unlabeled probes through machine hygiene.
+	dirtyProbe := res.FileScore["probe-dirty"]
+	cleanProbe := res.FileScore["probe-clean"]
+	if dirtyProbe <= cleanProbe {
+		t.Errorf("probe on dirty machines (%v) should outscore probe on clean machines (%v)", dirtyProbe, cleanProbe)
+	}
+	if res.MachineHygiene["dirty0"] <= res.MachineHygiene["clean0"] {
+		t.Error("dirty machine hygiene should exceed clean machine hygiene")
+	}
+}
+
+func TestEvaluateBuckets(t *testing.T) {
+	store := buildGraphStore(t)
+	res, err := Run(store, allIdx(store), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buckets := Evaluate(store, res, allIdx(store), 0.5)
+	if len(buckets) != 3 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	// mal-seed and ben-seed have prevalence 5 -> bucket prev>=4.
+	hi := buckets[2]
+	if hi.Malicious != 1 || hi.Detected != 1 {
+		t.Errorf("high bucket = %+v", hi)
+	}
+	if hi.Benign != 1 || hi.FalsePos != 0 {
+		t.Errorf("high bucket benign = %+v", hi)
+	}
+	if got := hi.DetectionRate(); got != 1.0 {
+		t.Errorf("detection rate = %v", got)
+	}
+	var empty BucketEval
+	if empty.DetectionRate() != 0 || empty.FPRate() != 0 {
+		t.Error("empty bucket rates should be 0")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	store := buildGraphStore(t)
+	a, err := Run(store, allIdx(store), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(store, allIdx(store), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, s := range a.FileScore {
+		if b.FileScore[f] != s {
+			t.Fatalf("score for %s differs between runs", f)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package stats provides deterministic random sampling primitives and
+// summary statistics used by the synthetic trace generator and the
+// measurement analytics.
+//
+// Every sampler takes an explicit *rand.Rand so that a fixed seed
+// reproduces an identical dataset; nothing in this package reads global
+// mutable state.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NewRNG returns a rand.Rand seeded deterministically from seed.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Fork derives a new independent RNG from r. The derived generator is
+// decoupled from subsequent draws on r, which keeps module-local sampling
+// stable when unrelated modules add or remove draws.
+func Fork(r *rand.Rand) *rand.Rand {
+	return rand.New(rand.NewSource(r.Int63()))
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(r *rand.Rand, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Zipf draws from a bounded Zipf distribution over [1, n] with exponent s.
+// It is a small wrapper around rand.Zipf that memoizes nothing; callers
+// that need many draws should use NewZipf.
+type Zipf struct {
+	z *rand.Zipf
+}
+
+// NewZipf constructs a Zipf sampler over {1, ..., n} with exponent s > 1.
+func NewZipf(r *rand.Rand, s float64, n uint64) (*Zipf, error) {
+	if s <= 1 {
+		return nil, fmt.Errorf("stats: zipf exponent must be > 1, got %v", s)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("stats: zipf support must be non-empty")
+	}
+	z := rand.NewZipf(r, s, 1, n-1)
+	if z == nil {
+		return nil, fmt.Errorf("stats: invalid zipf parameters s=%v n=%d", s, n)
+	}
+	return &Zipf{z: z}, nil
+}
+
+// Draw returns a value in [1, n].
+func (z *Zipf) Draw() uint64 {
+	return z.z.Uint64() + 1
+}
+
+// PowerLawInt draws an integer in [1, max] with P(k) proportional to
+// k^(-alpha). It uses inverse-CDF sampling over the precomputed weights
+// held by the sampler.
+type PowerLawInt struct {
+	cum []float64
+	r   *rand.Rand
+}
+
+// NewPowerLawInt builds a discrete power-law sampler over [1, max].
+func NewPowerLawInt(r *rand.Rand, alpha float64, max int) (*PowerLawInt, error) {
+	if max < 1 {
+		return nil, fmt.Errorf("stats: power law support must be >= 1, got %d", max)
+	}
+	if alpha <= 0 {
+		return nil, fmt.Errorf("stats: power law alpha must be > 0, got %v", alpha)
+	}
+	cum := make([]float64, max)
+	total := 0.0
+	for k := 1; k <= max; k++ {
+		total += math.Pow(float64(k), -alpha)
+		cum[k-1] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &PowerLawInt{cum: cum, r: r}, nil
+}
+
+// Draw returns a value in [1, max].
+func (p *PowerLawInt) Draw() int {
+	u := p.r.Float64()
+	idx := sort.SearchFloat64s(p.cum, u)
+	if idx >= len(p.cum) {
+		idx = len(p.cum) - 1
+	}
+	return idx + 1
+}
+
+// LogNormalInt draws a positive integer from a log-normal distribution
+// with the given mu and sigma of the underlying normal, clamped to
+// [min, max].
+func LogNormalInt(r *rand.Rand, mu, sigma float64, min, max int64) int64 {
+	v := int64(math.Round(math.Exp(r.NormFloat64()*sigma + mu)))
+	if v < min {
+		v = min
+	}
+	if v > max {
+		v = max
+	}
+	return v
+}
+
+// Poisson draws from a Poisson distribution with the given mean using
+// Knuth's method; suitable for the small means used by the trace
+// generator.
+func Poisson(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k // guard against pathological means
+		}
+	}
+}
+
+// Exponential draws from an exponential distribution with the given
+// mean, capped at max.
+func Exponential(r *rand.Rand, mean, max float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	v := r.ExpFloat64() * mean
+	if v > max {
+		v = max
+	}
+	return v
+}
+
+// WeightedChoice selects an index in [0, len(weights)) with probability
+// proportional to weights[i]. Weights must be non-negative and not all
+// zero; otherwise it returns an error.
+func WeightedChoice(r *rand.Rand, weights []float64) (int, error) {
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return 0, fmt.Errorf("stats: negative or NaN weight at index %d: %v", i, w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return 0, fmt.Errorf("stats: all weights are zero")
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i, nil
+		}
+	}
+	return len(weights) - 1, nil
+}
+
+// Categorical is a reusable weighted sampler over a fixed set of
+// categories, built once from the weights (alias-free cumulative table;
+// O(log n) per draw).
+type Categorical struct {
+	cum []float64
+	r   *rand.Rand
+}
+
+// NewCategorical builds a categorical sampler from weights.
+func NewCategorical(r *rand.Rand, weights []float64) (*Categorical, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("stats: categorical needs at least one weight")
+	}
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			return nil, fmt.Errorf("stats: negative or NaN weight at index %d: %v", i, w)
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("stats: all categorical weights are zero")
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Categorical{cum: cum, r: r}, nil
+}
+
+// Draw returns a category index.
+func (c *Categorical) Draw() int {
+	u := c.r.Float64()
+	idx := sort.SearchFloat64s(c.cum, u)
+	if idx >= len(c.cum) {
+		idx = len(c.cum) - 1
+	}
+	return idx
+}
+
+// Shuffle permutes s in place using r.
+func Shuffle[T any](r *rand.Rand, s []T) {
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+}
+
+// Sample returns k distinct elements drawn uniformly from s. If k exceeds
+// len(s) the whole slice is returned (copied, shuffled).
+func Sample[T any](r *rand.Rand, s []T, k int) []T {
+	cp := make([]T, len(s))
+	copy(cp, s)
+	Shuffle(r, cp)
+	if k > len(cp) {
+		k = len(cp)
+	}
+	return cp[:k]
+}

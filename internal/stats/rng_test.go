@@ -1,0 +1,273 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if got, want := a.Int63(), b.Int63(); got != want {
+			t.Fatalf("draw %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	a := NewRNG(7)
+	b := NewRNG(7)
+	fa := Fork(a)
+	fb := Fork(b)
+	// Same parent state forks to identical children.
+	for i := 0; i < 10; i++ {
+		if fa.Int63() != fb.Int63() {
+			t.Fatal("forked RNGs from identical parents diverged")
+		}
+	}
+	// Draws on the fork do not disturb the parent.
+	if a.Int63() != b.Int63() {
+		t.Fatal("parent RNGs diverged after forking")
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := NewRNG(1)
+	if Bernoulli(r, 0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+	if !Bernoulli(r, 1) {
+		t.Error("Bernoulli(1) returned false")
+	}
+	if Bernoulli(r, -0.5) {
+		t.Error("Bernoulli(-0.5) returned true")
+	}
+	if !Bernoulli(r, 1.5) {
+		t.Error("Bernoulli(1.5) returned false")
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := NewRNG(2)
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if Bernoulli(r, 0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.02 {
+		t.Errorf("Bernoulli(0.3) frequency = %v, want ~0.3", got)
+	}
+}
+
+func TestNewZipfValidation(t *testing.T) {
+	r := NewRNG(3)
+	if _, err := NewZipf(r, 1.0, 10); err == nil {
+		t.Error("expected error for s <= 1")
+	}
+	if _, err := NewZipf(r, 2.0, 0); err == nil {
+		t.Error("expected error for empty support")
+	}
+}
+
+func TestZipfRangeAndSkew(t *testing.T) {
+	r := NewRNG(4)
+	z, err := NewZipf(r, 2.0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ones := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		v := z.Draw()
+		if v < 1 || v > 100 {
+			t.Fatalf("Zipf draw %d out of range [1,100]", v)
+		}
+		if v == 1 {
+			ones++
+		}
+	}
+	if float64(ones)/n < 0.4 {
+		t.Errorf("Zipf(2.0) P(1) = %v, want heavily skewed to 1", float64(ones)/n)
+	}
+}
+
+func TestPowerLawIntValidation(t *testing.T) {
+	r := NewRNG(5)
+	if _, err := NewPowerLawInt(r, 2.5, 0); err == nil {
+		t.Error("expected error for max < 1")
+	}
+	if _, err := NewPowerLawInt(r, 0, 10); err == nil {
+		t.Error("expected error for alpha <= 0")
+	}
+}
+
+func TestPowerLawIntLongTail(t *testing.T) {
+	r := NewRNG(6)
+	p, err := NewPowerLawInt(r, 3.5, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHistogram()
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := p.Draw()
+		if v < 1 || v > 1000 {
+			t.Fatalf("draw %d out of range", v)
+		}
+		h.Add(v)
+	}
+	// With alpha=3.5 about 85-92% of the mass sits on k=1 (1/zeta(3.5)
+	// ~= 0.89): this is the regime the paper's prevalence distribution
+	// lives in.
+	if f := h.Fraction(1); f < 0.8 || f > 0.95 {
+		t.Errorf("P(1) = %v, want ~0.85-0.92", f)
+	}
+}
+
+func TestLogNormalIntClamp(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := LogNormalInt(r, 12, 2, 100, 5000)
+		if v < 100 || v > 5000 {
+			t.Fatalf("LogNormalInt out of clamp range: %d", v)
+		}
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	r := NewRNG(8)
+	if _, err := WeightedChoice(r, []float64{0, 0}); err == nil {
+		t.Error("expected error for all-zero weights")
+	}
+	if _, err := WeightedChoice(r, []float64{1, -1}); err == nil {
+		t.Error("expected error for negative weight")
+	}
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		idx, err := WeightedChoice(r, []float64{1, 2, 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[idx]++
+	}
+	if f := float64(counts[2]) / 30000; math.Abs(f-0.7) > 0.02 {
+		t.Errorf("weight-7 category frequency = %v, want ~0.7", f)
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	r := NewRNG(9)
+	if _, err := NewCategorical(r, nil); err == nil {
+		t.Error("expected error for empty weights")
+	}
+	if _, err := NewCategorical(r, []float64{0}); err == nil {
+		t.Error("expected error for zero total")
+	}
+	c, err := NewCategorical(r, []float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := [2]int{}
+	for i := 0; i < 20000; i++ {
+		counts[c.Draw()]++
+	}
+	if math.Abs(float64(counts[0])/20000-0.5) > 0.02 {
+		t.Errorf("uniform categorical skewed: %v", counts)
+	}
+}
+
+func TestSample(t *testing.T) {
+	r := NewRNG(10)
+	src := []int{1, 2, 3, 4, 5}
+	got := Sample(r, src, 3)
+	if len(got) != 3 {
+		t.Fatalf("Sample returned %d items, want 3", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("Sample returned duplicate %d", v)
+		}
+		seen[v] = true
+	}
+	if len(Sample(r, src, 10)) != 5 {
+		t.Error("Sample with k > len should return all elements")
+	}
+	// Source must be untouched.
+	for i, v := range []int{1, 2, 3, 4, 5} {
+		if src[i] != v {
+			t.Fatal("Sample mutated its input")
+		}
+	}
+}
+
+func TestSampleDistinctProperty(t *testing.T) {
+	r := NewRNG(11)
+	f := func(n uint8, k uint8) bool {
+		size := int(n%50) + 1
+		src := make([]int, size)
+		for i := range src {
+			src[i] = i
+		}
+		got := Sample(r, src, int(k%60))
+		seen := map[int]bool{}
+		for _, v := range got {
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return len(got) <= size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	r := NewRNG(20)
+	if got := Poisson(r, 0); got != 0 {
+		t.Errorf("Poisson(0) = %d", got)
+	}
+	if got := Poisson(r, -1); got != 0 {
+		t.Errorf("Poisson(-1) = %d", got)
+	}
+	const n = 20000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += Poisson(r, 2.5)
+	}
+	if mean := float64(sum) / n; math.Abs(mean-2.5) > 0.1 {
+		t.Errorf("Poisson(2.5) mean = %v", mean)
+	}
+}
+
+func TestExponential(t *testing.T) {
+	r := NewRNG(21)
+	if got := Exponential(r, 0, 10); got != 0 {
+		t.Errorf("Exponential(0) = %v", got)
+	}
+	const n = 20000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := Exponential(r, 3, 1000)
+		if v < 0 || v > 1000 {
+			t.Fatalf("Exponential out of range: %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-3) > 0.2 {
+		t.Errorf("Exponential(3) mean = %v", mean)
+	}
+	// Cap respected.
+	for i := 0; i < 1000; i++ {
+		if v := Exponential(r, 100, 5); v > 5 {
+			t.Fatalf("cap violated: %v", v)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+)
+
+// processCatalog holds the downloading-process populations: per-browser
+// version pools, Windows system processes, Java and Acrobat Reader
+// instances, other known-benign applications, and the large pool of
+// processes with no ground truth.
+type processCatalog struct {
+	browsers    map[dataset.Browser][]*dataset.FileMeta
+	windows     []*dataset.FileMeta
+	java        []*dataset.FileMeta
+	acrobat     []*dataset.FileMeta
+	otherBenign []*dataset.FileMeta
+	unknownProc []*dataset.FileMeta
+
+	browserPicker *stats.Categorical
+	browserOrder  []dataset.Browser
+}
+
+// browserMeta describes a browser product's executable and signer.
+var browserMeta = map[dataset.Browser]struct {
+	Exe    string
+	Signer string
+	// PaperVersions is the per-product process-hash count from Table XI.
+	PaperVersions int
+}{
+	dataset.BrowserFirefox: {Exe: "firefox.exe", Signer: "Mozilla Corporation", PaperVersions: 378},
+	dataset.BrowserChrome:  {Exe: "chrome.exe", Signer: "Google Inc", PaperVersions: 528},
+	dataset.BrowserOpera:   {Exe: "opera.exe", Signer: "Opera Software ASA", PaperVersions: 91},
+	dataset.BrowserSafari:  {Exe: "safari.exe", Signer: "Apple Inc.", PaperVersions: 17},
+	dataset.BrowserIE:      {Exe: "iexplore.exe", Signer: "Microsoft Corporation", PaperVersions: 307},
+}
+
+var windowsExeNames = []string{
+	"svchost.exe", "rundll32.exe", "explorer.exe", "wuauclt.exe",
+	"mshta.exe", "wscript.exe", "cscript.exe", "regsvr32.exe",
+	"dllhost.exe", "taskhost.exe", "winlogon.exe", "services.exe",
+	"msiexec.exe", "spoolsv.exe", "lsass.exe", "conhost.exe",
+}
+
+var otherBenignExeNames = []string{
+	"utorrent.exe", "bittorrent.exe", "dropbox.exe", "skype.exe",
+	"steam.exe", "spotify.exe", "vlc.exe", "winamp.exe", "foobar.exe",
+	"teamviewer.exe", "curseclient.exe", "origin.exe", "gog.exe",
+	"emule.exe", "filezilla.exe",
+}
+
+func newProcessCatalog(rng *rand.Rand, scale float64, w *World) (*processCatalog, error) {
+	c := &processCatalog{browsers: make(map[dataset.Browser][]*dataset.FileMeta)}
+	scaled := func(paper, min int) int {
+		n := int(float64(paper) * scale)
+		if n < min {
+			n = min
+		}
+		return n
+	}
+	mkProc := func(id, exe, signer, ca string, cat dataset.ProcessCategory, br dataset.Browser, packer string) *dataset.FileMeta {
+		return &dataset.FileMeta{
+			Hash:     dataset.FileHash("proc-" + id),
+			Size:     stats.LogNormalInt(rng, 14.5, 1.0, 50_000, 200_000_000),
+			Path:     "C:/Program Files/" + exe,
+			Signer:   signer,
+			CA:       ca,
+			Packer:   packer,
+			Category: cat,
+			Browser:  br,
+		}
+	}
+	// Browser version pools (Table XI process counts).
+	for _, br := range dataset.AllBrowsers {
+		meta := browserMeta[br]
+		n := scaled(meta.PaperVersions, 3)
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("%s-%04d", br.String(), i)
+			c.browsers[br] = append(c.browsers[br],
+				mkProc(id, meta.Exe, meta.Signer, benignCAs[stableIndex(meta.Signer, len(benignCAs))], dataset.CategoryBrowser, br, ""))
+		}
+	}
+	// Windows system processes (Table X: 587 versions). Their signer is
+	// "Microsoft Windows", which the paper's learned rules reference.
+	for i, n := 0, scaled(587, 6); i < n; i++ {
+		exe := windowsExeNames[i%len(windowsExeNames)]
+		c.windows = append(c.windows,
+			mkProc(fmt.Sprintf("win-%04d", i), exe, "Microsoft Windows", benignCAs[0], dataset.CategoryWindows, dataset.BrowserNone, ""))
+	}
+	for i, n := 0, scaled(173, 3); i < n; i++ {
+		exe := []string{"java.exe", "javaw.exe", "javaws.exe"}[i%3]
+		c.java = append(c.java,
+			mkProc(fmt.Sprintf("java-%04d", i), exe, "Oracle America", benignCAs[1], dataset.CategoryJava, dataset.BrowserNone, ""))
+	}
+	for i, n := 0, scaled(9, 2); i < n; i++ {
+		c.acrobat = append(c.acrobat,
+			mkProc(fmt.Sprintf("acro-%02d", i), "acrord32.exe", "Adobe Systems Incorporated", benignCAs[1], dataset.CategoryAcrobat, dataset.BrowserNone, ""))
+	}
+	// Other known-benign applications (Table X: 8,714 versions).
+	for i, n := 0, scaled(8_714, 12); i < n; i++ {
+		exe := otherBenignExeNames[i%len(otherBenignExeNames)]
+		signer := ""
+		ca := ""
+		if stats.Bernoulli(rng, 0.7) {
+			si := w.signerForBenign(rng)
+			signer, ca = si.Name, si.CA
+		}
+		packer := ""
+		if stats.Bernoulli(rng, 0.3) {
+			packer = w.packerFor(false, rng)
+		}
+		c.otherBenign = append(c.otherBenign,
+			mkProc(fmt.Sprintf("other-%05d", i), exe, signer, ca, dataset.CategoryOther, dataset.BrowserNone, packer))
+	}
+	// Unknown processes: ~74% of the 141,229 process hashes have no
+	// ground truth.
+	for i, n := 0, scaled(104_000, 25); i < n; i++ {
+		exe := fmt.Sprintf("app%04d.exe", i)
+		signer := ""
+		ca := ""
+		if stats.Bernoulli(rng, 0.35) {
+			si := w.commonSigners[stableIndex(exe, len(w.commonSigners))]
+			signer, ca = si.Name, si.CA
+		}
+		packer := ""
+		if stats.Bernoulli(rng, 0.5) {
+			packer = w.packerFor(stats.Bernoulli(rng, 0.5), rng)
+		}
+		c.unknownProc = append(c.unknownProc,
+			mkProc(fmt.Sprintf("unk-%05d", i), exe, signer, ca, dataset.CategoryOther, dataset.BrowserNone, packer))
+	}
+	// Browser product picker (event-volume weights from Table XI).
+	weights := make([]float64, 0, len(dataset.AllBrowsers))
+	for _, br := range dataset.AllBrowsers {
+		weights = append(weights, browserEventWeights[br])
+		c.browserOrder = append(c.browserOrder, br)
+	}
+	picker, err := stats.NewCategorical(rng, weights)
+	if err != nil {
+		return nil, err
+	}
+	c.browserPicker = picker
+	return c, nil
+}
+
+// all returns every benign process plus the unknown pool, for metadata
+// registration and whitelisting.
+func (c *processCatalog) all() []*dataset.FileMeta {
+	var out []*dataset.FileMeta
+	for _, br := range dataset.AllBrowsers {
+		out = append(out, c.browsers[br]...)
+	}
+	out = append(out, c.windows...)
+	out = append(out, c.java...)
+	out = append(out, c.acrobat...)
+	out = append(out, c.otherBenign...)
+	out = append(out, c.unknownProc...)
+	return out
+}
+
+// knownBenign returns the processes whose hashes go onto the file
+// whitelist (the "known benign processes" of Section V-A).
+func (c *processCatalog) knownBenign() []*dataset.FileMeta {
+	var out []*dataset.FileMeta
+	for _, br := range dataset.AllBrowsers {
+		out = append(out, c.browsers[br]...)
+	}
+	out = append(out, c.windows...)
+	out = append(out, c.java...)
+	out = append(out, c.acrobat...)
+	out = append(out, c.otherBenign...)
+	return out
+}
+
+// pickBrowser selects a browser product for an event.
+func (c *processCatalog) pickBrowser() dataset.Browser {
+	return c.browserOrder[c.browserPicker.Draw()]
+}
+
+// versionFor returns the stable process version a machine uses for the
+// given pool: real machines run one installed copy, so the same machine
+// always reports the same process hash for a product.
+func versionFor(machine dataset.MachineID, poolTag string, pool []*dataset.FileMeta) *dataset.FileMeta {
+	return pool[stableIndex(string(machine)+"|"+poolTag, len(pool))]
+}

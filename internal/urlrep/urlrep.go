@@ -1,0 +1,174 @@
+// Package urlrep implements a download-source reputation baseline in the
+// spirit of CAMP (Rajab et al., NDSS 2013) and Amico (Vadrevu et al.,
+// ESORICS 2013): a file is judged by the historical reputation of the
+// domain serving it. The paper's Section IV-B predicts exactly where
+// this fails — file-hosting services like softonic.com and mediafire.com
+// serve both benign and malicious files, so their mixed reputation
+// produces false positives or negatives. The Evaluate helper quantifies
+// that failure mode on the synthetic corpus.
+package urlrep
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// Model holds per-domain reputation learned from a training window.
+type Model struct {
+	// MaliciousRatio is (malicious files served) / (labeled files
+	// served) per domain.
+	MaliciousRatio map[string]float64
+	// Support is the number of labeled files behind each ratio.
+	Support map[string]int
+	// MinSupport gates how many labeled files a domain needs before its
+	// reputation is trusted.
+	MinSupport int
+}
+
+// Train computes domain reputations over the training event indexes.
+func Train(store *dataset.Store, trainIdx []int, minSupport int) (*Model, error) {
+	if store == nil || !store.Frozen() {
+		return nil, fmt.Errorf("urlrep: store must be frozen")
+	}
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	events := store.Events()
+	type counts struct{ mal, total int }
+	perDomain := make(map[string]*counts)
+	seen := make(map[[2]string]struct{})
+	for _, i := range trainIdx {
+		if i < 0 || i >= len(events) {
+			return nil, fmt.Errorf("urlrep: event index %d out of range", i)
+		}
+		e := &events[i]
+		label := store.Label(e.File)
+		if label != dataset.LabelMalicious && label != dataset.LabelBenign {
+			continue
+		}
+		key := [2]string{e.Domain, string(e.File)}
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		c, ok := perDomain[e.Domain]
+		if !ok {
+			c = &counts{}
+			perDomain[e.Domain] = c
+		}
+		c.total++
+		if label == dataset.LabelMalicious {
+			c.mal++
+		}
+	}
+	m := &Model{
+		MaliciousRatio: make(map[string]float64, len(perDomain)),
+		Support:        make(map[string]int, len(perDomain)),
+		MinSupport:     minSupport,
+	}
+	for d, c := range perDomain {
+		m.MaliciousRatio[d] = float64(c.mal) / float64(c.total)
+		m.Support[d] = c.total
+	}
+	return m, nil
+}
+
+// Verdict is the model's judgment of a file by its serving domain.
+type Verdict int
+
+// Verdicts.
+const (
+	// NoEvidence: the domain has too little labeled history.
+	NoEvidence Verdict = iota
+	// JudgedBenign / JudgedMalicious by domain reputation threshold.
+	JudgedBenign
+	JudgedMalicious
+)
+
+// Judge scores one download domain at the given maliciousness threshold.
+func (m *Model) Judge(domain string, threshold float64) Verdict {
+	if m.Support[domain] < m.MinSupport {
+		return NoEvidence
+	}
+	if m.MaliciousRatio[domain] >= threshold {
+		return JudgedMalicious
+	}
+	return JudgedBenign
+}
+
+// Eval summarizes file-level performance of the domain-reputation
+// baseline.
+type Eval struct {
+	// Judged counts test files with enough domain evidence.
+	Judged int
+	// TP, FP, FN, TN are file-level outcomes among judged files.
+	TP, FP, FN, TN int
+	// MixedDomainErrors counts errors on domains that served BOTH
+	// labeled benign and malicious training files — the paper's
+	// mixed-reputation failure mode.
+	MixedDomainErrors int
+}
+
+// TPRate returns TP / (TP + FN).
+func (e *Eval) TPRate() float64 {
+	if e.TP+e.FN == 0 {
+		return 0
+	}
+	return float64(e.TP) / float64(e.TP+e.FN)
+}
+
+// FPRate returns FP / (FP + TN).
+func (e *Eval) FPRate() float64 {
+	if e.FP+e.TN == 0 {
+		return 0
+	}
+	return float64(e.FP) / float64(e.FP+e.TN)
+}
+
+// Evaluate judges the labeled test files by their download domains.
+func Evaluate(store *dataset.Store, m *Model, testIdx []int, threshold float64) Eval {
+	events := store.Events()
+	var out Eval
+	seen := make(map[dataset.FileHash]struct{})
+	for _, i := range testIdx {
+		if i < 0 || i >= len(events) {
+			continue
+		}
+		e := &events[i]
+		if _, dup := seen[e.File]; dup {
+			continue
+		}
+		seen[e.File] = struct{}{}
+		label := store.Label(e.File)
+		if label != dataset.LabelMalicious && label != dataset.LabelBenign {
+			continue
+		}
+		verdict := m.Judge(e.Domain, threshold)
+		if verdict == NoEvidence {
+			continue
+		}
+		out.Judged++
+		mixed := m.MaliciousRatio[e.Domain] > 0 && m.MaliciousRatio[e.Domain] < 1 &&
+			m.Support[e.Domain] >= m.MinSupport
+		truthMal := label == dataset.LabelMalicious
+		judgedMal := verdict == JudgedMalicious
+		switch {
+		case truthMal && judgedMal:
+			out.TP++
+		case truthMal && !judgedMal:
+			out.FN++
+			if mixed {
+				out.MixedDomainErrors++
+			}
+		case !truthMal && judgedMal:
+			out.FP++
+			if mixed {
+				out.MixedDomainErrors++
+			}
+		default:
+			out.TN++
+		}
+	}
+	return out
+}

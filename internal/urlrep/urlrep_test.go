@@ -1,0 +1,145 @@
+package urlrep
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// buildRepStore creates a store with one clean domain, one dirty domain
+// and one mixed-reputation hosting domain.
+func buildRepStore(t *testing.T) *dataset.Store {
+	t.Helper()
+	store := dataset.NewStore()
+	at := time.Date(2014, time.January, 1, 0, 0, 0, 0, time.UTC)
+	n := 0
+	add := func(domain string, malicious bool) dataset.FileHash {
+		t.Helper()
+		n++
+		f := dataset.FileHash(fmt.Sprintf("f%03d", n))
+		err := store.AddEvent(dataset.DownloadEvent{
+			File: f, Machine: dataset.MachineID(fmt.Sprintf("m%03d", n)),
+			Process: "proc", URL: "http://" + domain + "/x", Domain: domain,
+			Time: at, Executed: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		at = at.Add(time.Minute)
+		label := dataset.LabelBenign
+		if malicious {
+			label = dataset.LabelMalicious
+		}
+		if err := store.SetTruth(f, dataset.GroundTruth{Label: label}); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	for i := 0; i < 10; i++ {
+		add("clean.com", false)
+		add("dirty.com", true)
+		// Mixed domain: 50/50.
+		add("mixed.com", i%2 == 0)
+	}
+	store.Freeze()
+	return store
+}
+
+func allIdx(store *dataset.Store) []int {
+	out := make([]int, store.NumEvents())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(nil, nil, 1); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := Train(dataset.NewStore(), nil, 1); err == nil {
+		t.Error("unfrozen store accepted")
+	}
+	store := buildRepStore(t)
+	if _, err := Train(store, []int{-1}, 1); err == nil {
+		t.Error("bad index accepted")
+	}
+}
+
+func TestTrainRatios(t *testing.T) {
+	store := buildRepStore(t)
+	m, err := Train(store, allIdx(store), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.MaliciousRatio["clean.com"]; got != 0 {
+		t.Errorf("clean ratio = %v", got)
+	}
+	if got := m.MaliciousRatio["dirty.com"]; got != 1 {
+		t.Errorf("dirty ratio = %v", got)
+	}
+	if got := m.MaliciousRatio["mixed.com"]; got != 0.5 {
+		t.Errorf("mixed ratio = %v", got)
+	}
+	if m.Support["clean.com"] != 10 {
+		t.Errorf("support = %d", m.Support["clean.com"])
+	}
+}
+
+func TestJudge(t *testing.T) {
+	store := buildRepStore(t)
+	m, err := Train(store, allIdx(store), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Judge("dirty.com", 0.5); got != JudgedMalicious {
+		t.Errorf("dirty = %v", got)
+	}
+	if got := m.Judge("clean.com", 0.5); got != JudgedBenign {
+		t.Errorf("clean = %v", got)
+	}
+	if got := m.Judge("neverseen.com", 0.5); got != NoEvidence {
+		t.Errorf("unseen = %v", got)
+	}
+	// Mixed domain flips with the threshold: the paper's failure mode.
+	if got := m.Judge("mixed.com", 0.4); got != JudgedMalicious {
+		t.Errorf("mixed at 0.4 = %v", got)
+	}
+	if got := m.Judge("mixed.com", 0.6); got != JudgedBenign {
+		t.Errorf("mixed at 0.6 = %v", got)
+	}
+}
+
+func TestEvaluateMixedDomainErrors(t *testing.T) {
+	store := buildRepStore(t)
+	m, err := Train(store, allIdx(store), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threshold 0.4: mixed.com judged malicious -> its 5 benign files
+	// become FPs, all attributable to mixed reputation.
+	ev := Evaluate(store, m, allIdx(store), 0.4)
+	if ev.Judged != 30 {
+		t.Errorf("judged = %d", ev.Judged)
+	}
+	if ev.FP != 5 {
+		t.Errorf("FP = %d, want 5 (mixed.com benign files)", ev.FP)
+	}
+	if ev.MixedDomainErrors != 5 {
+		t.Errorf("mixed-domain errors = %d, want 5", ev.MixedDomainErrors)
+	}
+	// Threshold 0.6: mixed.com judged benign -> its malware becomes FNs.
+	ev = Evaluate(store, m, allIdx(store), 0.6)
+	if ev.FN != 5 {
+		t.Errorf("FN = %d, want 5", ev.FN)
+	}
+	if ev.TPRate() != float64(10)/15 {
+		t.Errorf("TP rate = %v", ev.TPRate())
+	}
+	var empty Eval
+	if empty.TPRate() != 0 || empty.FPRate() != 0 {
+		t.Error("empty eval rates should be 0")
+	}
+}
