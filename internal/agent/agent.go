@@ -33,13 +33,30 @@ type Stats struct {
 }
 
 // CollectionServer receives download reports from software agents and
-// stores the surviving ones.
+// stores the surviving ones. It is single-goroutine: the deployment's
+// CS serializes ingestion per shard, and the simulation feeds it from
+// one stream.
+//
+// Two ingestion paths exist. Report applies the collection rules to one
+// event directly (exactly-once, in-order callers such as the trace
+// generator). Deliver is the at-least-once network endpoint: it accepts
+// sequence-numbered envelopes that may arrive duplicated or reordered,
+// deduplicates them, restores sequence order within a bounded window,
+// and feeds the surviving events to Report — see transport.go.
 type CollectionServer struct {
 	sigma   int
 	agentWL *reputation.DomainList
 	store   *dataset.Store
 	seen    map[dataset.FileHash]map[dataset.MachineID]struct{}
 	stats   Stats
+
+	// At-least-once transport state (transport.go): the next sequence
+	// number Report expects, events that arrived ahead of it, and the
+	// delivery counters.
+	nextSeq       uint64
+	pendingSeq    map[uint64]dataset.DownloadEvent
+	reorderWindow int
+	tstats        TransportStats
 }
 
 // NewCollectionServer builds a CS writing into store. agentWL may be nil
@@ -52,10 +69,12 @@ func NewCollectionServer(store *dataset.Store, sigma int, agentWL *reputation.Do
 		return nil, fmt.Errorf("agent: sigma %d must be >= 1", sigma)
 	}
 	return &CollectionServer{
-		sigma:   sigma,
-		agentWL: agentWL,
-		store:   store,
-		seen:    make(map[dataset.FileHash]map[dataset.MachineID]struct{}),
+		sigma:         sigma,
+		agentWL:       agentWL,
+		store:         store,
+		seen:          make(map[dataset.FileHash]map[dataset.MachineID]struct{}),
+		pendingSeq:    make(map[uint64]dataset.DownloadEvent),
+		reorderWindow: DefaultReorderWindow,
 	}, nil
 }
 
@@ -81,14 +100,10 @@ func (cs *CollectionServer) Report(e dataset.DownloadEvent) error {
 		machines = make(map[dataset.MachineID]struct{}, 1)
 		cs.seen[e.File] = machines
 	}
-	if _, known := machines[e.Machine]; !known && len(machines) >= cs.sigma {
-		cs.stats.DroppedPrevalenceCap++
-		return nil
-	}
 	if len(machines) >= cs.sigma {
-		// Re-download by an already-counted machine once the cap is
-		// reached: the distinct-machine count is not below sigma, so the
-		// event is not reported.
+		// The distinct-machine count is not below sigma, so the event is
+		// not reported — whether it comes from a new machine or is a
+		// re-download by an already-counted one.
 		cs.stats.DroppedPrevalenceCap++
 		return nil
 	}

@@ -242,6 +242,38 @@ func TestScanLastScanClamped(t *testing.T) {
 	if rep.LastScan.After(mid) {
 		t.Error("LastScan extends past scan time")
 	}
+	// Querying before the sample's last corpus scan clamps the reported
+	// history to the query time exactly...
+	if !rep.LastScan.Equal(mid) {
+		t.Errorf("LastScan = %v, want clamped to query time %v", rep.LastScan, mid)
+	}
+	// ...and querying after it must not: the corpus history simply ends.
+	late := t2y.AddDate(1, 0, 0)
+	if rep := svc.Scan(s, late); rep == nil || !rep.LastScan.Equal(t2y) {
+		t.Errorf("LastScan after corpus end = %v, want %v unclamped", rep.LastScan, t2y)
+	}
+}
+
+func TestScanAtExactFirstScan(t *testing.T) {
+	// The corpus-entry boundary is inclusive: a query at precisely
+	// FirstScan yields a report (with a single-instant scan history),
+	// while one nanosecond earlier yields nil.
+	svc := NewDefaultService()
+	s := malSample("edge1", dataset.TypeTrojan, "")
+	rep := svc.Scan(s, t0)
+	if rep == nil {
+		t.Fatal("scan at exactly FirstScan returned nil")
+	}
+	if !rep.FirstScan.Equal(t0) || !rep.LastScan.Equal(t0) {
+		t.Errorf("history at boundary = [%v, %v], want [%v, %v]",
+			rep.FirstScan, rep.LastScan, t0, t0)
+	}
+	if !rep.ScanTime.Equal(t0) {
+		t.Errorf("ScanTime = %v, want %v", rep.ScanTime, t0)
+	}
+	if rep := svc.Scan(s, t0.Add(-time.Nanosecond)); rep != nil {
+		t.Error("scan a nanosecond before FirstScan returned a report")
+	}
 }
 
 func TestGenericTrustedGrammarShapes(t *testing.T) {

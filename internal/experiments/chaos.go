@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/avsim"
+	"repro/internal/dataset"
+	"repro/internal/export"
+	"repro/internal/faults"
+	"repro/internal/labeling"
+	"repro/internal/retry"
+	"repro/internal/synth"
+)
+
+// ChaosConfig parameterizes the chaos harness: a full pipeline run with
+// faults injected into the agent->CS transport and the scan service,
+// compared against a fault-free run of the same seed.
+type ChaosConfig struct {
+	// Synth generates the dataset; KeepRawTrace is forced on.
+	Synth synth.Config
+	// Faults drives both the link and the scan-service injectors (the
+	// scanner uses Seed+1 so the two schedules are independent).
+	Faults faults.Config
+	// RedeliverTail is how many already-acknowledged envelopes the sender
+	// retransmits after the simulated CS crash (its unacked window).
+	RedeliverTail int
+}
+
+// DefaultChaosConfig returns the standard chaos scenario: a small-scale
+// dataset pushed through a link dropping 12% of sends, duplicating 6%,
+// losing 5% of acks and reordering 8%, with a scan service that fails
+// transiently at the same rate and permanently for a quarter of the
+// out-of-corpus files, plus one CS crash/restore mid-stream.
+func DefaultChaosConfig(seed int64) ChaosConfig {
+	sc := synth.DefaultConfig(seed, 0.003)
+	sc.KeepRawTrace = true
+	return ChaosConfig{
+		Synth: sc,
+		Faults: faults.Config{
+			Seed:                   seed,
+			ErrorRate:              0.12,
+			MaxConsecutiveFailures: 3,
+			TimeoutRate:            0.35,
+			DuplicateRate:          0.06,
+			AckLossRate:            0.05,
+			ReorderRate:            0.08,
+			ReorderWindow:          6,
+			PersistentRate:         0.25,
+		},
+		RedeliverTail: 8,
+	}
+}
+
+// ChaosReport is the outcome of one chaos run.
+type ChaosReport struct {
+	// RawEvents is the size of the replayed pre-collection trace;
+	// Collected is how many events survived the collection rules.
+	RawEvents int
+	Collected int
+	// Link counts what the faulty network did; Transport what the CS
+	// observed; Retransmissions what the sender's retry loop did.
+	Link            faults.LinkStats
+	Transport       agent.TransportStats
+	Retransmissions int64
+	// CheckpointBytes is the size of the mid-stream crash snapshot.
+	CheckpointBytes int
+	// Scan-side fault and degradation counters.
+	Scan        faults.ScannerStats
+	ScanRetries int64
+	Degraded    int64
+	// StoreBytesEqual reports whether the frozen, labeled chaos store
+	// serializes to exactly the bytes of the fault-free baseline;
+	// LabelDistEqual whether the per-label file counts match.
+	StoreBytesEqual bool
+	LabelDistEqual  bool
+	BaselineLabels  map[dataset.Label]int
+	ChaosLabels     map[dataset.Label]int
+}
+
+// labelDist counts files per ground-truth label.
+func labelDist(store *dataset.Store) map[dataset.Label]int {
+	out := make(map[dataset.Label]int)
+	for _, h := range store.Files() {
+		out[store.Label(h)]++
+	}
+	return out
+}
+
+func equalDist(a, b map[dataset.Label]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// RunChaos generates one dataset, runs it through the fault-free
+// pipeline and through a fault-injected pipeline — unreliable transport
+// with a mid-stream CS crash/restore, flaky scan service with graceful
+// degradation — and compares the two labeled stores byte for byte. With
+// a fixed seed the comparison must come out identical: that is the
+// system's headline fault-tolerance guarantee.
+func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
+	cfg.Synth.KeepRawTrace = true
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, fmt.Errorf("experiments: chaos: %w", err)
+	}
+	res, err := synth.Generate(cfg.Synth)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: chaos: generate: %w", err)
+	}
+	rep := &ChaosReport{RawEvents: len(res.RawTrace)}
+
+	// Fault-free baseline: the store Generate already collected, labeled
+	// through the pristine scan service.
+	baseLab, err := labeling.New(avsim.NewDefaultService(), res.Oracle, nil, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := baseLab.LabelStore(res.Store, res.Samples); err != nil {
+		return nil, fmt.Errorf("experiments: chaos: baseline label: %w", err)
+	}
+
+	// Chaos run: a fresh store with the same file metadata, fed the same
+	// raw trace through the faulty link and the at-least-once transport.
+	chaosStore := dataset.NewStore()
+	for _, h := range res.Store.Files() {
+		if err := chaosStore.PutFile(res.Store.File(h)); err != nil {
+			return nil, err
+		}
+	}
+	cur, err := agent.NewCollectionServer(chaosStore, cfg.Synth.Sigma, res.Oracle.AgentURLWhitelist)
+	if err != nil {
+		return nil, err
+	}
+	linkInj, err := faults.NewInjector(cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
+	link, err := faults.NewLink(linkInj,
+		func(env agent.Envelope) string { return fmt.Sprintf("env-%d", env.Seq) },
+		func(env agent.Envelope) error { return cur.Deliver(env) })
+	if err != nil {
+		return nil, err
+	}
+	noSleep := func(ctx context.Context, _ time.Duration) error { return ctx.Err() }
+	policy := retry.Policy{
+		// The injector bounds consecutive failures, and an ack loss can
+		// stack one more error on top of a full drop streak.
+		MaxAttempts: cfg.Faults.MaxConsecutiveFailures + 2,
+		Sleep:       noSleep,
+		JitterSeed:  cfg.Faults.Seed,
+	}
+	uplink, err := agent.NewUplink(link.Send, policy)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx := context.Background()
+	crashAt := len(res.RawTrace) / 2
+	for i, e := range res.RawTrace {
+		if err := uplink.Send(ctx, agent.Envelope{Seq: uint64(i), Event: e}); err != nil {
+			return nil, fmt.Errorf("experiments: chaos: send %d: %w", i, err)
+		}
+		if i == crashAt {
+			// Simulated CS crash: drain the link, snapshot the server,
+			// restore a fresh process over the same durable store, and
+			// retransmit the sender's unacked tail (which the restored
+			// server must deduplicate).
+			if err := link.Flush(); err != nil {
+				return nil, err
+			}
+			snap, err := cur.Checkpoint()
+			if err != nil {
+				return nil, err
+			}
+			rep.CheckpointBytes = len(snap)
+			cur, err = agent.RestoreCollectionServer(chaosStore, res.Oracle.AgentURLWhitelist, snap)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: chaos: restore: %w", err)
+			}
+			for j := i - cfg.RedeliverTail; j <= i; j++ {
+				if j < 0 {
+					continue
+				}
+				if err := uplink.Send(ctx, agent.Envelope{Seq: uint64(j), Event: res.RawTrace[j]}); err != nil {
+					return nil, fmt.Errorf("experiments: chaos: redeliver %d: %w", j, err)
+				}
+			}
+		}
+	}
+	if err := link.Flush(); err != nil {
+		return nil, err
+	}
+	rep.Link = link.Stats()
+	rep.Transport = cur.TransportStats()
+	rep.Retransmissions = uplink.Retransmissions()
+	rep.Collected = chaosStore.NumEvents()
+
+	// Chaos labeling: the scan service fails transiently for any file and
+	// permanently only for files outside the scan corpus — whose ground
+	// truth is unknown either way, so degradation to unknown is exercised
+	// without being able to change any label.
+	scanCfg := cfg.Faults
+	scanCfg.Seed++
+	scanInj, err := faults.NewInjector(scanCfg)
+	if err != nil {
+		return nil, err
+	}
+	flaky, err := faults.NewFlakyScanner(
+		labeling.ServiceScanner{Svc: avsim.NewDefaultService()}, scanInj,
+		func(s *avsim.Sample) bool { return s == nil || !s.InCorpus })
+	if err != nil {
+		return nil, err
+	}
+	chaosLab, err := labeling.NewWithScanner(flaky, res.Oracle, nil, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	chaosLab.SetRetryPolicy(policy)
+	if err := chaosLab.LabelStore(chaosStore, res.Samples); err != nil {
+		return nil, fmt.Errorf("experiments: chaos: label: %w", err)
+	}
+	rep.Scan = flaky.Stats()
+	rep.ScanRetries = chaosLab.ScanRetries()
+	rep.Degraded = chaosLab.Degraded()
+
+	res.Store.Freeze()
+	chaosStore.Freeze()
+	var baseBuf, chaosBuf bytes.Buffer
+	if err := export.WriteStore(&baseBuf, res.Store); err != nil {
+		return nil, err
+	}
+	if err := export.WriteStore(&chaosBuf, chaosStore); err != nil {
+		return nil, err
+	}
+	rep.StoreBytesEqual = bytes.Equal(baseBuf.Bytes(), chaosBuf.Bytes())
+	rep.BaselineLabels = labelDist(res.Store)
+	rep.ChaosLabels = labelDist(chaosStore)
+	rep.LabelDistEqual = equalDist(rep.BaselineLabels, rep.ChaosLabels)
+	return rep, nil
+}
+
+// Chaos runs the default chaos scenario at the pipeline's seed and
+// renders the outcome.
+func Chaos(p *Pipeline, w io.Writer) error {
+	rep, err := RunChaos(DefaultChaosConfig(p.Config.Seed))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Chaos run: fault-injected pipeline vs fault-free baseline\n\n")
+	fmt.Fprintf(w, "raw events replayed      %8d\n", rep.RawEvents)
+	fmt.Fprintf(w, "events collected         %8d\n", rep.Collected)
+	fmt.Fprintf(w, "link drops / timeouts    %8d / %d\n", rep.Link.Drops, rep.Link.DropTimeouts)
+	fmt.Fprintf(w, "link duplicates          %8d\n", rep.Link.Duplicates)
+	fmt.Fprintf(w, "link ack losses          %8d\n", rep.Link.AckLosses)
+	fmt.Fprintf(w, "link reordered           %8d (max held %d)\n", rep.Link.Reordered, rep.Link.MaxHeld)
+	fmt.Fprintf(w, "sender retransmissions   %8d\n", rep.Retransmissions)
+	fmt.Fprintf(w, "CS duplicates dropped    %8d\n", rep.Transport.Duplicates)
+	fmt.Fprintf(w, "CS out-of-order buffered %8d (max pending %d)\n", rep.Transport.OutOfOrder, rep.Transport.MaxPending)
+	fmt.Fprintf(w, "CS crash checkpoint      %8d bytes\n", rep.CheckpointBytes)
+	fmt.Fprintf(w, "scan transient faults    %8d errors, %d timeouts\n", rep.Scan.InjectedErrors, rep.Scan.InjectedTimeouts)
+	fmt.Fprintf(w, "scan retries             %8d\n", rep.ScanRetries)
+	fmt.Fprintf(w, "files degraded->unknown  %8d (%d dead scan keys)\n", rep.Degraded, rep.Scan.PersistentKeys)
+	fmt.Fprintf(w, "\nstore bytes identical    %v\n", rep.StoreBytesEqual)
+	fmt.Fprintf(w, "label dist identical     %v\n", rep.LabelDistEqual)
+	for _, lbl := range []dataset.Label{dataset.LabelBenign, dataset.LabelLikelyBenign,
+		dataset.LabelMalicious, dataset.LabelLikelyMalicious, dataset.LabelUnknown} {
+		fmt.Fprintf(w, "  %-18s baseline %6d  chaos %6d\n", lbl, rep.BaselineLabels[lbl], rep.ChaosLabels[lbl])
+	}
+	if !rep.StoreBytesEqual || !rep.LabelDistEqual {
+		return fmt.Errorf("experiments: chaos run diverged from fault-free baseline")
+	}
+	return nil
+}

@@ -45,6 +45,7 @@ var All = []Experiment{
 	{ID: "evasion", Name: "Section VII: signer-rotation evasion study", Run: Evasion},
 	{ID: "avtypestats", Name: "Section II-C: AVType resolution-rule shares", Run: AVTypeStats},
 	{ID: "chains", Name: "Extension: malicious download-chain depths", Run: Chains},
+	{ID: "chaos", Name: "Robustness: fault-injected pipeline vs fault-free baseline", Run: Chaos},
 }
 
 // ByID returns the experiment with the given ID.

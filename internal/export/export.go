@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"repro/internal/dataset"
@@ -87,7 +88,12 @@ func WriteStoreWithOracle(w io.Writer, store *dataset.Store, oracle *reputation.
 	if err := enc.Encode(header{Type: "header", Version: FormatVersion}); err != nil {
 		return err
 	}
-	for _, h := range store.Files() {
+	// Sort files and (below) domains so identical stores serialize to
+	// identical bytes — which is what lets fault-tolerance tests compare
+	// a recovered run against a fault-free baseline with a byte diff.
+	files := store.Files()
+	sort.Slice(files, func(i, j int) bool { return files[i] < files[j] })
+	for _, h := range files {
 		m := store.File(h)
 		if m == nil {
 			continue
@@ -123,7 +129,12 @@ func WriteStoreWithOracle(w io.Writer, store *dataset.Store, oracle *reputation.
 			domains[e.Domain] = struct{}{}
 		}
 	}
+	sorted := make([]string, 0, len(domains))
 	for d := range domains {
+		sorted = append(sorted, d)
+	}
+	sort.Strings(sorted)
+	for _, d := range sorted {
 		line := urlLine{Type: "url", Domain: d, Verdict: int(store.URLVerdict(d))}
 		if oracle != nil {
 			line.Rank = oracle.AlexaRank(d)

@@ -1,0 +1,211 @@
+// Package faults provides a deterministic, seed-driven fault injector
+// for the collection and labeling pipeline. The paper's deployment ran
+// millions of endpoint agents reporting over real networks and built
+// ground truth by querying a remote multi-engine scan service — all of
+// which drop, time out, duplicate, reorder and rate-limit in practice.
+// This package simulates exactly those failure modes so the rest of the
+// system can prove it tolerates them.
+//
+// Every decision is a pure function of (seed, operation key), computed
+// by stable hashing: the same seed and the same keys reproduce the same
+// fault schedule regardless of goroutine interleaving or retry timing.
+// That property is what lets the chaos harness assert that a pipeline
+// run under faults produces byte-identical results to the fault-free
+// run — the headline guarantee of the fault-tolerance layer.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// Injected fault errors. Both are transient: a caller that retries long
+// enough will get through (the injector bounds consecutive failures).
+var (
+	// ErrInjected is a generic injected delivery/scan failure.
+	ErrInjected = errors.New("faults: injected transient error")
+	// ErrTimeout is an injected timeout, reported separately because
+	// real systems typically classify and count timeouts apart from
+	// outright errors.
+	ErrTimeout = errors.New("faults: injected timeout")
+	// ErrPersistent is an injected permanent failure: retrying cannot
+	// help. Wrappers surface it for every attempt on an afflicted key.
+	ErrPersistent = errors.New("faults: injected persistent failure")
+)
+
+// Config parameterizes an Injector. All rates are probabilities in
+// [0, 1]; the zero value injects nothing.
+type Config struct {
+	// Seed drives every decision; identical configs with identical seeds
+	// produce identical fault schedules.
+	Seed int64
+	// ErrorRate is the probability that an operation suffers at least
+	// one transient failure before succeeding.
+	ErrorRate float64
+	// MaxConsecutiveFailures caps how many consecutive transient
+	// failures one operation key can suffer (default 3). Bounding the
+	// streak is what makes recovery-within-retry-budget a guarantee by
+	// construction rather than a probabilistic hope.
+	MaxConsecutiveFailures int
+	// TimeoutRate is the probability that an injected transient failure
+	// manifests as a timeout rather than an error.
+	TimeoutRate float64
+	// MeanLatency adds simulated latency per operation, drawn
+	// deterministically from [0, 2*MeanLatency). Wrappers account the
+	// latency instead of sleeping, keeping chaos runs fast.
+	MeanLatency time.Duration
+	// DuplicateRate is the probability a delivery is duplicated outright
+	// (the network delivers two copies).
+	DuplicateRate float64
+	// AckLossRate is the probability a successful delivery's
+	// acknowledgment is lost: the payload arrives, the sender sees an
+	// error and retransmits — the classic cause of at-least-once
+	// duplication.
+	AckLossRate float64
+	// ReorderRate is the probability a delivery is held back and
+	// released after up to ReorderWindow subsequent deliveries.
+	ReorderRate float64
+	// ReorderWindow bounds how many deliveries an event can be held back
+	// (default 8).
+	ReorderWindow int
+	// PersistentRate is the probability that an eligible operation key
+	// fails on every attempt. Wrappers restrict eligibility (e.g. the
+	// flaky scanner only lets keys with no ground truth at stake fail
+	// persistently, so degradation semantics stay deterministic).
+	PersistentRate float64
+}
+
+// Validate checks the configuration.
+func (c *Config) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"ErrorRate", c.ErrorRate}, {"TimeoutRate", c.TimeoutRate},
+		{"DuplicateRate", c.DuplicateRate}, {"AckLossRate", c.AckLossRate},
+		{"ReorderRate", c.ReorderRate}, {"PersistentRate", c.PersistentRate},
+	} {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faults: %s %v out of [0, 1]", r.name, r.v)
+		}
+	}
+	if c.MaxConsecutiveFailures < 0 {
+		return fmt.Errorf("faults: MaxConsecutiveFailures %d must be >= 0", c.MaxConsecutiveFailures)
+	}
+	if c.ReorderWindow < 0 {
+		return fmt.Errorf("faults: ReorderWindow %d must be >= 0", c.ReorderWindow)
+	}
+	if c.MeanLatency < 0 {
+		return fmt.Errorf("faults: MeanLatency %v must be >= 0", c.MeanLatency)
+	}
+	return nil
+}
+
+// maxConsecutiveOrDefault resolves the failure-streak cap.
+func (c *Config) maxConsecutiveOrDefault() int {
+	if c.MaxConsecutiveFailures > 0 {
+		return c.MaxConsecutiveFailures
+	}
+	return 3
+}
+
+// reorderWindowOrDefault resolves the reorder window.
+func (c *Config) reorderWindowOrDefault() int {
+	if c.ReorderWindow > 0 {
+		return c.ReorderWindow
+	}
+	return 8
+}
+
+// Injector makes deterministic per-operation fault decisions. It is
+// stateless and safe for concurrent use; wrappers (FlakyScanner, Link)
+// carry the mutable attempt tracking and statistics.
+type Injector struct {
+	cfg Config
+}
+
+// NewInjector builds an injector from cfg.
+func NewInjector(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{cfg: cfg}, nil
+}
+
+// Config returns the injector's configuration.
+func (i *Injector) Config() Config { return i.cfg }
+
+// stableU64 derives a deterministic 64-bit value from the injector seed,
+// an operation key and a purpose tag.
+func (i *Injector) stableU64(key, purpose string) uint64 {
+	h := fnv.New64a()
+	var seed [8]byte
+	s := uint64(i.cfg.Seed)
+	for b := 0; b < 8; b++ {
+		seed[b] = byte(s >> (8 * b))
+	}
+	_, _ = h.Write(seed[:])
+	_, _ = h.Write([]byte(key))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(purpose))
+	return h.Sum64()
+}
+
+// stableUnit maps stableU64 output onto [0, 1).
+func (i *Injector) stableUnit(key, purpose string) float64 {
+	return float64(i.stableU64(key, purpose)>>11) / float64(1<<53)
+}
+
+// FailuresBefore returns the number of injected transient failures the
+// operation identified by key suffers before it is allowed to succeed:
+// zero with probability 1-ErrorRate, otherwise a streak of at most
+// MaxConsecutiveFailures.
+func (i *Injector) FailuresBefore(key string) int {
+	if i.stableUnit(key, "err") >= i.cfg.ErrorRate {
+		return 0
+	}
+	return 1 + int(i.stableU64(key, "errn")%uint64(i.cfg.maxConsecutiveOrDefault()))
+}
+
+// Timeout reports whether the attempt-th injected failure for key
+// manifests as a timeout rather than a plain error.
+func (i *Injector) Timeout(key string, attempt int) bool {
+	return i.stableUnit(fmt.Sprintf("%s|%d", key, attempt), "timeout") < i.cfg.TimeoutRate
+}
+
+// Persistent reports whether the operation identified by key fails on
+// every attempt.
+func (i *Injector) Persistent(key string) bool {
+	return i.stableUnit(key, "persistent") < i.cfg.PersistentRate
+}
+
+// Duplicate reports whether the delivery identified by key is duplicated
+// outright.
+func (i *Injector) Duplicate(key string) bool {
+	return i.stableUnit(key, "dup") < i.cfg.DuplicateRate
+}
+
+// AckLost reports whether the delivery identified by key loses its
+// acknowledgment after arriving.
+func (i *Injector) AckLost(key string) bool {
+	return i.stableUnit(key, "ackloss") < i.cfg.AckLossRate
+}
+
+// Reorder reports whether the delivery identified by key is held back.
+func (i *Injector) Reorder(key string) bool {
+	return i.stableUnit(key, "reorder") < i.cfg.ReorderRate
+}
+
+// ReorderWindow returns the configured (or default) hold-back bound.
+func (i *Injector) ReorderWindow() int { return i.cfg.reorderWindowOrDefault() }
+
+// Latency returns the simulated added latency for key, deterministically
+// drawn from [0, 2*MeanLatency).
+func (i *Injector) Latency(key string) time.Duration {
+	if i.cfg.MeanLatency <= 0 {
+		return 0
+	}
+	return time.Duration(i.stableUnit(key, "latency") * 2 * float64(i.cfg.MeanLatency))
+}

@@ -1,0 +1,321 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/avsim"
+	"repro/internal/dataset"
+)
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{ErrorRate: -0.1},
+		{ErrorRate: 1.1},
+		{DuplicateRate: 2},
+		{ReorderRate: -1},
+		{PersistentRate: 1.5},
+		{MaxConsecutiveFailures: -1},
+		{ReorderWindow: -1},
+		{MeanLatency: -time.Second},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+	good := Config{Seed: 1, ErrorRate: 0.5, TimeoutRate: 0.3, DuplicateRate: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, ErrorRate: 0.5, TimeoutRate: 0.5, DuplicateRate: 0.3,
+		AckLossRate: 0.2, ReorderRate: 0.3, PersistentRate: 0.1, MeanLatency: 10 * time.Millisecond}
+	a, err := NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("op-%d", i)
+		if a.FailuresBefore(key) != b.FailuresBefore(key) ||
+			a.Persistent(key) != b.Persistent(key) ||
+			a.Duplicate(key) != b.Duplicate(key) ||
+			a.AckLost(key) != b.AckLost(key) ||
+			a.Reorder(key) != b.Reorder(key) ||
+			a.Timeout(key, i%3) != b.Timeout(key, i%3) ||
+			a.Latency(key) != b.Latency(key) {
+			t.Fatalf("injector decisions diverge for key %s", key)
+		}
+	}
+}
+
+func TestInjectorSeedChangesSchedule(t *testing.T) {
+	a, _ := NewInjector(Config{Seed: 1, ErrorRate: 0.5})
+	b, _ := NewInjector(Config{Seed: 2, ErrorRate: 0.5})
+	same := 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("op-%d", i)
+		if (a.FailuresBefore(key) > 0) == (b.FailuresBefore(key) > 0) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Error("different seeds produced identical error schedules")
+	}
+}
+
+func TestInjectorRates(t *testing.T) {
+	inj, _ := NewInjector(Config{Seed: 3, ErrorRate: 0.3, MaxConsecutiveFailures: 4})
+	failing, maxStreak := 0, 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		f := inj.FailuresBefore(fmt.Sprintf("op-%d", i))
+		if f > 0 {
+			failing++
+		}
+		if f > maxStreak {
+			maxStreak = f
+		}
+	}
+	rate := float64(failing) / n
+	if rate < 0.25 || rate > 0.35 {
+		t.Errorf("observed error rate %.3f far from configured 0.3", rate)
+	}
+	if maxStreak > 4 {
+		t.Errorf("failure streak %d exceeds cap 4", maxStreak)
+	}
+	if maxStreak == 0 {
+		t.Error("no failures injected at 30% error rate")
+	}
+}
+
+func TestInjectorZeroConfigInjectsNothing(t *testing.T) {
+	inj, _ := NewInjector(Config{Seed: 9})
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("op-%d", i)
+		if inj.FailuresBefore(key) != 0 || inj.Persistent(key) ||
+			inj.Duplicate(key) || inj.AckLost(key) || inj.Reorder(key) ||
+			inj.Latency(key) != 0 {
+			t.Fatalf("zero config injected a fault for %s", key)
+		}
+	}
+}
+
+// scriptScanner returns a fixed report and counts calls.
+type scriptScanner struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (s *scriptScanner) Scan(hash dataset.FileHash, sample *avsim.Sample, at time.Time) (*avsim.Report, error) {
+	s.mu.Lock()
+	s.calls++
+	s.mu.Unlock()
+	if sample == nil {
+		return nil, nil
+	}
+	return &avsim.Report{Sample: hash, ScanTime: at}, nil
+}
+
+func TestFlakyScannerRecoversWithinBudget(t *testing.T) {
+	inj, _ := NewInjector(Config{Seed: 11, ErrorRate: 1, MaxConsecutiveFailures: 2, TimeoutRate: 0.5})
+	inner := &scriptScanner{}
+	fs, err := NewFlakyScanner(inner, inj, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := &avsim.Sample{Hash: "f1", InCorpus: true}
+	var rep *avsim.Report
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		rep, lastErr = fs.Scan("f1", sample, time.Unix(0, 0))
+		if lastErr == nil {
+			break
+		}
+		if !errors.Is(lastErr, ErrInjected) && !errors.Is(lastErr, ErrTimeout) {
+			t.Fatalf("unexpected error class: %v", lastErr)
+		}
+	}
+	if lastErr != nil {
+		t.Fatalf("scan did not recover within MaxConsecutiveFailures+1 attempts: %v", lastErr)
+	}
+	if rep == nil || rep.Sample != "f1" {
+		t.Fatalf("recovered scan returned %+v", rep)
+	}
+	st := fs.Stats()
+	if st.InjectedErrors+st.InjectedTimeouts == 0 {
+		t.Error("no transient faults recorded at 100% error rate")
+	}
+	if st.PersistentFailures != 0 {
+		t.Error("persistent failures recorded with PersistentRate 0")
+	}
+}
+
+func TestFlakyScannerPersistentEligibility(t *testing.T) {
+	inj, _ := NewInjector(Config{Seed: 13, PersistentRate: 1})
+	inner := &scriptScanner{}
+	eligible := func(s *avsim.Sample) bool { return s == nil || !s.InCorpus }
+	fs, err := NewFlakyScanner(inner, inj, eligible)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-corpus sample: not eligible, never fails persistently.
+	if _, err := fs.Scan("in", &avsim.Sample{Hash: "in", InCorpus: true}, time.Unix(0, 0)); err != nil {
+		t.Fatalf("ineligible sample failed persistently: %v", err)
+	}
+	// Out-of-corpus sample: always fails, on every attempt.
+	for i := 0; i < 3; i++ {
+		if _, err := fs.Scan("out", nil, time.Unix(0, 0)); !errors.Is(err, ErrPersistent) {
+			t.Fatalf("attempt %d: err = %v, want ErrPersistent", i, err)
+		}
+	}
+	st := fs.Stats()
+	if st.PersistentFailures != 3 || st.PersistentKeys != 1 {
+		t.Errorf("persistent stats = %+v, want 3 failures over 1 key", st)
+	}
+}
+
+func TestFlakyScannerConcurrentDeterministic(t *testing.T) {
+	run := func() map[dataset.FileHash]int {
+		inj, _ := NewInjector(Config{Seed: 17, ErrorRate: 0.4, MaxConsecutiveFailures: 3})
+		fs, _ := NewFlakyScanner(&scriptScanner{}, inj, nil)
+		out := make(map[dataset.FileHash]int)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < 200; i += 8 {
+					hash := dataset.FileHash(fmt.Sprintf("f%d", i))
+					tries := 0
+					for {
+						tries++
+						if _, err := fs.Scan(hash, &avsim.Sample{Hash: hash, InCorpus: true}, time.Unix(0, 0)); err == nil {
+							break
+						}
+					}
+					mu.Lock()
+					out[hash] = tries
+					mu.Unlock()
+				}
+			}(w)
+		}
+		wg.Wait()
+		return out
+	}
+	a, b := run(), run()
+	for h, tries := range a {
+		if b[h] != tries {
+			t.Fatalf("attempt count for %s differs across runs: %d vs %d", h, tries, b[h])
+		}
+	}
+}
+
+func TestLinkDeliversEverythingExactlyOnceAfterDedup(t *testing.T) {
+	inj, _ := NewInjector(Config{
+		Seed: 19, ErrorRate: 0.2, MaxConsecutiveFailures: 3, TimeoutRate: 0.4,
+		DuplicateRate: 0.1, AckLossRate: 0.1, ReorderRate: 0.15, ReorderWindow: 4,
+	})
+	delivered := make(map[int]int)
+	var order []int
+	link, err := NewLink(inj, func(v int) string { return fmt.Sprintf("%d", v) }, func(v int) error {
+		delivered[v]++
+		order = append(order, v)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		for attempt := 0; ; attempt++ {
+			if attempt > 6 {
+				t.Fatalf("payload %d not accepted within bounded retries", i)
+			}
+			if err := link.Send(i); err == nil {
+				break
+			} else if !errors.Is(err, ErrInjected) && !errors.Is(err, ErrTimeout) {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := link.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if delivered[i] == 0 {
+			t.Fatalf("payload %d lost", i)
+		}
+	}
+	st := link.Stats()
+	if st.Drops == 0 || st.Duplicates == 0 || st.AckLosses == 0 || st.Reordered == 0 {
+		t.Errorf("expected all fault classes at these rates: %+v", st)
+	}
+	// Reordering must actually displace some payloads...
+	outOfOrder := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			outOfOrder++
+		}
+	}
+	if outOfOrder == 0 {
+		t.Error("no out-of-order deliveries despite reordering")
+	}
+	// ...but only within the bounded window: consider each payload's
+	// first arrival (duplicates aside) and check its displacement from
+	// the original position.
+	seen := make(map[int]bool, n)
+	var firsts []int
+	for _, v := range order {
+		if !seen[v] {
+			seen[v] = true
+			firsts = append(firsts, v)
+		}
+	}
+	for pos, v := range firsts {
+		if d := pos - v; d > 16 || d < -16 {
+			t.Fatalf("payload %d displaced by %d positions, window is 4", v, d)
+		}
+	}
+}
+
+func TestLinkNoFaultsIsTransparent(t *testing.T) {
+	inj, _ := NewInjector(Config{Seed: 23})
+	var order []int
+	link, _ := NewLink(inj, func(v int) string { return fmt.Sprintf("%d", v) }, func(v int) error {
+		order = append(order, v)
+		return nil
+	})
+	for i := 0; i < 50; i++ {
+		if err := link.Send(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := link.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("order[%d] = %d under a fault-free link", i, v)
+		}
+	}
+}
+
+func TestLinkPropagatesInnerError(t *testing.T) {
+	inj, _ := NewInjector(Config{Seed: 29})
+	boom := errors.New("receiver down")
+	link, _ := NewLink(inj, func(v int) string { return "k" }, func(int) error { return boom })
+	if err := link.Send(1); !errors.Is(err, boom) {
+		t.Fatalf("Send = %v, want inner error", err)
+	}
+}

@@ -1,0 +1,172 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// LinkStats counts what a Link did to the traffic passing through it.
+type LinkStats struct {
+	// Sends counts Send calls (attempts, including dropped ones).
+	Sends int64
+	// Drops counts attempts lost in transit (sender sees ErrInjected).
+	Drops int64
+	// DropTimeouts counts the subset of drops surfaced as ErrTimeout.
+	DropTimeouts int64
+	// Duplicates counts extra copies delivered outright.
+	Duplicates int64
+	// AckLosses counts deliveries that arrived but whose acknowledgment
+	// was lost, forcing the sender to retransmit an already-delivered
+	// payload.
+	AckLosses int64
+	// Reordered counts payloads held back and released out of order.
+	Reordered int64
+	// MaxHeld is the high-water mark of the hold-back buffer.
+	MaxHeld int
+	// SimulatedLatency accumulates injected transit latency.
+	SimulatedLatency time.Duration
+}
+
+// heldEntry is one payload held back for reordering.
+type heldEntry[T any] struct {
+	v    T
+	tick int64
+}
+
+// Link wraps a delivery function with injected drops, duplication,
+// acknowledgment loss and bounded reordering — an unreliable network
+// path between a software agent and the collection server. Combined with
+// a retrying sender it yields at-least-once delivery; the receiver is
+// responsible for deduplication and re-sequencing.
+//
+// The fault schedule is a pure function of the injector seed and the
+// per-payload key, so a fixed seed reproduces the same loss/duplication
+// pattern run after run.
+type Link[T any] struct {
+	inj     *Injector
+	keyFn   func(T) string
+	deliver func(T) error
+
+	mu       sync.Mutex
+	attempts map[string]int
+	held     []heldEntry[T]
+	tick     int64
+
+	stats LinkStats
+}
+
+// NewLink builds a faulty link in front of deliver. keyFn must return a
+// stable unique key per logical payload (e.g. its sequence number):
+// retransmissions of the same payload share the key, which is how the
+// link bounds its consecutive drops.
+func NewLink[T any](inj *Injector, keyFn func(T) string, deliver func(T) error) (*Link[T], error) {
+	if inj == nil {
+		return nil, fmt.Errorf("faults: nil injector")
+	}
+	if keyFn == nil {
+		return nil, fmt.Errorf("faults: nil key function")
+	}
+	if deliver == nil {
+		return nil, fmt.Errorf("faults: nil deliver function")
+	}
+	return &Link[T]{
+		inj:      inj,
+		keyFn:    keyFn,
+		deliver:  deliver,
+		attempts: make(map[string]int),
+	}, nil
+}
+
+// Send pushes one payload (or retransmission) into the link. A nil
+// return means the payload was accepted — though it may sit in the
+// reorder buffer until later Sends or Flush release it. ErrInjected and
+// ErrTimeout returns mean the sender must retransmit; the injector
+// bounds consecutive failures, so a sender retrying at least
+// MaxConsecutiveFailures+2 times is guaranteed to get through.
+func (l *Link[T]) Send(v T) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	key := l.keyFn(v)
+	attempt := l.attempts[key]
+	l.attempts[key] = attempt + 1
+	l.stats.Sends++
+	l.stats.SimulatedLatency += l.inj.Latency(key)
+
+	failsBefore := l.inj.FailuresBefore(key)
+	if attempt < failsBefore {
+		l.stats.Drops++
+		if l.inj.Timeout(key, attempt) {
+			l.stats.DropTimeouts++
+			return fmt.Errorf("link %s attempt %d: %w", key, attempt, ErrTimeout)
+		}
+		return fmt.Errorf("link %s attempt %d: %w", key, attempt, ErrInjected)
+	}
+
+	l.tick++
+	first := attempt == failsBefore
+	if first && l.inj.Reorder(key) {
+		// Hold the payload back; it will overtake later traffic when the
+		// window forces its release.
+		l.held = append(l.held, heldEntry[T]{v: v, tick: l.tick})
+		l.stats.Reordered++
+		if len(l.held) > l.stats.MaxHeld {
+			l.stats.MaxHeld = len(l.held)
+		}
+		return l.releaseDueLocked()
+	}
+	if err := l.deliver(v); err != nil {
+		return err
+	}
+	if first && l.inj.Duplicate(key) {
+		l.stats.Duplicates++
+		if err := l.deliver(v); err != nil {
+			return err
+		}
+	}
+	if err := l.releaseDueLocked(); err != nil {
+		return err
+	}
+	if first && l.inj.AckLost(key) {
+		// The payload arrived, but the sender never learns: it will
+		// retransmit, and the receiver must deduplicate.
+		l.stats.AckLosses++
+		return fmt.Errorf("link %s: ack lost: %w", key, ErrInjected)
+	}
+	return nil
+}
+
+// releaseDueLocked delivers held payloads whose hold-back window has
+// elapsed. Callers must hold l.mu.
+func (l *Link[T]) releaseDueLocked() error {
+	window := int64(l.inj.ReorderWindow())
+	for len(l.held) > 0 && l.tick-l.held[0].tick >= window {
+		e := l.held[0]
+		l.held = l.held[1:]
+		if err := l.deliver(e.v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush delivers every payload still held in the reorder buffer. Call it
+// after the last Send.
+func (l *Link[T]) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.held {
+		if err := l.deliver(e.v); err != nil {
+			return err
+		}
+	}
+	l.held = nil
+	return nil
+}
+
+// Stats returns a snapshot of the link counters.
+func (l *Link[T]) Stats() LinkStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}

@@ -1,0 +1,122 @@
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/avsim"
+	"repro/internal/dataset"
+)
+
+// Scanner is the scan-service dependency of the labeling pipeline: a
+// remote multi-engine service that can fail. It is structurally
+// identical to labeling.Scanner, so a FlakyScanner slots into the
+// labeler without this package importing labeling.
+type Scanner interface {
+	Scan(hash dataset.FileHash, sample *avsim.Sample, at time.Time) (*avsim.Report, error)
+}
+
+// ScannerStats counts the faults a FlakyScanner injected. All fields are
+// updated atomically; read them only after scanning completes.
+type ScannerStats struct {
+	// Scans counts Scan calls (attempts, including failed ones).
+	Scans int64
+	// InjectedErrors counts attempts failed with ErrInjected.
+	InjectedErrors int64
+	// InjectedTimeouts counts attempts failed with ErrTimeout.
+	InjectedTimeouts int64
+	// PersistentFailures counts attempts failed with ErrPersistent.
+	PersistentFailures int64
+	// PersistentKeys counts distinct hashes afflicted persistently.
+	PersistentKeys int64
+	// SimulatedLatency accumulates the injected latency the real
+	// deployment would have waited out.
+	SimulatedLatency time.Duration
+}
+
+// FlakyScanner decorates a Scanner with injected faults. It is safe for
+// concurrent use — the parallel LabelStore path drives it from many
+// goroutines — and its fault schedule is a pure function of the injector
+// seed and the file hash, so concurrent and sequential labeling produce
+// identical outcomes.
+type FlakyScanner struct {
+	inner Scanner
+	inj   *Injector
+	// persistentEligible gates which samples may fail persistently; nil
+	// means all. The chaos harness restricts eligibility to samples with
+	// no ground truth at stake (never submitted to the corpus), so
+	// degradation to "unknown" reproduces the fault-free label and the
+	// determinism guarantee holds.
+	persistentEligible func(*avsim.Sample) bool
+
+	mu       sync.Mutex
+	attempts map[dataset.FileHash]int
+
+	scans     atomic.Int64
+	errs      atomic.Int64
+	timeouts  atomic.Int64
+	persist   atomic.Int64
+	persisted sync.Map // hash -> struct{}, distinct persistent keys
+	persistN  atomic.Int64
+	latencyNS atomic.Int64
+}
+
+// NewFlakyScanner wraps inner with fault injection. persistentEligible
+// may be nil (every sample eligible for persistent failure).
+func NewFlakyScanner(inner Scanner, inj *Injector, persistentEligible func(*avsim.Sample) bool) (*FlakyScanner, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("faults: nil inner scanner")
+	}
+	if inj == nil {
+		return nil, fmt.Errorf("faults: nil injector")
+	}
+	return &FlakyScanner{
+		inner:              inner,
+		inj:                inj,
+		persistentEligible: persistentEligible,
+		attempts:           make(map[dataset.FileHash]int),
+	}, nil
+}
+
+// Scan implements Scanner, injecting latency, transient failures,
+// timeouts and (for eligible samples) persistent failures ahead of the
+// wrapped scanner.
+func (f *FlakyScanner) Scan(hash dataset.FileHash, sample *avsim.Sample, at time.Time) (*avsim.Report, error) {
+	f.scans.Add(1)
+	key := "scan|" + string(hash)
+	f.latencyNS.Add(int64(f.inj.Latency(key)))
+	if f.inj.Persistent(key) && (f.persistentEligible == nil || f.persistentEligible(sample)) {
+		if _, loaded := f.persisted.LoadOrStore(hash, struct{}{}); !loaded {
+			f.persistN.Add(1)
+		}
+		f.persist.Add(1)
+		return nil, fmt.Errorf("scan %s: %w", hash, ErrPersistent)
+	}
+	f.mu.Lock()
+	attempt := f.attempts[hash]
+	f.attempts[hash] = attempt + 1
+	f.mu.Unlock()
+	if attempt < f.inj.FailuresBefore(key) {
+		if f.inj.Timeout(key, attempt) {
+			f.timeouts.Add(1)
+			return nil, fmt.Errorf("scan %s attempt %d: %w", hash, attempt, ErrTimeout)
+		}
+		f.errs.Add(1)
+		return nil, fmt.Errorf("scan %s attempt %d: %w", hash, attempt, ErrInjected)
+	}
+	return f.inner.Scan(hash, sample, at)
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (f *FlakyScanner) Stats() ScannerStats {
+	return ScannerStats{
+		Scans:              f.scans.Load(),
+		InjectedErrors:     f.errs.Load(),
+		InjectedTimeouts:   f.timeouts.Load(),
+		PersistentFailures: f.persist.Load(),
+		PersistentKeys:     f.persistN.Load(),
+		SimulatedLatency:   time.Duration(f.latencyNS.Load()),
+	}
+}

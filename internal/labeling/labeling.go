@@ -17,6 +17,7 @@
 package labeling
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/avtype"
 	"repro/internal/dataset"
 	"repro/internal/reputation"
+	"repro/internal/retry"
 )
 
 // DefaultRescanDelay is how long after the download the second scan
@@ -38,24 +40,73 @@ const DefaultRescanDelay = 2 * 365 * 24 * time.Hour
 // clean file to be labeled benign rather than likely benign.
 const MinBenignScanSpread = 14 * 24 * time.Hour
 
+// Scanner is the labeler's view of the multi-engine scan service. The
+// paper queried a remote crowdsourced service (VirusTotal) that fails,
+// times out and rate-limits in practice, so the dependency carries an
+// error return: a nil report with a nil error means the corpus has no
+// record of the sample ("file not found"), while a non-nil error means
+// the query itself failed and may be retried.
+type Scanner interface {
+	Scan(hash dataset.FileHash, sample *avsim.Sample, at time.Time) (*avsim.Report, error)
+}
+
+// ServiceScanner adapts the in-process *avsim.Service — which cannot
+// fail — to the Scanner interface.
+type ServiceScanner struct {
+	Svc *avsim.Service
+}
+
+// Scan implements Scanner over the wrapped service.
+func (s ServiceScanner) Scan(_ dataset.FileHash, sample *avsim.Sample, at time.Time) (*avsim.Report, error) {
+	return s.Svc.Scan(sample, at), nil
+}
+
 // Labeler assigns ground truth to files, processes and URLs.
 type Labeler struct {
-	svc         *avsim.Service
+	scanner     Scanner
 	oracle      *reputation.Oracle
 	families    *avclass.Labeler
 	types       *avtype.Extractor
 	rescanDelay time.Duration
 
+	// retryPolicy governs scan retries; the zero value selects the
+	// retry package defaults (5 attempts, exponential backoff with full
+	// jitter). Set it before labeling starts via SetRetryPolicy.
+	retryPolicy retry.Policy
+
+	// scanRetries counts scan attempts that failed and were retried;
+	// degraded counts files whose scans exhausted the retry budget and
+	// fell back to the unknown label.
+	scanRetries atomic.Int64
+	degraded    atomic.Int64
+
+	// statsMu guards TypeStats, making LabelFile safe to call from
+	// multiple goroutines.
+	statsMu sync.Mutex
+
 	// TypeStats accumulates which AVType rule resolved each malicious
-	// file's behaviour type (Section II-C shares).
+	// file's behaviour type (Section II-C shares). Writes are guarded by
+	// statsMu; read it only after labeling completes.
 	TypeStats avtype.Stats
 }
 
-// New builds a Labeler. svc and oracle are required; familyLabeler and
-// typeExtractor default to fresh instances when nil.
+// New builds a Labeler over an in-process scan service. svc and oracle
+// are required; familyLabeler and typeExtractor default to fresh
+// instances when nil.
 func New(svc *avsim.Service, oracle *reputation.Oracle, familyLabeler *avclass.Labeler, typeExtractor *avtype.Extractor, rescanDelay time.Duration) (*Labeler, error) {
 	if svc == nil {
 		return nil, fmt.Errorf("labeling: nil scan service")
+	}
+	return NewWithScanner(ServiceScanner{Svc: svc}, oracle, familyLabeler, typeExtractor, rescanDelay)
+}
+
+// NewWithScanner builds a Labeler over an arbitrary Scanner — the
+// injection point for fault-tolerance decorators such as
+// faults.FlakyScanner. scanner and oracle are required; familyLabeler
+// and typeExtractor default to fresh instances when nil.
+func NewWithScanner(scanner Scanner, oracle *reputation.Oracle, familyLabeler *avclass.Labeler, typeExtractor *avtype.Extractor, rescanDelay time.Duration) (*Labeler, error) {
+	if scanner == nil {
+		return nil, fmt.Errorf("labeling: nil scanner")
 	}
 	if oracle == nil {
 		return nil, fmt.Errorf("labeling: nil reputation oracle")
@@ -70,12 +121,48 @@ func New(svc *avsim.Service, oracle *reputation.Oracle, familyLabeler *avclass.L
 		rescanDelay = DefaultRescanDelay
 	}
 	return &Labeler{
-		svc:         svc,
+		scanner:     scanner,
 		oracle:      oracle,
 		families:    familyLabeler,
 		types:       typeExtractor,
 		rescanDelay: rescanDelay,
 	}, nil
+}
+
+// SetRetryPolicy replaces the scan retry policy. Call it before
+// labeling starts; it is not safe to call concurrently with labeling.
+func (l *Labeler) SetRetryPolicy(p retry.Policy) { l.retryPolicy = p }
+
+// Degraded returns how many files fell back to the unknown label
+// because their scans kept failing after all retries. The paper's
+// "unknown" label means no ground truth exists — which is exactly the
+// information available for a file whose scan service never answered.
+func (l *Labeler) Degraded() int64 { return l.degraded.Load() }
+
+// ScanRetries returns how many failed scan attempts were retried.
+func (l *Labeler) ScanRetries() int64 { return l.scanRetries.Load() }
+
+// scan queries the scanner under the retry policy. A non-nil error
+// means the budget is exhausted and the caller must degrade.
+func (l *Labeler) scan(hash dataset.FileHash, sample *avsim.Sample, at time.Time) (*avsim.Report, error) {
+	p := l.retryPolicy
+	base := p.OnRetry
+	p.OnRetry = func(attempt int, err error) {
+		l.scanRetries.Add(1)
+		if base != nil {
+			base(attempt, err)
+		}
+	}
+	var rep *avsim.Report
+	err := retry.Do(context.Background(), p, func(context.Context) error {
+		r, err := l.scanner.Scan(hash, sample, at)
+		if err != nil {
+			return err
+		}
+		rep = r
+		return nil
+	})
+	return rep, err
 }
 
 // LabelFile assigns ground truth to one file. sample is the scan-service
@@ -84,7 +171,9 @@ func New(svc *avsim.Service, oracle *reputation.Oracle, familyLabeler *avclass.L
 func (l *Labeler) LabelFile(hash dataset.FileHash, sample *avsim.Sample, downloadTime time.Time) dataset.GroundTruth {
 	gt, res := l.labelFile(hash, sample, downloadTime)
 	if res != avtype.ResolvedNone {
+		l.statsMu.Lock()
 		l.TypeStats.Observe(res)
+		l.statsMu.Unlock()
 	}
 	return gt
 }
@@ -99,7 +188,15 @@ func (l *Labeler) labelFile(hash dataset.FileHash, sample *avsim.Sample, downloa
 	}
 	// First scan close to the download happens in the real pipeline too;
 	// the final labels come from the rescan, which subsumes it.
-	rescan := l.svc.Scan(sample, downloadTime.Add(l.rescanDelay))
+	rescan, err := l.scan(hash, sample, downloadTime.Add(l.rescanDelay))
+	if err != nil {
+		// Graceful degradation: the scan service never answered for this
+		// file despite retries. No ground truth can be derived, which is
+		// precisely what the unknown label means; record the fallback so
+		// operators can see how much of the dataset it affected.
+		l.degraded.Add(1)
+		return dataset.GroundTruth{Label: dataset.LabelUnknown}, avtype.ResolvedNone
+	}
 	if rescan == nil {
 		return dataset.GroundTruth{Label: dataset.LabelUnknown}, avtype.ResolvedNone
 	}
@@ -196,7 +293,9 @@ func (l *Labeler) LabelStore(store *dataset.Store, samples Samples) error {
 	wg.Wait()
 	for _, o := range outcomes {
 		if o.res != avtype.ResolvedNone {
+			l.statsMu.Lock()
 			l.TypeStats.Observe(o.res)
+			l.statsMu.Unlock()
 		}
 		if err := store.SetTruth(o.hash, o.gt); err != nil {
 			return fmt.Errorf("labeling: set truth for %s: %w", o.hash, err)

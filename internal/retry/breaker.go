@@ -1,0 +1,135 @@
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned by Breaker.Allow while the breaker is open and the
+// reset timeout has not elapsed yet.
+var ErrOpen = errors.New("retry: circuit breaker open")
+
+// BreakerState is the classic three-state breaker automaton.
+type BreakerState int
+
+// Breaker states.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String returns the lowercase state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Breaker is a simple consecutive-failure circuit breaker. After
+// Threshold consecutive failures it opens and rejects calls for
+// ResetTimeout; the first call allowed afterwards probes half-open, and
+// its outcome closes or re-opens the circuit. The zero value is not
+// valid; use NewBreaker.
+type Breaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int
+	openedAt  time.Time
+	threshold int
+	reset     time.Duration
+	now       func() time.Time
+
+	trips int64 // closed->open transitions, for observability
+}
+
+// NewBreaker builds a breaker tripping after threshold consecutive
+// failures and probing again after reset. now replaces time.Now when
+// non-nil (tests drive it manually).
+func NewBreaker(threshold int, reset time.Duration, now func() time.Time) (*Breaker, error) {
+	if threshold < 1 {
+		return nil, fmt.Errorf("retry: breaker threshold %d must be >= 1", threshold)
+	}
+	if reset <= 0 {
+		return nil, fmt.Errorf("retry: breaker reset timeout must be positive")
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, reset: reset, now: now}, nil
+}
+
+// Allow reports whether a call may proceed. It returns ErrOpen while the
+// circuit is open; when the reset timeout has elapsed it transitions to
+// half-open and admits a single probe.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed, BreakerHalfOpen:
+		return nil
+	default: // open
+		if b.now().Sub(b.openedAt) < b.reset {
+			return ErrOpen
+		}
+		b.state = BreakerHalfOpen
+		return nil
+	}
+}
+
+// Record feeds one call outcome into the breaker.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.state = BreakerClosed
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold {
+		if b.state != BreakerOpen {
+			b.trips++
+		}
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.failures = 0
+	}
+}
+
+// State returns the current state, resolving an elapsed open period to
+// half-open the same way Allow would.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.reset {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Trips returns how many times the breaker opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// Do combines Allow/Record around op.
+func (b *Breaker) Do(op func() error) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	err := op()
+	b.Record(err)
+	return err
+}

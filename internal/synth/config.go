@@ -41,6 +41,10 @@ type Config struct {
 	// NoiseWhitelistedURL is the fraction of extra raw events downloading
 	// from agent-whitelisted vendor domains (suppressed).
 	NoiseWhitelistedURL float64
+	// KeepRawTrace retains the chronologically sorted pre-collection
+	// event stream in Result.RawTrace, so fault-tolerance harnesses can
+	// replay it through an alternative (e.g. faulty) transport.
+	KeepRawTrace bool
 	// Tuning overrides the generative world's behavioural constants;
 	// zero values keep the calibrated defaults.
 	Tuning Tuning

@@ -30,6 +30,12 @@ type Result struct {
 	// AgentStats reports how many raw events each collection rule
 	// suppressed.
 	AgentStats agent.Stats
+	// RawTrace is the chronologically sorted pre-collection event stream,
+	// retained only when Config.KeepRawTrace is set. It is exactly the
+	// stream the software agents observed, so replaying it through any
+	// transport that preserves order and delivers exactly once must
+	// reproduce Store's events.
+	RawTrace []dataset.DownloadEvent
 	// Config echoes the generating configuration.
 	Config Config
 }
@@ -560,12 +566,16 @@ func Generate(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	res := &Result{
 		Store:      store,
 		Samples:    samples,
 		Oracle:     oracle,
 		World:      w,
 		AgentStats: cs.Stats(),
 		Config:     cfg,
-	}, nil
+	}
+	if cfg.KeepRawTrace {
+		res.RawTrace = g.raw
+	}
+	return res, nil
 }
