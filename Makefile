@@ -1,0 +1,29 @@
+# Tier-1 verification (ROADMAP.md): build + vet + race-enabled tests,
+# plus a gofmt cleanliness gate. `make verify` is the one command CI and
+# pre-commit hooks run.
+
+GO ?= go
+
+.PHONY: verify build vet test fmtcheck bench
+
+verify: build vet test fmtcheck
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test -race ./...
+
+fmtcheck:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt -l reports unformatted files:"; echo "$$out"; exit 1; \
+	fi
+
+# Full benchmark harness (one benchmark per paper table/figure plus the
+# ablations and the serving-throughput bench).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .

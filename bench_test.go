@@ -10,8 +10,11 @@
 package repro
 
 import (
+	"context"
 	"io"
+	"net/http/httptest"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -22,6 +25,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/features"
 	"repro/internal/part"
+	"repro/internal/serve"
 	"repro/internal/synth"
 )
 
@@ -436,6 +440,66 @@ func BenchmarkPARTTraining(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(train)), "instances")
+}
+
+// BenchmarkServeThroughput measures the online serving subsystem end to
+// end: an in-process longtaild (HTTP server over the sharded engine)
+// driven by a loadgen-style client replaying month-2 events in batches.
+// The custom metric is sustained verdicts per second through the full
+// wire path (line-JSON encode, HTTP, queue, extract, classify, line-JSON
+// decode).
+func BenchmarkServeThroughput(b *testing.B) {
+	p := sharedPipeline(b)
+	months := p.Store.Months()
+	ex, err := features.NewExtractor(p.Store, p.Result.Oracle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, err := ex.Instances(p.Store.EventIndexesInMonth(months[0]))
+	if err != nil {
+		b.Fatal(err)
+	}
+	clf, err := classify.Train(train, 0.001, classify.Reject)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := serve.NewEngine(ex, clf, serve.EngineConfig{
+		Shards: runtime.GOMAXPROCS(0), QueueSize: 8192,
+	}, &serve.Metrics{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer engine.Close()
+	srv, err := serve.NewServer(engine, classify.Reject)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &serve.Client{BaseURL: ts.URL}
+
+	events := p.Store.Events()
+	var replay []dataset.DownloadEvent
+	for _, idx := range p.Store.EventIndexesInMonth(months[1]) {
+		replay = append(replay, events[idx])
+	}
+	const batch = 256
+	if len(replay) < batch {
+		b.Fatalf("only %d replay events; need %d", len(replay), batch)
+	}
+	ctx := context.Background()
+	sent := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := (i * batch) % (len(replay) - batch + 1)
+		verdicts, err := client.Classify(ctx, replay[lo:lo+batch])
+		if err != nil {
+			b.Fatal(err)
+		}
+		sent += len(verdicts)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "events/sec")
 }
 
 // BenchmarkPrevalenceIndex measures the store freeze/indexing cost.

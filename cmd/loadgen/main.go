@@ -1,0 +1,225 @@
+// Command loadgen replays a synthetic month of download telemetry
+// against a running longtaild at a configurable rate and cross-checks
+// every streamed verdict against offline classification, making the
+// serving subsystem's determinism testable end-to-end: the daemon and
+// the load generator derive the same deterministic corpus and rule set
+// from (seed, scale, tau), so each streamed verdict must be
+// byte-identical to classify.ClassifyFile run locally.
+//
+// Mid-replay it can hot-reload the daemon's rule set (-reload-at) to
+// prove the swap drops no responses and changes no verdicts when the
+// rule set is unchanged — only the reported generation moves.
+//
+// Usage:
+//
+//	loadgen [-addr http://127.0.0.1:8787] [-seed N] [-scale F] [-tau F]
+//	        [-month YYYY-MM] [-batch N] [-rate F] [-reload-at F]
+//	        [-rules rules.json] [-noverify]
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/features"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "http://127.0.0.1:8787", "longtaild base URL")
+	seed := flag.Int64("seed", 42, "generation seed (must match the daemon's)")
+	scale := flag.Float64("scale", 0.02, "generation scale (must match the daemon's)")
+	tau := flag.Float64("tau", 0.001, "rule-selection threshold (must match the daemon's)")
+	monthFlag := flag.String("month", "", "month to replay (YYYY-MM; default: second month)")
+	batch := flag.Int("batch", 64, "events per request")
+	rate := flag.Float64("rate", 0, "events per second (0 = unthrottled)")
+	reloadAt := flag.Float64("reload-at", 0.5, "hot-reload the rule set after this fraction of the replay (<0 disables)")
+	rulesPath := flag.String("rules", "", "rule set JSON to verify against and reload (default: train locally)")
+	noVerify := flag.Bool("noverify", false, "skip the offline cross-check")
+	flag.Parse()
+	ctx := context.Background()
+
+	// Rebuild the daemon's deterministic world: same corpus, same rules.
+	p, err := experiments.Run(synth.DefaultConfig(*seed, *scale))
+	if err != nil {
+		return err
+	}
+	ex, err := features.NewExtractor(p.Store, p.Result.Oracle)
+	if err != nil {
+		return err
+	}
+	months := p.Store.Months()
+	if len(months) == 0 {
+		return fmt.Errorf("no data generated")
+	}
+	var clf *classify.Classifier
+	if *rulesPath != "" {
+		clf, err = serve.LoadRulesFile(*rulesPath, classify.Reject)
+	} else {
+		var train []features.Instance
+		train, err = ex.Instances(p.Store.EventIndexesInMonth(months[0]))
+		if err != nil {
+			return err
+		}
+		clf, err = classify.Train(train, *tau, classify.Reject)
+	}
+	if err != nil {
+		return err
+	}
+	var rulesJSON bytes.Buffer
+	if err := serve.ExportRules(&rulesJSON, clf); err != nil {
+		return err
+	}
+
+	month := months[0]
+	if len(months) > 1 {
+		month = months[1]
+	}
+	if *monthFlag != "" {
+		found := false
+		for _, m := range months {
+			if m.String() == *monthFlag {
+				month, found = m, true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("month %q not in dataset (have %v)", *monthFlag, months)
+		}
+	}
+	allEvents := p.Store.Events()
+	var replay []dataset.DownloadEvent
+	for _, idx := range p.Store.EventIndexesInMonth(month) {
+		replay = append(replay, allEvents[idx])
+	}
+	if len(replay) == 0 {
+		return fmt.Errorf("month %s has no events", month)
+	}
+
+	var retries atomic.Uint64
+	client := &serve.Client{BaseURL: *addr}
+	client.Retry.OnRetry = func(int, error) { retries.Add(1) }
+
+	nBatches := (len(replay) + *batch - 1) / *batch
+	reloadBatch := -1
+	if *reloadAt >= 0 {
+		reloadBatch = int(float64(nBatches) * *reloadAt)
+	}
+	var interval time.Duration
+	if *rate > 0 {
+		interval = time.Duration(float64(*batch) / *rate * float64(time.Second))
+	}
+
+	fmt.Printf("replaying %s: %d events in %d batches of %d against %s\n",
+		month, len(replay), nBatches, *batch, *addr)
+	verdictCounts := map[string]int{}
+	gens := map[uint64]int{}
+	mismatches := 0
+	var reloadGen uint64
+	start := time.Now()
+	next := start
+	for b := 0; b < nBatches; b++ {
+		if b == reloadBatch {
+			gen, err := client.Reload(ctx, rulesJSON.Bytes())
+			if err != nil {
+				return fmt.Errorf("mid-replay reload: %w", err)
+			}
+			reloadGen = gen
+			fmt.Printf("  hot reload at batch %d/%d: now serving generation %d\n", b, nBatches, gen)
+		}
+		if interval > 0 {
+			time.Sleep(time.Until(next))
+			next = next.Add(interval)
+		}
+		lo, hi := b**batch, (b+1)**batch
+		if hi > len(replay) {
+			hi = len(replay)
+		}
+		verdicts, err := client.Classify(ctx, replay[lo:hi])
+		if err != nil {
+			return fmt.Errorf("batch %d: %w", b, err)
+		}
+		for i, v := range verdicts {
+			verdictCounts[v.Verdict]++
+			gens[v.Generation]++
+			if *noVerify {
+				continue
+			}
+			ev := &replay[lo+i]
+			vec, err := ex.Vector(ev)
+			if err != nil {
+				return err
+			}
+			inst := features.Instance{Vector: vec, File: ev.File}
+			offline, matched := clf.ClassifyFile([]features.Instance{inst})
+			want := fmt.Sprintf("%s %s %v", ev.File, offline, matched)
+			if got := v.Key(); got != want {
+				mismatches++
+				if mismatches <= 5 {
+					fmt.Printf("  MISMATCH: streamed %q, offline %q\n", got, want)
+				}
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("replayed %d events in %s (%.0f events/sec, %d uplink retries)\n",
+		len(replay), elapsed.Round(time.Millisecond),
+		float64(len(replay))/elapsed.Seconds(), retries.Load())
+	keys := make([]string, 0, len(verdictCounts))
+	for k := range verdictCounts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  verdict %-10s %d\n", k, verdictCounts[k])
+	}
+	genKeys := make([]uint64, 0, len(gens))
+	for g := range gens {
+		genKeys = append(genKeys, g)
+	}
+	sort.Slice(genKeys, func(i, j int) bool { return genKeys[i] < genKeys[j] })
+	for _, g := range genKeys {
+		fmt.Printf("  generation %d served %d verdicts\n", g, gens[g])
+	}
+	if reloadGen > 0 {
+		fmt.Printf("  mid-replay hot reload succeeded (generation %d)\n", reloadGen)
+	}
+	if !*noVerify {
+		if mismatches > 0 {
+			return fmt.Errorf("%d/%d streamed verdicts differ from offline classification", mismatches, len(replay))
+		}
+		fmt.Printf("  all %d streamed verdicts identical to offline classification\n", len(replay))
+	}
+
+	// Surface the daemon's own counters for the run.
+	metrics, err := client.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "longtail_") && !strings.Contains(line, "_bucket") &&
+			!strings.Contains(line, "_sum") && !strings.Contains(line, "_count") {
+			fmt.Printf("  %s\n", line)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+// Command longtaild is the online verdict-serving daemon: it loads a
+// labeled dataset as classification context (file/process metadata and
+// Alexa ranks), loads or trains a tau-filtered rule set, and serves
+// per-event verdicts over HTTP — the paper's Section VI-D operational
+// mode as a long-running service.
+//
+// Endpoints: POST /classify (line-JSON events in, line-JSON verdicts
+// out), POST /admin/reload (hot-swap the rule set with zero downtime),
+// GET /healthz, GET /metrics.
+//
+// Usage:
+//
+//	longtaild [-addr :8787] [-dataset dataset.jsonl] [-rules rules.json]
+//	          [-seed N] [-scale F] [-tau F] [-shards N] [-queue N]
+//
+// With no -dataset the daemon generates and labels the synthetic corpus
+// in-process (same seed/scale as the rest of the harness); with no
+// -rules it trains on the first month, so a bare `longtaild` is a fully
+// working deployment. A rules.json written by `rulemine -json -o` loads
+// directly via -rules.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/export"
+	"repro/internal/features"
+	"repro/internal/reputation"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "longtaild:", err)
+		os.Exit(1)
+	}
+}
+
+// loadContext builds the store and oracle the feature extractor serves
+// against: from a dataset file when given, otherwise generated.
+func loadContext(path string, seed int64, scale float64) (*dataset.Store, *reputation.Oracle, error) {
+	if path == "" {
+		p, err := experiments.Run(synth.DefaultConfig(seed, scale))
+		if err != nil {
+			return nil, nil, err
+		}
+		return p.Store, p.Result.Oracle, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	store, oracle, err := export.ReadStoreWithOracle(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	store.Freeze()
+	return store, oracle, nil
+}
+
+// loadOrTrainRules loads the rule set from disk when -rules is given,
+// otherwise trains on the first month of the context dataset.
+func loadOrTrainRules(path string, store *dataset.Store, ex *features.Extractor, tau float64) (*classify.Classifier, error) {
+	if path != "" {
+		return serve.LoadRulesFile(path, classify.Reject)
+	}
+	months := store.Months()
+	if len(months) == 0 {
+		return nil, fmt.Errorf("dataset has no events to train on")
+	}
+	train, err := ex.Instances(store.EventIndexesInMonth(months[0]))
+	if err != nil {
+		return nil, err
+	}
+	return classify.Train(train, tau, classify.Reject)
+}
+
+func run() error {
+	addr := flag.String("addr", ":8787", "listen address")
+	datasetPath := flag.String("dataset", "", "labeled dataset (gendata line-JSON; default: generate in-process)")
+	rulesPath := flag.String("rules", "", "rule set JSON (rulemine -json -o; default: train on first month)")
+	seed := flag.Int64("seed", 42, "generation seed when no -dataset")
+	scale := flag.Float64("scale", 0.02, "generation scale when no -dataset")
+	tau := flag.Float64("tau", 0.001, "rule-selection error threshold when no -rules")
+	shards := flag.Int("shards", 4, "worker shards")
+	queue := flag.Int("queue", 1024, "bounded ingest queue size (events)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+	flag.Parse()
+
+	store, oracle, err := loadContext(*datasetPath, *seed, *scale)
+	if err != nil {
+		return err
+	}
+	ex, err := features.NewExtractor(store, oracle)
+	if err != nil {
+		return err
+	}
+	clf, err := loadOrTrainRules(*rulesPath, store, ex, *tau)
+	if err != nil {
+		return err
+	}
+	engine, err := serve.NewEngine(ex, clf, serve.EngineConfig{Shards: *shards, QueueSize: *queue}, &serve.Metrics{})
+	if err != nil {
+		return err
+	}
+	srv, err := serve.NewServer(engine, classify.Reject)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("longtaild: serving on %s (%d rules, generation %d, %d shards, queue %d)",
+			*addr, engine.RuleCount(), engine.Generation(), *shards, *queue)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("longtaild: draining (budget %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	engine.Close()
+	log.Printf("longtaild: drained, bye")
+	return nil
+}

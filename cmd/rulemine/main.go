@@ -5,6 +5,11 @@
 // Usage:
 //
 //	rulemine [-seed N] [-scale F] [-month 2014-01] [-tau 0.001] [-all]
+//	         [-json [-o rules.json]]
+//
+// A rule set written with `-json -o rules.json` loads directly into the
+// serving daemon via `longtaild -rules rules.json` (and into
+// /admin/reload for zero-downtime hot swaps).
 package main
 
 import (
@@ -15,7 +20,7 @@ import (
 	"repro/internal/classify"
 	"repro/internal/experiments"
 	"repro/internal/features"
-	"repro/internal/part"
+	"repro/internal/serve"
 	"repro/internal/synth"
 )
 
@@ -32,7 +37,8 @@ func run() error {
 	monthFlag := flag.String("month", "", "training month (YYYY-MM; default: first month)")
 	tau := flag.Float64("tau", 0.001, "maximum training error rate for selected rules")
 	showAll := flag.Bool("all", false, "also dump rules that failed selection")
-	asJSON := flag.Bool("json", false, "emit the selected rules as JSON (reload with classify.NewFromRules)")
+	asJSON := flag.Bool("json", false, "emit the selected rules as JSON (reload with longtaild -rules)")
+	out := flag.String("o", "-", "output path for -json ('-' for stdout)")
 	flag.Parse()
 
 	p, err := experiments.Run(synth.DefaultConfig(*seed, *scale))
@@ -78,7 +84,18 @@ func run() error {
 		}
 	}
 	if *asJSON {
-		return part.EncodeRules(os.Stdout, clf.Rules)
+		if *out == "-" {
+			return serve.ExportRules(os.Stdout, clf)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := serve.ExportRules(f, clf); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
 	fmt.Printf("trained on %s: %d labeled instances (%d malicious, %d benign)\n",
 		month, len(insts), malicious, benign)

@@ -23,7 +23,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/features"
-	"repro/internal/part"
+	"repro/internal/serve"
 	"repro/internal/synth"
 )
 
@@ -56,20 +56,17 @@ func run() error {
 	fmt.Printf("trained on %s: %d rules selected\n", months[0], len(clf.Rules))
 
 	// 2. Export for analyst review (here: an in-memory buffer; on disk
-	// this is `rulemine -json > rules.json`).
+	// this is `rulemine -json -o rules.json`).
 	var ruleFile bytes.Buffer
-	if err := part.EncodeRules(&ruleFile, clf.Rules); err != nil {
+	if err := serve.ExportRules(&ruleFile, clf); err != nil {
 		return err
 	}
 	fmt.Printf("exported rule set: %d bytes of reviewable JSON\n", ruleFile.Len())
 
-	// 3. Reload the (possibly analyst-edited) rules.
-	attrs, _ := classify.Schema()
-	rules, err := part.DecodeRules(&ruleFile, attrs)
-	if err != nil {
-		return err
-	}
-	deployed, err := classify.NewFromRules(rules, classify.Reject)
+	// 3. Reload the (possibly analyst-edited) rules through the serving
+	// layer's rule loader — the same path `longtaild -rules` and
+	// /admin/reload use in production.
+	deployed, err := serve.LoadRules(&ruleFile, classify.Reject)
 	if err != nil {
 		return err
 	}

@@ -70,6 +70,47 @@ type urlLine struct {
 	Rank int `json:"rank,omitempty"`
 }
 
+// MarshalEventLine renders a single DownloadEvent as one "event" record
+// line (no trailing newline). This is the same bytes the full stream
+// uses for its event records, so a dataset file produced by gendata and
+// the body of a live request to the serving layer's /classify endpoint
+// share one wire format.
+func MarshalEventLine(e *dataset.DownloadEvent) ([]byte, error) {
+	if e == nil {
+		return nil, fmt.Errorf("export: nil event")
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(eventLine{
+		Type: "event", File: string(e.File), Machine: string(e.Machine),
+		Process: string(e.Process), URL: e.URL, Domain: e.Domain,
+		Time: e.Time, Executed: e.Executed,
+	})
+}
+
+// UnmarshalEventLine parses one "event" record line back into a
+// DownloadEvent, validating the record type and the event's structural
+// invariants.
+func UnmarshalEventLine(line []byte) (dataset.DownloadEvent, error) {
+	var e eventLine
+	if err := json.Unmarshal(line, &e); err != nil {
+		return dataset.DownloadEvent{}, fmt.Errorf("export: event line: %w", err)
+	}
+	if e.Type != "event" {
+		return dataset.DownloadEvent{}, fmt.Errorf("export: expected event record, got %q", e.Type)
+	}
+	ev := dataset.DownloadEvent{
+		File: dataset.FileHash(e.File), Machine: dataset.MachineID(e.Machine),
+		Process: dataset.FileHash(e.Process), URL: e.URL, Domain: e.Domain,
+		Time: e.Time, Executed: e.Executed,
+	}
+	if err := ev.Validate(); err != nil {
+		return dataset.DownloadEvent{}, err
+	}
+	return ev, nil
+}
+
 // WriteStore serializes the store (events, metadata, ground truth, URL
 // verdicts) to w without rank information; use WriteStoreWithOracle to
 // carry Alexa ranks as well.

@@ -201,3 +201,63 @@ func TestReadStoreBadRecords(t *testing.T) {
 		}
 	}
 }
+
+// TestEventLineCodec covers the standalone event-line codec the serving
+// layer's /classify endpoint ingests: round-trip fidelity, and — since
+// a dataset file and a live request body must be the same bytes — the
+// marshaled line must equal the event record WriteStore emits.
+func TestEventLineCodec(t *testing.T) {
+	ev := dataset.DownloadEvent{
+		File: "f1", Machine: "m1", Process: "p1",
+		URL: "http://d.com/x.exe", Domain: "d.com",
+		Time: time.Date(2014, time.March, 3, 4, 5, 6, 0, time.UTC), Executed: true,
+	}
+	line, err := MarshalEventLine(&ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalEventLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != ev {
+		t.Fatalf("round trip changed the event: %+v vs %+v", back, ev)
+	}
+
+	// The store stream's event record and the standalone line are the
+	// same wire format, byte for byte.
+	store := buildSample(t)
+	var buf bytes.Buffer
+	if err := WriteStore(&buf, store); err != nil {
+		t.Fatal(err)
+	}
+	var storeLine string
+	for _, l := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(l, `"type":"event"`) {
+			storeLine = l
+			break
+		}
+	}
+	if storeLine != string(line) {
+		t.Fatalf("wire formats diverge:\n store: %s\n line:  %s", storeLine, line)
+	}
+}
+
+// TestEventLineCodecErrors: invalid inputs fail loudly.
+func TestEventLineCodecErrors(t *testing.T) {
+	if _, err := MarshalEventLine(nil); err == nil {
+		t.Fatal("nil event marshaled")
+	}
+	if _, err := MarshalEventLine(&dataset.DownloadEvent{File: "f"}); err == nil {
+		t.Fatal("structurally invalid event marshaled")
+	}
+	if _, err := UnmarshalEventLine([]byte(`{"type":"meta","hash":"x"}`)); err == nil {
+		t.Fatal("non-event record accepted")
+	}
+	if _, err := UnmarshalEventLine([]byte(`{`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := UnmarshalEventLine([]byte(`{"type":"event","file":"f"}`)); err == nil {
+		t.Fatal("event missing required fields accepted")
+	}
+}

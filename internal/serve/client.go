@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/dataset"
+	"repro/internal/export"
+	"repro/internal/retry"
+)
+
+// Client is the request side of the serving wire protocol, used by
+// cmd/loadgen and the throughput benchmark. The uplink retries with
+// exponential backoff and full jitter: transport errors, 5xx and 429
+// (backpressure) are retryable; 4xx are permanent. HTTPClient's
+// Transport is the decoration point for internal/faults injectors —
+// wrap it with a faulty RoundTripper and the retry machinery absorbs
+// the injected failures exactly as the PR 1 uplink does.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8787".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient when nil.
+	HTTPClient *http.Client
+	// Retry is the uplink retry policy; the zero value selects the
+	// package defaults (5 attempts, 50ms initial backoff).
+	Retry retry.Policy
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// post sends body and returns the response body, retrying per policy.
+func (c *Client) post(ctx context.Context, path string, body []byte) ([]byte, error) {
+	var out []byte
+	err := retry.Do(ctx, c.Retry, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			out = data
+			return nil
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+			// Backpressure or server-side trouble: retry after backoff.
+			return fmt.Errorf("serve: %s: %s", path, resp.Status)
+		default:
+			return retry.Permanent(fmt.Errorf("serve: %s: %s: %s", path, resp.Status, bytes.TrimSpace(data)))
+		}
+	})
+	return out, err
+}
+
+// Classify streams a batch of events to /classify and parses the
+// verdict records, which arrive in input order.
+func (c *Client) Classify(ctx context.Context, events []dataset.DownloadEvent) ([]VerdictRecord, error) {
+	var body bytes.Buffer
+	for i := range events {
+		line, err := export.MarshalEventLine(&events[i])
+		if err != nil {
+			return nil, err
+		}
+		body.Write(line)
+		body.WriteByte('\n')
+	}
+	data, err := c.post(ctx, "/classify", body.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	var verdicts []VerdictRecord
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<16), maxEventLine)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var v VerdictRecord
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			return nil, fmt.Errorf("serve: verdict line: %w", err)
+		}
+		verdicts = append(verdicts, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(verdicts) != len(events) {
+		return nil, fmt.Errorf("serve: sent %d events, got %d verdicts", len(events), len(verdicts))
+	}
+	return verdicts, nil
+}
+
+// Reload posts a rulemine-format JSON rule set to /admin/reload and
+// returns the new rule-set generation.
+func (c *Client) Reload(ctx context.Context, rulesJSON []byte) (uint64, error) {
+	data, err := c.post(ctx, "/admin/reload", rulesJSON)
+	if err != nil {
+		return 0, err
+	}
+	var resp struct {
+		Generation uint64 `json:"generation"`
+		Rules      int    `json:"rules"`
+	}
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return 0, fmt.Errorf("serve: reload response: %w", err)
+	}
+	return resp.Generation, nil
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (map[string]any, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Metrics fetches the raw /metrics exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}

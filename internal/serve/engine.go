@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/dataset"
+	"repro/internal/features"
+)
+
+// Errors the admission path returns; the HTTP layer maps them to 429
+// and 503 respectively.
+var (
+	// ErrOverloaded means the bounded ingest queue is full; callers
+	// should back off and retry (the Client does, with jitter).
+	ErrOverloaded = errors.New("serve: ingest queue full")
+	// ErrDraining means the engine is shutting down and no longer
+	// admits work.
+	ErrDraining = errors.New("serve: engine draining")
+)
+
+// EngineConfig sizes the worker pool. The zero value selects defaults.
+type EngineConfig struct {
+	// Shards is the number of worker goroutines, each owning one queue
+	// shard; events route to shards by file hash, so all in-flight
+	// events of one file classify on the same worker. Default 4.
+	Shards int
+	// QueueSize bounds the total number of admitted-but-unfinished
+	// events across all shards; admission beyond it fails with
+	// ErrOverloaded (backpressure). Default 1024.
+	QueueSize int
+}
+
+func (c EngineConfig) shardsOrDefault() int {
+	if c.Shards > 0 {
+		return c.Shards
+	}
+	return 4
+}
+
+func (c EngineConfig) queueOrDefault() int {
+	if c.QueueSize > 0 {
+		return c.QueueSize
+	}
+	return 1024
+}
+
+// VerdictRecord is the wire form of one served verdict, emitted as one
+// line-JSON record per ingested event, in input order. Generation pins
+// the verdict to exactly one rule-set generation, so every response is
+// attributable even across hot reloads.
+type VerdictRecord struct {
+	Type       string `json:"type"` // always "verdict"
+	File       string `json:"file"`
+	Verdict    string `json:"verdict"`
+	Generation uint64 `json:"gen"`
+	Rules      []int  `json:"rules,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// Key renders the generation-independent part of the record — the part
+// that must match offline classification byte-for-byte regardless of
+// how many hot reloads happened mid-stream.
+func (v VerdictRecord) Key() string {
+	return fmt.Sprintf("%s %s %v", v.File, v.Verdict, v.Rules)
+}
+
+// ruleGen is one immutable rule-set generation. The engine swaps whole
+// generations atomically; workers load the pointer once per event, so
+// an event classifies under exactly one generation.
+type ruleGen struct {
+	clf *classify.Classifier
+	gen uint64
+}
+
+// job carries one event through a shard queue to its response slot.
+type job struct {
+	ev       dataset.DownloadEvent
+	enqueued time.Time
+	out      *VerdictRecord
+	done     *sync.WaitGroup
+}
+
+// Engine is the classification core: bounded sharded queues feeding a
+// worker pool that extracts features and classifies against the current
+// rule-set generation.
+type Engine struct {
+	ex       *features.Extractor
+	metrics  *Metrics
+	shards   []chan *job
+	capacity int64
+	inflight atomic.Int64
+	closed   atomic.Bool
+	wg       sync.WaitGroup
+
+	swapMu sync.Mutex
+	rules  atomic.Pointer[ruleGen]
+}
+
+// NewEngine builds and starts an engine serving clf (generation 1).
+// The extractor provides the file/process metadata and Alexa-rank
+// context that Table XV features need.
+func NewEngine(ex *features.Extractor, clf *classify.Classifier, cfg EngineConfig, m *Metrics) (*Engine, error) {
+	if ex == nil {
+		return nil, fmt.Errorf("serve: nil extractor")
+	}
+	if clf == nil {
+		return nil, fmt.Errorf("serve: nil classifier")
+	}
+	if m == nil {
+		m = &Metrics{}
+	}
+	e := &Engine{
+		ex:       ex,
+		metrics:  m,
+		capacity: int64(cfg.queueOrDefault()),
+	}
+	e.rules.Store(&ruleGen{clf: clf, gen: 1})
+	m.Generation.Store(1)
+	n := cfg.shardsOrDefault()
+	e.shards = make([]chan *job, n)
+	for i := range e.shards {
+		// Each shard can hold the whole admitted window, so a reserved
+		// job's enqueue never blocks and drain cannot deadlock.
+		e.shards[i] = make(chan *job, cfg.queueOrDefault())
+		e.wg.Add(1)
+		go e.worker(e.shards[i])
+	}
+	return e, nil
+}
+
+// Metrics returns the engine's metrics sink.
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// Generation returns the current rule-set generation.
+func (e *Engine) Generation() uint64 { return e.rules.Load().gen }
+
+// RuleCount returns the number of rules in the current generation.
+func (e *Engine) RuleCount() int { return len(e.rules.Load().clf.Rules) }
+
+// QueueDepth returns the number of admitted-but-unfinished events.
+func (e *Engine) QueueDepth() int { return int(e.inflight.Load()) }
+
+// Swap atomically replaces the served rule set and returns the new
+// generation. In-flight events finish under the generation they loaded;
+// events admitted after Swap returns classify under the new one.
+func (e *Engine) Swap(clf *classify.Classifier) (uint64, error) {
+	if clf == nil {
+		return 0, fmt.Errorf("serve: swap: nil classifier")
+	}
+	e.swapMu.Lock()
+	defer e.swapMu.Unlock()
+	next := &ruleGen{clf: clf, gen: e.rules.Load().gen + 1}
+	e.rules.Store(next)
+	e.metrics.Reloads.Add(1)
+	e.metrics.Generation.Store(next.gen)
+	return next.gen, nil
+}
+
+// shardOf routes a file hash to a shard (FNV-1a).
+func shardOf(h dataset.FileHash, n int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	x := uint32(offset32)
+	for i := 0; i < len(h); i++ {
+		x ^= uint32(h[i])
+		x *= prime32
+	}
+	return int(x % uint32(n))
+}
+
+// ClassifyBatch admits a batch of events, classifies each on its shard,
+// and returns one VerdictRecord per event in input order. The whole
+// batch is admitted or rejected atomically: on ErrOverloaded nothing
+// was enqueued and the caller should shed or retry.
+func (e *Engine) ClassifyBatch(events []dataset.DownloadEvent) ([]VerdictRecord, error) {
+	if len(events) == 0 {
+		return nil, nil
+	}
+	// Reserve capacity before touching the queues so overflow is an
+	// all-or-nothing admission decision.
+	n := int64(len(events))
+	for {
+		cur := e.inflight.Load()
+		if cur+n > e.capacity {
+			return nil, ErrOverloaded
+		}
+		if e.inflight.CompareAndSwap(cur, cur+n) {
+			break
+		}
+	}
+	if e.closed.Load() {
+		e.inflight.Add(-n)
+		return nil, ErrDraining
+	}
+	e.metrics.EventsIn.Add(uint64(n))
+	results := make([]VerdictRecord, len(events))
+	var done sync.WaitGroup
+	done.Add(len(events))
+	now := time.Now()
+	for i := range events {
+		e.shards[shardOf(events[i].File, len(e.shards))] <- &job{
+			ev: events[i], enqueued: now, out: &results[i], done: &done,
+		}
+	}
+	done.Wait()
+	return results, nil
+}
+
+// worker drains one shard until Close.
+func (e *Engine) worker(ch chan *job) {
+	defer e.wg.Done()
+	for j := range ch {
+		e.process(j)
+	}
+}
+
+// process classifies one event under exactly one rule-set generation.
+func (e *Engine) process(j *job) {
+	e.metrics.QueueWait.Observe(time.Since(j.enqueued))
+	rg := e.rules.Load()
+	rec := VerdictRecord{Type: "verdict", File: string(j.ev.File), Generation: rg.gen}
+	t0 := time.Now()
+	vec, err := e.ex.Vector(&j.ev)
+	e.metrics.Extract.Observe(time.Since(t0))
+	if err != nil {
+		e.metrics.ExtractErrors.Add(1)
+		rec.Verdict = classify.VerdictNone.String()
+		rec.Error = err.Error()
+	} else {
+		inst := features.Instance{Vector: vec, File: j.ev.File}
+		t1 := time.Now()
+		v, matched := rg.clf.ClassifyFile([]features.Instance{inst})
+		e.metrics.Classify.Observe(time.Since(t1))
+		e.metrics.CountVerdict(v)
+		rec.Verdict = v.String()
+		rec.Rules = matched
+	}
+	*j.out = rec
+	j.done.Done()
+	e.inflight.Add(-1)
+}
+
+// Close drains the engine: admission stops immediately, every admitted
+// event still gets its verdict, and Close returns once the workers have
+// exited. Safe to call once.
+func (e *Engine) Close() {
+	e.closed.Store(true)
+	// Wait for in-flight work (admitted batches hold inflight > 0 until
+	// their last event is processed, and admission re-checks closed
+	// after reserving, so no new sends can start once this hits zero).
+	for e.inflight.Load() > 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	for _, ch := range e.shards {
+		close(ch)
+	}
+	e.wg.Wait()
+}

@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/classify"
+)
+
+// latencyBounds are the histogram bucket upper bounds in seconds,
+// roughly exponential from 10µs to 1s. Classification of one event is
+// microseconds of work, so the low buckets carry the signal; the high
+// ones catch queueing under overload.
+var latencyBounds = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 1,
+}
+
+// numBuckets is len(latencyBounds) plus the implicit +Inf bucket.
+const numBuckets = 16
+
+func init() {
+	if numBuckets != len(latencyBounds)+1 {
+		panic("serve: numBuckets must equal len(latencyBounds)+1")
+	}
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// observation; the final implicit bucket is +Inf.
+type Histogram struct {
+	counts [numBuckets]atomic.Uint64
+	sumNS  atomic.Uint64
+	n      atomic.Uint64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s := d.Seconds()
+	i := 0
+	for i < len(latencyBounds) && s > latencyBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(uint64(d.Nanoseconds()))
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// write emits the histogram in cumulative-bucket exposition form.
+func (h *Histogram) write(w io.Writer, name, stage string) {
+	cum := uint64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(latencyBounds) {
+			le = strconv.FormatFloat(latencyBounds[i], 'g', -1, 64)
+		}
+		fmt.Fprintf(w, "%s_bucket{stage=%q,le=%q} %d\n", name, stage, le, cum)
+	}
+	fmt.Fprintf(w, "%s_sum{stage=%q} %g\n", name, stage,
+		float64(h.sumNS.Load())/float64(time.Second))
+	fmt.Fprintf(w, "%s_count{stage=%q} %d\n", name, stage, h.n.Load())
+}
+
+// Metrics is the serving subsystem's observable state: verdict
+// counters, per-stage latency histograms, queue/backpressure counters
+// and the rule-set reload generation. All fields are safe for
+// concurrent use; the zero value is ready.
+type Metrics struct {
+	// RequestsAccepted / RequestsRejected count /classify batches
+	// admitted into the queue vs shed with 429 on overflow.
+	RequestsAccepted atomic.Uint64
+	RequestsRejected atomic.Uint64
+	// BadRequests counts malformed /classify or /admin/reload bodies.
+	BadRequests atomic.Uint64
+	// EventsIn counts individual events admitted for classification.
+	EventsIn atomic.Uint64
+	// ExtractErrors counts events whose feature extraction failed
+	// (e.g. no metadata for the file); these return an error verdict
+	// rather than failing the batch.
+	ExtractErrors atomic.Uint64
+	// Reloads counts successful hot rule-set swaps; Generation is the
+	// current rule-set generation (1 = the set loaded at boot).
+	Reloads    atomic.Uint64
+	Generation atomic.Uint64
+
+	// Per-stage latency: time spent queued, extracting features, and
+	// classifying.
+	QueueWait Histogram
+	Extract   Histogram
+	Classify  Histogram
+
+	verdicts [4]atomic.Uint64
+}
+
+// CountVerdict records one served verdict.
+func (m *Metrics) CountVerdict(v classify.Verdict) {
+	if v >= 0 && int(v) < len(m.verdicts) {
+		m.verdicts[v].Add(1)
+	}
+}
+
+// VerdictCount returns the number of verdicts served with value v.
+func (m *Metrics) VerdictCount(v classify.Verdict) uint64 {
+	if v < 0 || int(v) >= len(m.verdicts) {
+		return 0
+	}
+	return m.verdicts[v].Load()
+}
+
+// WriteTo emits the metrics in Prometheus-style text exposition format.
+// queueDepth is sampled at call time (the engine owns the queues).
+func (m *Metrics) WriteTo(w io.Writer, queueDepth int) {
+	fmt.Fprintf(w, "longtail_requests_total{result=\"accepted\"} %d\n", m.RequestsAccepted.Load())
+	fmt.Fprintf(w, "longtail_requests_total{result=\"rejected\"} %d\n", m.RequestsRejected.Load())
+	fmt.Fprintf(w, "longtail_requests_total{result=\"bad\"} %d\n", m.BadRequests.Load())
+	fmt.Fprintf(w, "longtail_events_total %d\n", m.EventsIn.Load())
+	for v := classify.VerdictNone; v <= classify.VerdictRejected; v++ {
+		fmt.Fprintf(w, "longtail_verdicts_total{verdict=%q} %d\n", v.String(), m.verdicts[v].Load())
+	}
+	fmt.Fprintf(w, "longtail_extract_errors_total %d\n", m.ExtractErrors.Load())
+	fmt.Fprintf(w, "longtail_reloads_total %d\n", m.Reloads.Load())
+	fmt.Fprintf(w, "longtail_reload_generation %d\n", m.Generation.Load())
+	fmt.Fprintf(w, "longtail_queue_depth %d\n", queueDepth)
+	m.QueueWait.write(w, "longtail_stage_latency_seconds", "queue")
+	m.Extract.write(w, "longtail_stage_latency_seconds", "extract")
+	m.Classify.write(w, "longtail_stage_latency_seconds", "classify")
+}

@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/classify"
+)
+
+// TestConcurrentClassifyAndReload hammers the engine with concurrent
+// classification while another goroutine hot-swaps the rule set, under
+// the race detector. The contract: no response is dropped, every
+// response carries exactly one known rule-set generation, and — since
+// every generation serves the same rules — verdicts never change across
+// swaps.
+func TestConcurrentClassifyAndReload(t *testing.T) {
+	f := sharedFixture(t)
+	engine := newTestEngine(t, f, EngineConfig{Shards: 4, QueueSize: 512})
+
+	const (
+		streamers = 4
+		batches   = 25
+		batchSize = 16
+		reloads   = 10
+	)
+	offline := make([]string, len(f.replay))
+	for i := range f.replay {
+		offline[i] = offlineKey(t, f, f.clf, &f.replay[i])
+	}
+
+	var maxGen atomic.Uint64
+	maxGen.Store(1)
+	var wg sync.WaitGroup
+	errCh := make(chan error, streamers+1)
+
+	// Reloader: serial swaps of an identical rule set.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < reloads; i++ {
+			gen, err := engine.Swap(f.clf)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			maxGen.Store(gen)
+		}
+	}()
+
+	type response struct {
+		idx int
+		rec VerdictRecord
+	}
+	responses := make(chan response, streamers*batches*batchSize)
+	for s := 0; s < streamers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				lo := ((s*batches + b) * batchSize) % (len(f.replay) - batchSize)
+				verdicts, err := engine.ClassifyBatch(f.replay[lo : lo+batchSize])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for i, v := range verdicts {
+					responses <- response{idx: lo + i, rec: v}
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(responses)
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	total := 0
+	gensSeen := map[uint64]int{}
+	for r := range responses {
+		total++
+		if r.rec.Verdict == "" {
+			t.Fatalf("dropped response for event %d", r.idx)
+		}
+		if r.rec.Generation < 1 || r.rec.Generation > maxGen.Load() {
+			t.Fatalf("response carries unknown generation %d (max %d)", r.rec.Generation, maxGen.Load())
+		}
+		gensSeen[r.rec.Generation]++
+		if got := r.rec.Key(); got != offline[r.idx] {
+			t.Fatalf("event %d under generation %d: streamed %q, offline %q",
+				r.idx, r.rec.Generation, got, offline[r.idx])
+		}
+	}
+	if want := streamers * batches * batchSize; total != want {
+		t.Fatalf("got %d responses, want %d (dropped %d)", total, want, want-total)
+	}
+	if engine.Generation() != uint64(1+reloads) {
+		t.Fatalf("final generation = %d, want %d", engine.Generation(), 1+reloads)
+	}
+	if m := engine.Metrics(); m.Reloads.Load() != reloads {
+		t.Fatalf("Reloads = %d, want %d", m.Reloads.Load(), reloads)
+	}
+}
+
+// TestConcurrentReloadOverHTTP runs the same contention through the
+// HTTP surface: streaming clients racing /admin/reload posts.
+func TestConcurrentReloadOverHTTP(t *testing.T) {
+	f := sharedFixture(t)
+	engine := newTestEngine(t, f, EngineConfig{Shards: 2, QueueSize: 512})
+	srv, err := NewServer(engine, classify.Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	ctx := context.Background()
+
+	var rules bytes.Buffer
+	if err := ExportRules(&rules, f.clf); err != nil {
+		t.Fatal(err)
+	}
+	rulesJSON := rules.Bytes()
+
+	offline := make([]string, 32)
+	for i := range offline {
+		offline[i] = offlineKey(t, f, f.clf, &f.replay[i])
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 3)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		client := &Client{BaseURL: ts.URL}
+		for i := 0; i < 5; i++ {
+			if _, err := client.Reload(ctx, rulesJSON); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &Client{BaseURL: ts.URL}
+			for b := 0; b < 10; b++ {
+				verdicts, err := client.Classify(ctx, f.replay[:32])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for i, v := range verdicts {
+					if v.Key() != offline[i] {
+						errCh <- fmt.Errorf("event %d: streamed %q, offline %q", i, v.Key(), offline[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if got := engine.Generation(); got != 6 {
+		t.Fatalf("final generation = %d, want 6", got)
+	}
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/classify"
+	"repro/internal/dataset"
+	"repro/internal/export"
+)
+
+// Server is the HTTP surface of the verdict-serving subsystem.
+//
+//	POST /classify      line-JSON "event" records in, line-JSON
+//	                    "verdict" records out (input order); 429 under
+//	                    backpressure, 503 while draining.
+//	POST /admin/reload  rulemine-format JSON rule set in; hot-swaps the
+//	                    served rules and reports the new generation.
+//	GET  /healthz       liveness + current generation and queue depth.
+//	GET  /metrics       Prometheus-style text exposition.
+type Server struct {
+	engine *Engine
+	// policy applies to rule sets loaded through /admin/reload.
+	policy classify.ConflictPolicy
+}
+
+// NewServer wraps an engine; reloaded rule sets use the given conflict
+// policy (the paper's choice is classify.Reject).
+func NewServer(engine *Engine, policy classify.ConflictPolicy) (*Server, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("serve: nil engine")
+	}
+	return &Server{engine: engine, policy: policy}, nil
+}
+
+// Handler returns the route mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/classify", s.handleClassify)
+	mux.HandleFunc("/admin/reload", s.handleReload)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// maxEventLine bounds one request line (matches export.ReadStore's
+// scanner budget).
+const maxEventLine = 1 << 22
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	m := s.engine.Metrics()
+	var events []dataset.DownloadEvent
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 1<<16), maxEventLine)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := export.UnmarshalEventLine(line)
+		if err != nil {
+			m.BadRequests.Add(1)
+			http.Error(w, fmt.Sprintf("line %d: %v", lineNo, err), http.StatusBadRequest)
+			return
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		m.BadRequests.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	verdicts, err := s.engine.ClassifyBatch(events)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		m.RequestsRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	m.RequestsAccepted.Add(1)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range verdicts {
+		if err := enc.Encode(&verdicts[i]); err != nil {
+			return
+		}
+	}
+	bw.Flush()
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	clf, err := LoadRules(r.Body, s.policy)
+	if err != nil {
+		s.engine.Metrics().BadRequests.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	gen, err := s.engine.Swap(clf)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{
+		"generation": gen,
+		"rules":      len(clf.Rules),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":     "ok",
+		"generation": s.engine.Generation(),
+		"queueDepth": s.engine.QueueDepth(),
+		"rules":      s.engine.RuleCount(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.engine.Metrics().WriteTo(w, s.engine.QueueDepth())
+}
