@@ -1,12 +1,12 @@
 # Tier-1 verification (ROADMAP.md): build + vet + race-enabled tests,
-# plus a gofmt cleanliness gate. `make verify` is the one command CI and
-# pre-commit hooks run.
+# plus a gofmt cleanliness gate and a short fuzz smoke over the wire
+# codec. `make verify` is the one command CI and pre-commit hooks run.
 
 GO ?= go
 
-.PHONY: verify build vet test fmtcheck bench
+.PHONY: verify build vet test fmtcheck bench chaos-serve fuzz-smoke
 
-verify: build vet test fmtcheck
+verify: build vet test fmtcheck fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -23,7 +23,18 @@ fmtcheck:
 		echo "gofmt -l reports unformatted files:"; echo "$$out"; exit 1; \
 	fi
 
+# 30-second native-fuzzing smoke over the single-event codec the
+# /classify endpoint and the write-ahead journal parse on every request.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzUnmarshalEventLine -fuzztime=30s -run '^$$' ./internal/export/
+
+# Serving-layer chaos harness under the race detector: kill -9
+# mid-replay with injected transport faults and a torn journal tail,
+# then restart + recovery with exactly-once verdict accounting.
+chaos-serve:
+	$(GO) test -race -run TestChaosServe -count=1 -v ./internal/experiments/
+
 # Full benchmark harness (one benchmark per paper table/figure plus the
-# ablations and the serving-throughput bench).
+# ablations and the serving-throughput benches).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

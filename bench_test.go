@@ -24,6 +24,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/features"
+	"repro/internal/journal"
 	"repro/internal/part"
 	"repro/internal/serve"
 	"repro/internal/synth"
@@ -500,6 +501,75 @@ func BenchmarkServeThroughput(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkServeThroughputJournaled is BenchmarkServeThroughput with
+// the write-ahead journal enabled: every batch pays a group-committed
+// fsync for its accept record (overlapped with classification) plus an
+// async result record. The events/sec metric against the unjournaled
+// benchmark is the durability tax; the acceptance bar is >= 80% of it.
+func BenchmarkServeThroughputJournaled(b *testing.B) {
+	p := sharedPipeline(b)
+	months := p.Store.Months()
+	ex, err := features.NewExtractor(p.Store, p.Result.Oracle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, err := ex.Instances(p.Store.EventIndexesInMonth(months[0]))
+	if err != nil {
+		b.Fatal(err)
+	}
+	clf, err := classify.Train(train, 0.001, classify.Reject)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := serve.NewEngine(ex, clf, serve.EngineConfig{
+		Shards: runtime.GOMAXPROCS(0), QueueSize: 8192,
+	}, &serve.Metrics{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer engine.Close()
+	ledger, _, err := serve.OpenLedger(serve.LedgerOptions{
+		Journal: journal.Options{Dir: b.TempDir()},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ledger.Close()
+	srv, err := serve.NewServer(engine, classify.Reject, serve.WithLedger(ledger))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &serve.Client{BaseURL: ts.URL}
+
+	events := p.Store.Events()
+	var replay []dataset.DownloadEvent
+	for _, idx := range p.Store.EventIndexesInMonth(months[1]) {
+		replay = append(replay, events[idx])
+	}
+	const batch = 256
+	if len(replay) < batch {
+		b.Fatalf("only %d replay events; need %d", len(replay), batch)
+	}
+	ctx := context.Background()
+	sent := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := (i * batch) % (len(replay) - batch + 1)
+		verdicts, err := client.Classify(ctx, replay[lo:lo+batch])
+		if err != nil {
+			b.Fatal(err)
+		}
+		sent += len(verdicts)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "events/sec")
+	js := ledger.Stats()
+	b.ReportMetric(float64(js.Syncs), "fsyncs")
 }
 
 // BenchmarkPrevalenceIndex measures the store freeze/indexing cost.

@@ -32,6 +32,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/features"
+	"repro/internal/retry"
 	"repro/internal/serve"
 	"repro/internal/synth"
 )
@@ -115,9 +116,16 @@ func run() error {
 	}
 
 	var retries atomic.Uint64
-	client := &serve.Client{BaseURL: *addr}
+	client := &serve.Client{
+		BaseURL: *addr,
+		// A stable request ID rides every batch, so a response lost on
+		// the wire is retransmitted under the same ID and a journaling
+		// daemon answers from its ledger instead of reclassifying.
+		RequestIDPrefix: fmt.Sprintf("loadgen-%d", os.Getpid()),
+	}
 	client.Retry.OnRetry = func(int, error) { retries.Add(1) }
 
+	var backoffs atomic.Uint64
 	nBatches := (len(replay) + *batch - 1) / *batch
 	reloadBatch := -1
 	if *reloadAt >= 0 {
@@ -153,7 +161,21 @@ func run() error {
 		if hi > len(replay) {
 			hi = len(replay)
 		}
-		verdicts, err := client.Classify(ctx, replay[lo:hi])
+		// The client already retries transient failures per attempt; this
+		// outer loop backs off harder (jittered exponential, longer cap)
+		// when the daemon sheds load persistently — 429s under a burst
+		// are backpressure to honor, not errors to abort on.
+		var verdicts []serve.VerdictRecord
+		err := retry.Do(ctx, retry.Policy{
+			MaxAttempts:    8,
+			InitialBackoff: 100 * time.Millisecond,
+			MaxBackoff:     5 * time.Second,
+			OnRetry:        func(int, error) { backoffs.Add(1) },
+		}, func(ctx context.Context) error {
+			var cerr error
+			verdicts, cerr = client.Classify(ctx, replay[lo:hi])
+			return cerr
+		})
 		if err != nil {
 			return fmt.Errorf("batch %d: %w", b, err)
 		}
@@ -181,9 +203,9 @@ func run() error {
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("replayed %d events in %s (%.0f events/sec, %d uplink retries)\n",
+	fmt.Printf("replayed %d events in %s (%.0f events/sec, %d uplink retries, %d overload backoffs, %d deferred batches)\n",
 		len(replay), elapsed.Round(time.Millisecond),
-		float64(len(replay))/elapsed.Seconds(), retries.Load())
+		float64(len(replay))/elapsed.Seconds(), retries.Load(), backoffs.Load(), client.Deferred.Load())
 	keys := make([]string, 0, len(verdictCounts))
 	for k := range verdictCounts {
 		keys = append(keys, k)

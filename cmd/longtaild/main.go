@@ -5,13 +5,22 @@
 // mode as a long-running service.
 //
 // Endpoints: POST /classify (line-JSON events in, line-JSON verdicts
-// out), POST /admin/reload (hot-swap the rule set with zero downtime),
-// GET /healthz, GET /metrics.
+// out), GET /result (verdicts of a deferred batch), POST /admin/reload
+// (hot-swap the rule set with zero downtime), GET /healthz,
+// GET /metrics.
 //
 // Usage:
 //
 //	longtaild [-addr :8787] [-dataset dataset.jsonl] [-rules rules.json]
-//	          [-seed N] [-scale F] [-tau F] [-shards N] [-queue N]
+//	          [-journal-dir DIR] [-seed N] [-scale F] [-tau F]
+//	          [-shards N] [-queue N]
+//
+// With -journal-dir the daemon keeps a write-ahead journal of accepted
+// /classify batches: every batch is fsynced before it is acknowledged,
+// retransmits (same X-Request-Id) are answered from the journal without
+// reclassification, and on restart after a crash any
+// accepted-but-unanswered batches are replayed through the engine —
+// kill -9 mid-batch loses nothing and double-counts nothing.
 //
 // With no -dataset the daemon generates and labels the synthetic corpus
 // in-process (same seed/scale as the rest of the harness); with no
@@ -37,6 +46,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/export"
 	"repro/internal/features"
+	"repro/internal/journal"
 	"repro/internal/reputation"
 	"repro/internal/serve"
 	"repro/internal/synth"
@@ -98,6 +108,7 @@ func run() error {
 	tau := flag.Float64("tau", 0.001, "rule-selection error threshold when no -rules")
 	shards := flag.Int("shards", 4, "worker shards")
 	queue := flag.Int("queue", 1024, "bounded ingest queue size (events)")
+	journalDir := flag.String("journal-dir", "", "write-ahead journal directory (empty: serve stateless)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 	flag.Parse()
 
@@ -117,7 +128,33 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	srv, err := serve.NewServer(engine, classify.Reject)
+
+	// Crash recovery: reopen the journal, replay any batches the previous
+	// process accepted but never answered, and only then start listening —
+	// a client retransmitting into the new process hits the recovered
+	// ledger, never a second classification.
+	var srvOpts []serve.ServerOption
+	var ledger *serve.Ledger
+	if *journalDir != "" {
+		var rec *serve.LedgerRecovery
+		ledger, rec, err = serve.OpenLedger(serve.LedgerOptions{
+			Journal: journal.Options{Dir: *journalDir},
+		})
+		if err != nil {
+			return err
+		}
+		defer ledger.Close()
+		if rec.TornTail > 0 {
+			log.Printf("longtaild: journal recovery discarded %d bytes of torn tail (unacknowledged writes from a crash)", rec.TornTail)
+		}
+		replayed, err := serve.RecoverLedger(engine, ledger, rec)
+		if err != nil {
+			return err
+		}
+		log.Printf("longtaild: journal recovered: %d completed batches, %d pending replayed", rec.Results, replayed)
+		srvOpts = append(srvOpts, serve.WithLedger(ledger))
+	}
+	srv, err := serve.NewServer(engine, classify.Reject, srvOpts...)
 	if err != nil {
 		return err
 	}
@@ -143,7 +180,17 @@ func run() error {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
+	// Order matters: stop the deferred-batch worker, then drain the
+	// engine, then (deferred above) close the journal. Batches still
+	// pending in the journal at exit are intact on disk; the next boot's
+	// recovery replays them.
+	srv.Close()
 	engine.Close()
+	if ledger != nil {
+		if pending, _ := ledger.Counts(); pending > 0 {
+			log.Printf("longtaild: exiting with %d journaled batches pending; next boot will replay them", pending)
+		}
+	}
 	log.Printf("longtaild: drained, bye")
 	return nil
 }

@@ -46,6 +46,7 @@ var All = []Experiment{
 	{ID: "avtypestats", Name: "Section II-C: AVType resolution-rule shares", Run: AVTypeStats},
 	{ID: "chains", Name: "Extension: malicious download-chain depths", Run: Chains},
 	{ID: "chaos", Name: "Robustness: fault-injected pipeline vs fault-free baseline", Run: Chaos},
+	{ID: "chaos-serve", Name: "Robustness: serving-layer kill -9 + journal recovery under transport faults", Run: ChaosServe},
 }
 
 // ByID returns the experiment with the given ID.

@@ -1,8 +1,11 @@
 package export
 
 import (
+	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/synth"
 )
 
 // FuzzReadStore asserts the dataset parser never panics on malformed
@@ -31,5 +34,72 @@ func FuzzReadStore(f *testing.F) {
 			}
 		}
 		store.Freeze()
+	})
+}
+
+// FuzzUnmarshalEventLine hammers the single-event codec the serving
+// layer's /classify endpoint and the write-ahead journal both parse on
+// every request: it must never panic, and every line it accepts must
+// round-trip to canonical bytes (marshal(unmarshal(line)) is a fixed
+// point), because journal recovery and retransmit dedup compare
+// re-marshaled records byte-for-byte.
+func FuzzUnmarshalEventLine(f *testing.F) {
+	// Seed with real generated traffic: the exact bytes a loadgen replay
+	// or a journaled accept record carries.
+	cfg := synth.DefaultConfig(7, 0.001)
+	cfg.Months = 1
+	res, err := synth.Generate(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	events := res.Store.Events()
+	if len(events) == 0 {
+		f.Fatal("synth generated no events")
+	}
+	for i := 0; i < len(events) && i < 32; i++ {
+		line, err := MarshalEventLine(&events[i])
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(line)
+	}
+	// And with the malformed shapes recovery actually sees: torn JSON,
+	// wrong discriminators, missing fields, absurd values.
+	for _, s := range []string{
+		"", "{", "null", "42", `"event"`, "[]",
+		`{"type":"event"}`,
+		`{"type":"meta","hash":"f1"}`,
+		`{"type":"event","file":"f","machine":"m","process":"p","url":"u","time":"2014-01-02T00:00:00Z","executed":true}`,
+		`{"type":"event","file":"f","machine":"m","process":"p","url":"u","time":"not-a-time"}`,
+		`{"type":"event","file":"","machine":"","process":"","url":"","time":"0001-01-01T00:00:00Z"}`,
+		`{"type":"event","file":"f","machine":"m","process":"p","url":"u","domain":"d.com","time":"2014-01-02T00:00:00Z","executed":true,"extra":1}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, line []byte) {
+		ev, err := UnmarshalEventLine(line)
+		if err != nil {
+			return
+		}
+		// Accepted events must satisfy the store invariants outright...
+		if verr := ev.Validate(); verr != nil {
+			t.Fatalf("accepted event fails validation: %v", verr)
+		}
+		// ...and re-serialize to a canonical fixed point.
+		m1, err := MarshalEventLine(&ev)
+		if err != nil {
+			t.Fatalf("accepted event does not re-marshal: %v", err)
+		}
+		ev2, err := UnmarshalEventLine(m1)
+		if err != nil {
+			t.Fatalf("canonical bytes rejected: %v", err)
+		}
+		m2, err := MarshalEventLine(&ev2)
+		if err != nil {
+			t.Fatalf("round-tripped event does not re-marshal: %v", err)
+		}
+		if !bytes.Equal(m1, m2) {
+			t.Fatalf("canonical form unstable:\n  %s\n  %s", m1, m2)
+		}
 	})
 }

@@ -75,6 +75,13 @@ type Config struct {
 	// flaky scanner only lets keys with no ground truth at stake fail
 	// persistently, so degradation semantics stay deterministic).
 	PersistentRate float64
+	// SyncFailRate is the probability one fsync call fails partially: the
+	// caller sees an error while a deterministic prefix of the unsynced
+	// bytes persists anyway (CrashableFile.Sync).
+	SyncFailRate float64
+	// TornWriteRate is the probability a crashed file keeps a torn
+	// fragment of its unsynced tail, cut mid-record (CrashFS.Crash).
+	TornWriteRate float64
 }
 
 // Validate checks the configuration.
@@ -86,6 +93,7 @@ func (c *Config) Validate() error {
 		{"ErrorRate", c.ErrorRate}, {"TimeoutRate", c.TimeoutRate},
 		{"DuplicateRate", c.DuplicateRate}, {"AckLossRate", c.AckLossRate},
 		{"ReorderRate", c.ReorderRate}, {"PersistentRate", c.PersistentRate},
+		{"SyncFailRate", c.SyncFailRate}, {"TornWriteRate", c.TornWriteRate},
 	} {
 		if r.v < 0 || r.v > 1 {
 			return fmt.Errorf("faults: %s %v out of [0, 1]", r.name, r.v)
@@ -191,6 +199,24 @@ func (i *Injector) Duplicate(key string) bool {
 // acknowledgment after arriving.
 func (i *Injector) AckLost(key string) bool {
 	return i.stableUnit(key, "ackloss") < i.cfg.AckLossRate
+}
+
+// SyncFails reports whether the fsync identified by key fails (a
+// partial fsync; see Config.SyncFailRate).
+func (i *Injector) SyncFails(key string) bool {
+	return i.stableUnit(key, "syncfail") < i.cfg.SyncFailRate
+}
+
+// TornWrite reports whether the file identified by key keeps a torn
+// fragment of its unsynced tail when its process crashes.
+func (i *Injector) TornWrite(key string) bool {
+	return i.stableUnit(key, "torn") < i.cfg.TornWriteRate
+}
+
+// PartialFraction returns a deterministic fraction in [0, 1) used to
+// size partial-fsync and torn-write survivals for key.
+func (i *Injector) PartialFraction(key string) float64 {
+	return i.stableUnit(key, "partialfrac")
 }
 
 // Reorder reports whether the delivery identified by key is held back.

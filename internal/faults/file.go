@@ -1,0 +1,207 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// FileStats counts what a CrashFS did to the files written through it.
+type FileStats struct {
+	// Writes and Syncs count successful operations across all files.
+	Writes int64
+	Syncs  int64
+	// SyncFailures counts injected fsync failures (partial fsyncs: the
+	// call errors but a deterministic prefix of the unsynced tail still
+	// reached durable storage).
+	SyncFailures int64
+	// PartialBytes is how many unsynced bytes those failures silently
+	// persisted anyway.
+	PartialBytes int64
+	// TornBytes is how many bytes Crash discarded beyond the durable
+	// prefix, and TornKept how many torn (written-but-unsynced) bytes it
+	// left behind as a ragged tail.
+	TornBytes int64
+	TornKept  int64
+}
+
+// CrashFS hands out CrashableFiles and can "kill -9" all of them at
+// once: every file is truncated to what an fsync actually made durable,
+// plus — with probability TornWriteRate per file — a torn fragment of
+// the unsynced tail, cut mid-record the way a real crash tears a
+// half-flushed page. It plugs into journal.Options.OpenFile so journal
+// crash-recovery tests exercise exactly the failure mode the WAL format
+// is designed for.
+type CrashFS struct {
+	inj *Injector
+
+	mu      sync.Mutex
+	files   []*CrashableFile
+	opened  int
+	crashed bool
+	stats   FileStats
+}
+
+// NewCrashFS builds a crashable filesystem driven by inj (which may
+// inject fsync failures via SyncFailRate and torn tails via
+// TornWriteRate).
+func NewCrashFS(inj *Injector) (*CrashFS, error) {
+	if inj == nil {
+		return nil, fmt.Errorf("faults: nil injector")
+	}
+	return &CrashFS{inj: inj}, nil
+}
+
+// Open creates path for writing. After Crash, every open fails the way
+// a dead process's syscalls do.
+func (fs *CrashFS) Open(path string) (*CrashableFile, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed {
+		return nil, fmt.Errorf("faults: crashed: %w", ErrInjected)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	cf := &CrashableFile{
+		fs:   fs,
+		f:    f,
+		path: path,
+		key:  fmt.Sprintf("file-%d", fs.opened),
+	}
+	fs.opened++
+	fs.files = append(fs.files, cf)
+	return cf, nil
+}
+
+// Crash simulates kill -9: every file keeps its durable prefix (bytes
+// covered by a successful or partial fsync) and, deterministically per
+// file, possibly a torn fragment of its unsynced tail; everything else
+// vanishes. All subsequent writes and syncs fail.
+func (fs *CrashFS) Crash() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashed = true
+	for _, cf := range fs.files {
+		if err := cf.crash(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (fs *CrashFS) Stats() FileStats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// CrashableFile is one file under CrashFS control. It tracks which
+// byte ranges an fsync actually made durable so Crash can discard the
+// rest — modelling the gap between write() returning and the data
+// surviving a power cut.
+type CrashableFile struct {
+	fs   *CrashFS
+	f    *os.File
+	path string
+	key  string
+
+	mu      sync.Mutex
+	size    int64 // bytes written
+	durable int64 // bytes guaranteed on disk after the last fsync
+	syncs   int   // fsync attempts, for per-call fault keys
+	crashed bool
+}
+
+// Write appends to the file. The bytes are not durable until a
+// successful Sync covers them.
+func (cf *CrashableFile) Write(p []byte) (int, error) {
+	cf.mu.Lock()
+	defer cf.mu.Unlock()
+	if cf.crashed {
+		return 0, fmt.Errorf("faults: write after crash: %w", ErrInjected)
+	}
+	n, err := cf.f.Write(p)
+	cf.size += int64(n)
+	if err != nil {
+		return n, err
+	}
+	cf.fs.mu.Lock()
+	cf.fs.stats.Writes++
+	cf.fs.mu.Unlock()
+	return n, nil
+}
+
+// Sync makes the written bytes durable — unless the injector fails this
+// call, in which case the caller sees an error while a deterministic
+// prefix of the unsynced tail persists anyway (a partial fsync, the
+// worst case journal recovery must absorb).
+func (cf *CrashableFile) Sync() error {
+	cf.mu.Lock()
+	defer cf.mu.Unlock()
+	if cf.crashed {
+		return fmt.Errorf("faults: sync after crash: %w", ErrInjected)
+	}
+	key := fmt.Sprintf("%s|sync-%d", cf.key, cf.syncs)
+	cf.syncs++
+	if cf.fs.inj.SyncFails(key) {
+		kept := int64(cf.fs.inj.PartialFraction(key) * float64(cf.size-cf.durable))
+		cf.durable += kept
+		cf.fs.mu.Lock()
+		cf.fs.stats.SyncFailures++
+		cf.fs.stats.PartialBytes += kept
+		cf.fs.mu.Unlock()
+		return fmt.Errorf("faults: %s: partial fsync (%d bytes persisted): %w", cf.key, kept, ErrInjected)
+	}
+	if err := cf.f.Sync(); err != nil {
+		return err
+	}
+	cf.durable = cf.size
+	cf.fs.mu.Lock()
+	cf.fs.stats.Syncs++
+	cf.fs.mu.Unlock()
+	return nil
+}
+
+// Close closes the underlying file without making it durable (a real
+// close does not imply fsync). Idempotent; safe after Crash.
+func (cf *CrashableFile) Close() error {
+	cf.mu.Lock()
+	defer cf.mu.Unlock()
+	if cf.crashed {
+		return nil
+	}
+	return cf.f.Close()
+}
+
+// crash truncates the file to its durable prefix plus an optional torn
+// fragment of the unsynced tail. Callers hold fs.mu.
+func (cf *CrashableFile) crash() error {
+	cf.mu.Lock()
+	defer cf.mu.Unlock()
+	if cf.crashed {
+		return nil
+	}
+	cf.crashed = true
+	cf.f.Close()
+	keep := cf.durable
+	if tail := cf.size - cf.durable; tail > 0 && cf.fs.inj.TornWrite(cf.key) {
+		// A torn write: part of the unsynced tail made it to disk,
+		// cut at an arbitrary (deterministic) byte offset.
+		keep += int64(cf.fs.inj.PartialFraction(cf.key+"|torn") * float64(tail))
+	}
+	cf.fs.stats.TornKept += keep - cf.durable
+	cf.fs.stats.TornBytes += cf.size - keep
+	err := os.Truncate(cf.path, keep)
+	if os.IsNotExist(err) {
+		// The file was deleted (or renamed away) after it was opened —
+		// e.g. a journal segment removed by compaction. Nothing of it can
+		// survive the crash, so there is nothing to truncate.
+		cf.fs.stats.TornKept -= keep - cf.durable
+		cf.fs.stats.TornBytes -= cf.size - keep
+		return nil
+	}
+	return err
+}

@@ -6,8 +6,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/export"
@@ -21,6 +24,12 @@ import (
 // Transport is the decoration point for internal/faults injectors —
 // wrap it with a faulty RoundTripper and the retry machinery absorbs
 // the injected failures exactly as the PR 1 uplink does.
+//
+// Every /classify batch carries a stable X-Request-Id, held constant
+// across retries of that batch, so a server with a verdict ledger
+// deduplicates retransmits: a retry whose original attempt actually
+// landed (the response was lost, not the request) replays the
+// journaled verdicts instead of classifying twice.
 type Client struct {
 	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8787".
 	BaseURL string
@@ -29,6 +38,20 @@ type Client struct {
 	// Retry is the uplink retry policy; the zero value selects the
 	// package defaults (5 attempts, 50ms initial backoff).
 	Retry retry.Policy
+	// RequestIDPrefix namespaces generated request IDs (e.g. one prefix
+	// per loadgen worker) so independent clients never collide in the
+	// server's dedup ledger. Default "req".
+	RequestIDPrefix string
+	// Timeout, when set, is sent as the per-request deadline header so
+	// the server can shed work this client has already given up on.
+	Timeout time.Duration
+
+	seq atomic.Uint64
+
+	// Deferred counts 202 journal-and-defer responses this client
+	// resolved by polling GET /result; Deduped counts batches whose
+	// verdicts came from the server's ledger (header-signaled).
+	Deferred atomic.Uint64
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -38,13 +61,36 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// nextRequestID derives a stable per-batch ID: prefix, client-local
+// sequence, and a content hash so the ID is also self-describing in
+// journal dumps.
+func (c *Client) nextRequestID(body []byte) string {
+	prefix := c.RequestIDPrefix
+	if prefix == "" {
+		prefix = "req"
+	}
+	h := fnv.New64a()
+	h.Write(body)
+	return fmt.Sprintf("%s-%06d-%016x", prefix, c.seq.Add(1), h.Sum64())
+}
+
 // post sends body and returns the response body, retrying per policy.
-func (c *Client) post(ctx context.Context, path string, body []byte) ([]byte, error) {
+// The same requestID header rides every attempt. A 202 means the
+// server journaled the batch and deferred classification; the caller
+// polls /result.
+func (c *Client) post(ctx context.Context, path string, body []byte, requestID string) ([]byte, bool, error) {
 	var out []byte
+	deferred := false
 	err := retry.Do(ctx, c.Retry, func(ctx context.Context) error {
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
 		if err != nil {
 			return retry.Permanent(err)
+		}
+		if requestID != "" {
+			req.Header.Set(RequestIDHeader, requestID)
+		}
+		if c.Timeout > 0 {
+			req.Header.Set(TimeoutHeader, fmt.Sprintf("%d", c.Timeout.Milliseconds()))
 		}
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
@@ -59,6 +105,9 @@ func (c *Client) post(ctx context.Context, path string, body []byte) ([]byte, er
 		case resp.StatusCode == http.StatusOK:
 			out = data
 			return nil
+		case resp.StatusCode == http.StatusAccepted:
+			deferred = true
+			return nil
 		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
 			// Backpressure or server-side trouble: retry after backoff.
 			return fmt.Errorf("serve: %s: %s", path, resp.Status)
@@ -66,25 +115,11 @@ func (c *Client) post(ctx context.Context, path string, body []byte) ([]byte, er
 			return retry.Permanent(fmt.Errorf("serve: %s: %s: %s", path, resp.Status, bytes.TrimSpace(data)))
 		}
 	})
-	return out, err
+	return out, deferred, err
 }
 
-// Classify streams a batch of events to /classify and parses the
-// verdict records, which arrive in input order.
-func (c *Client) Classify(ctx context.Context, events []dataset.DownloadEvent) ([]VerdictRecord, error) {
-	var body bytes.Buffer
-	for i := range events {
-		line, err := export.MarshalEventLine(&events[i])
-		if err != nil {
-			return nil, err
-		}
-		body.Write(line)
-		body.WriteByte('\n')
-	}
-	data, err := c.post(ctx, "/classify", body.Bytes())
-	if err != nil {
-		return nil, err
-	}
+// parseVerdicts decodes a line-JSON verdict stream.
+func parseVerdicts(data []byte) ([]VerdictRecord, error) {
 	var verdicts []VerdictRecord
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 0, 1<<16), maxEventLine)
@@ -101,16 +136,109 @@ func (c *Client) Classify(ctx context.Context, events []dataset.DownloadEvent) (
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if len(verdicts) != len(events) {
-		return nil, fmt.Errorf("serve: sent %d events, got %d verdicts", len(events), len(verdicts))
+	return verdicts, nil
+}
+
+// Classify streams a batch of events to /classify and parses the
+// verdict records, which arrive in input order. A generated request ID
+// (stable across retries) makes the batch retransmit-safe against a
+// ledger-backed server.
+func (c *Client) Classify(ctx context.Context, events []dataset.DownloadEvent) ([]VerdictRecord, error) {
+	body, err := marshalEvents(events)
+	if err != nil {
+		return nil, err
+	}
+	return c.classify(ctx, c.nextRequestID(body), body, len(events))
+}
+
+// ClassifyWithID is Classify with a caller-chosen request ID — the
+// handle for exactly-once delivery across client restarts: resending a
+// batch under its original ID after a crash (of either side) yields
+// the original verdicts, never a second accounting.
+func (c *Client) ClassifyWithID(ctx context.Context, id string, events []dataset.DownloadEvent) ([]VerdictRecord, error) {
+	body, err := marshalEvents(events)
+	if err != nil {
+		return nil, err
+	}
+	return c.classify(ctx, id, body, len(events))
+}
+
+func marshalEvents(events []dataset.DownloadEvent) ([]byte, error) {
+	var body bytes.Buffer
+	for i := range events {
+		line, err := export.MarshalEventLine(&events[i])
+		if err != nil {
+			return nil, err
+		}
+		body.Write(line)
+		body.WriteByte('\n')
+	}
+	return body.Bytes(), nil
+}
+
+func (c *Client) classify(ctx context.Context, id string, body []byte, n int) ([]VerdictRecord, error) {
+	data, deferred, err := c.post(ctx, "/classify", body, id)
+	if err != nil {
+		return nil, err
+	}
+	if deferred {
+		c.Deferred.Add(1)
+		data, err = c.pollResult(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+	}
+	verdicts, err := parseVerdicts(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(verdicts) != n {
+		return nil, fmt.Errorf("serve: sent %d events, got %d verdicts", n, len(verdicts))
 	}
 	return verdicts, nil
+}
+
+// pollResult fetches the verdicts of a journaled-and-deferred batch,
+// backing off while the background worker catches up (204).
+func (c *Client) pollResult(ctx context.Context, id string) ([]byte, error) {
+	var out []byte
+	pol := c.Retry
+	if pol.MaxAttempts == 0 {
+		pol.MaxAttempts = 50
+	} else if pol.MaxAttempts > 0 {
+		pol.MaxAttempts *= 10
+	}
+	err := retry.Do(ctx, pol, func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/result?id="+id, nil)
+		if err != nil {
+			return retry.Permanent(err)
+		}
+		resp, err := c.httpClient().Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			out = data
+			return nil
+		case http.StatusNoContent:
+			return fmt.Errorf("serve: result %s still pending", id)
+		default:
+			return retry.Permanent(fmt.Errorf("serve: /result: %s: %s", resp.Status, bytes.TrimSpace(data)))
+		}
+	})
+	return out, err
 }
 
 // Reload posts a rulemine-format JSON rule set to /admin/reload and
 // returns the new rule-set generation.
 func (c *Client) Reload(ctx context.Context, rulesJSON []byte) (uint64, error) {
-	data, err := c.post(ctx, "/admin/reload", rulesJSON)
+	data, _, err := c.post(ctx, "/admin/reload", rulesJSON, "")
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -12,8 +13,8 @@ import (
 	"repro/internal/features"
 )
 
-// Errors the admission path returns; the HTTP layer maps them to 429
-// and 503 respectively.
+// Errors the admission path returns; the HTTP layer maps them to 429,
+// 503 and (when a journal is attached) the journal-and-defer path.
 var (
 	// ErrOverloaded means the bounded ingest queue is full; callers
 	// should back off and retry (the Client does, with jitter).
@@ -21,6 +22,10 @@ var (
 	// ErrDraining means the engine is shutting down and no longer
 	// admits work.
 	ErrDraining = errors.New("serve: engine draining")
+	// ErrDeadlineExceeded means the batch's deadline expired before
+	// every event could be classified; expired work was shed (counted in
+	// Metrics.ShedExpired) instead of occupying workers.
+	ErrDeadlineExceeded = errors.New("serve: deadline exceeded before classification")
 )
 
 // EngineConfig sizes the worker pool. The zero value selects defaults.
@@ -78,11 +83,17 @@ type ruleGen struct {
 }
 
 // job carries one event through a shard queue to its response slot.
+// ctx is the admitting request's context: a worker that dequeues a job
+// whose deadline already expired sheds it (cheap constant-time check)
+// instead of spending extraction/classification work on a response
+// nobody is waiting for, and flags the batch via shed.
 type job struct {
 	ev       dataset.DownloadEvent
+	ctx      context.Context
 	enqueued time.Time
 	out      *VerdictRecord
 	done     *sync.WaitGroup
+	shed     *atomic.Int64
 }
 
 // Engine is the classification core: bounded sharded queues feeding a
@@ -99,6 +110,10 @@ type Engine struct {
 
 	swapMu sync.Mutex
 	rules  atomic.Pointer[ruleGen]
+
+	// degraded holds the reason the last rule update was refused (nil =
+	// healthy); the old generation keeps serving throughout.
+	degraded atomic.Pointer[string]
 }
 
 // NewEngine builds and starts an engine serving clf (generation 1).
@@ -145,6 +160,28 @@ func (e *Engine) RuleCount() int { return len(e.rules.Load().clf.Rules) }
 // QueueDepth returns the number of admitted-but-unfinished events.
 func (e *Engine) QueueDepth() int { return int(e.inflight.Load()) }
 
+// Capacity returns the admission window size; QueueDepth/Capacity is
+// the load fraction the graduated admission ladder keys on.
+func (e *Engine) Capacity() int { return int(e.capacity) }
+
+// MarkDegraded records that the serving rule set could not be updated
+// (e.g. a reload failed validation): the engine keeps serving the last
+// good generation and /healthz reports degraded instead of flapping.
+// A subsequent successful Swap clears it.
+func (e *Engine) MarkDegraded(reason string) {
+	e.degraded.Store(&reason)
+	e.metrics.ReloadFailures.Add(1)
+}
+
+// DegradedReason returns the most recent degradation reason, or ""
+// when the engine is healthy.
+func (e *Engine) DegradedReason() string {
+	if r := e.degraded.Load(); r != nil {
+		return *r
+	}
+	return ""
+}
+
 // Swap atomically replaces the served rule set and returns the new
 // generation. In-flight events finish under the generation they loaded;
 // events admitted after Swap returns classify under the new one.
@@ -156,6 +193,7 @@ func (e *Engine) Swap(clf *classify.Classifier) (uint64, error) {
 	defer e.swapMu.Unlock()
 	next := &ruleGen{clf: clf, gen: e.rules.Load().gen + 1}
 	e.rules.Store(next)
+	e.degraded.Store(nil)
 	e.metrics.Reloads.Add(1)
 	e.metrics.Generation.Store(next.gen)
 	return next.gen, nil
@@ -178,14 +216,27 @@ func shardOf(h dataset.FileHash, n int) int {
 // ClassifyBatch admits a batch of events, classifies each on its shard,
 // and returns one VerdictRecord per event in input order. The whole
 // batch is admitted or rejected atomically: on ErrOverloaded nothing
-// was enqueued and the caller should shed or retry.
-func (e *Engine) ClassifyBatch(events []dataset.DownloadEvent) ([]VerdictRecord, error) {
+// was enqueued and the caller should shed, defer or retry.
+//
+// ctx's deadline propagates into the shard queues: a batch whose
+// deadline is already past is shed at admission, and events still
+// queued when it expires are shed by the workers (ErrDeadlineExceeded,
+// partial results) rather than classified into the void.
+func (e *Engine) ClassifyBatch(ctx context.Context, events []dataset.DownloadEvent) ([]VerdictRecord, error) {
 	if len(events) == 0 {
 		return nil, nil
 	}
+	n := int64(len(events))
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if ctx.Err() != nil {
+		// Dead on arrival: shed the whole batch without touching queues.
+		e.metrics.ShedExpired.Add(uint64(n))
+		return nil, ErrDeadlineExceeded
+	}
 	// Reserve capacity before touching the queues so overflow is an
 	// all-or-nothing admission decision.
-	n := int64(len(events))
 	for {
 		cur := e.inflight.Load()
 		if cur+n > e.capacity {
@@ -202,14 +253,19 @@ func (e *Engine) ClassifyBatch(events []dataset.DownloadEvent) ([]VerdictRecord,
 	e.metrics.EventsIn.Add(uint64(n))
 	results := make([]VerdictRecord, len(events))
 	var done sync.WaitGroup
+	var shed atomic.Int64
 	done.Add(len(events))
 	now := time.Now()
 	for i := range events {
 		e.shards[shardOf(events[i].File, len(e.shards))] <- &job{
-			ev: events[i], enqueued: now, out: &results[i], done: &done,
+			ev: events[i], ctx: ctx, enqueued: now, out: &results[i],
+			done: &done, shed: &shed,
 		}
 	}
 	done.Wait()
+	if shed.Load() > 0 {
+		return results, ErrDeadlineExceeded
+	}
 	return results, nil
 }
 
@@ -222,8 +278,24 @@ func (e *Engine) worker(ch chan *job) {
 }
 
 // process classifies one event under exactly one rule-set generation.
+// Expired work is shed: if the admitting request's deadline passed
+// while the job sat in the queue, the worker spends no extraction or
+// classification effort on it and just counts it.
 func (e *Engine) process(j *job) {
 	e.metrics.QueueWait.Observe(time.Since(j.enqueued))
+	if j.ctx != nil && j.ctx.Err() != nil {
+		*j.out = VerdictRecord{
+			Type: "verdict", File: string(j.ev.File),
+			Error: "shed: " + j.ctx.Err().Error(),
+		}
+		e.metrics.ShedExpired.Add(1)
+		if j.shed != nil {
+			j.shed.Add(1)
+		}
+		j.done.Done()
+		e.inflight.Add(-1)
+		return
+	}
 	rg := e.rules.Load()
 	rec := VerdictRecord{Type: "verdict", File: string(j.ev.File), Generation: rg.gen}
 	t0 := time.Now()

@@ -1,0 +1,443 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/export"
+	"repro/internal/journal"
+)
+
+// Journal record kinds used by the ledger. An accept record carries a
+// request ID plus the batch's event lines; a result record carries the
+// same ID plus the verdict lines served for it. Payloads reuse the wire
+// format verbatim: `id\n` followed by one line-JSON record per line, so
+// a journal segment is greppable with the same tooling as a dataset
+// file or a /classify body.
+const (
+	recAccept byte = 1
+	recResult byte = 2
+)
+
+// Ledger is the exactly-once verdict ledger: a write-ahead journal of
+// accepted /classify batches keyed by client-supplied request IDs.
+//
+// The protocol, per batch:
+//
+//  1. Accept(id, events) — journaled durably (fsync, group-committed)
+//     BEFORE any response bytes leave the server. A batch the client
+//     was told about can therefore never vanish in a crash.
+//  2. Result(id, verdicts) — journaled asynchronously. Losing a result
+//     record in a crash is harmless: recovery finds the accept with no
+//     result and replays the batch through the (deterministic) engine,
+//     regenerating byte-identical verdicts.
+//  3. Retransmits of an already-resulted ID are answered from the
+//     ledger (Lookup) without reclassification, so a response lost on
+//     the wire never double-counts events in the FP/TP accounting.
+type Ledger struct {
+	j *journal.Journal
+
+	mu      sync.Mutex
+	pending map[string][]dataset.DownloadEvent
+	// results maps request ID -> the exact response body served for it
+	// (verdict lines, '\n'-terminated). Storing the batch as one opaque
+	// byte blob instead of parsed records keeps the dedup state nearly
+	// invisible to the garbage collector — a long-lived daemon holds one
+	// pointer per batch, not one per verdict field — and makes
+	// retransmit replies byte-identical by construction.
+	results map[string][]byte
+
+	// compactBytes triggers snapshot+compaction once the active segment
+	// grows past it (0 = never).
+	compactBytes int64
+}
+
+// LedgerOptions configures OpenLedger.
+type LedgerOptions struct {
+	// Journal configures the underlying write-ahead log; Dir is
+	// required.
+	Journal journal.Options
+	// CompactBytes compacts the journal (snapshot of the full ledger
+	// state, then segment truncation) whenever the active segment
+	// exceeds this size. Default 32 MiB; negative disables.
+	CompactBytes int64
+}
+
+// LedgerRecovery reports what OpenLedger reconstructed from disk.
+type LedgerRecovery struct {
+	// Pending maps request IDs that were accepted but have no journaled
+	// result — the batches a restarted daemon must replay through the
+	// engine (RecoverLedger does exactly that).
+	Pending map[string][]dataset.DownloadEvent
+	// Results is how many completed batches were recovered.
+	Results int
+	// TornTail is the number of bytes of unacknowledged torn tail the
+	// journal discarded (nonzero after a kill -9 mid-write).
+	TornTail int64
+}
+
+// ledgerSnapshot is the compaction snapshot: the full dedup state,
+// serialized with sorted keys so identical ledgers snapshot to
+// identical bytes. Results carry each batch's response body verbatim.
+type ledgerSnapshot struct {
+	Results map[string]string   `json:"results"`
+	Pending map[string][]string `json:"pending"`
+}
+
+// OpenLedger opens (or creates) the journal in opts.Journal.Dir and
+// reconstructs the ledger state a previous process left behind.
+func OpenLedger(opts LedgerOptions) (*Ledger, *LedgerRecovery, error) {
+	j, rec, err := journal.Open(opts.Journal)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: ledger: %w", err)
+	}
+	l := &Ledger{
+		j:            j,
+		pending:      make(map[string][]dataset.DownloadEvent),
+		results:      make(map[string][]byte),
+		compactBytes: opts.CompactBytes,
+	}
+	if l.compactBytes == 0 {
+		l.compactBytes = 32 << 20
+	}
+	if rec.Snapshot != nil {
+		var snap ledgerSnapshot
+		if err := json.Unmarshal(rec.Snapshot, &snap); err != nil {
+			j.Close()
+			return nil, nil, fmt.Errorf("serve: ledger snapshot: %w", err)
+		}
+		for id, v := range snap.Results {
+			l.results[id] = []byte(v)
+		}
+		for id, strLines := range snap.Pending {
+			lines := make([][]byte, len(strLines))
+			for i, s := range strLines {
+				lines[i] = []byte(s)
+			}
+			events, err := parseEventLines(lines)
+			if err != nil {
+				j.Close()
+				return nil, nil, fmt.Errorf("serve: ledger snapshot %s: %w", id, err)
+			}
+			l.pending[id] = events
+		}
+	}
+	for _, r := range rec.Records {
+		switch r.Kind {
+		case recAccept:
+			id, lines, err := splitPayload(r.Data)
+			if err != nil {
+				j.Close()
+				return nil, nil, fmt.Errorf("serve: ledger replay: %w", err)
+			}
+			if _, done := l.results[id]; done {
+				continue // duplicate accept of an already-resulted batch
+			}
+			events, err := parseEventLines(lines)
+			if err != nil {
+				j.Close()
+				return nil, nil, fmt.Errorf("serve: ledger replay %s: %w", id, err)
+			}
+			l.pending[id] = events
+		case recResult:
+			// A result payload is `id\n` + the response body verbatim —
+			// no parsing needed, the blob is served as-is on dedup.
+			idx := bytes.IndexByte(r.Data, '\n')
+			if idx <= 0 {
+				j.Close()
+				return nil, nil, fmt.Errorf("serve: ledger replay: result without id line")
+			}
+			id := string(r.Data[:idx])
+			l.results[id] = r.Data[idx+1:]
+			delete(l.pending, id)
+		default:
+			j.Close()
+			return nil, nil, fmt.Errorf("serve: ledger replay: unknown record kind %d", r.Kind)
+		}
+	}
+	out := &LedgerRecovery{
+		Pending:  make(map[string][]dataset.DownloadEvent, len(l.pending)),
+		Results:  len(l.results),
+		TornTail: rec.TornTail,
+	}
+	for id, ev := range l.pending {
+		out.Pending[id] = ev
+	}
+	return l, out, nil
+}
+
+// encodePayload renders `id\n` + one line per entry.
+func encodePayload(id string, lines [][]byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(id)
+	buf.WriteByte('\n')
+	for _, line := range lines {
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// splitPayload undoes encodePayload.
+func splitPayload(data []byte) (string, [][]byte, error) {
+	idx := bytes.IndexByte(data, '\n')
+	if idx < 0 {
+		return "", nil, fmt.Errorf("payload without id line")
+	}
+	id := string(data[:idx])
+	if id == "" {
+		return "", nil, fmt.Errorf("empty request id")
+	}
+	var lines [][]byte
+	for _, line := range bytes.Split(data[idx+1:], []byte{'\n'}) {
+		if len(line) > 0 {
+			lines = append(lines, line)
+		}
+	}
+	return id, lines, nil
+}
+
+func parseEventLines(lines [][]byte) ([]dataset.DownloadEvent, error) {
+	events := make([]dataset.DownloadEvent, 0, len(lines))
+	for _, line := range lines {
+		ev, err := export.UnmarshalEventLine(line)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+func parseVerdictLines(lines [][]byte) ([]VerdictRecord, error) {
+	verdicts := make([]VerdictRecord, 0, len(lines))
+	for _, line := range lines {
+		var v VerdictRecord
+		if err := json.Unmarshal(line, &v); err != nil {
+			return nil, err
+		}
+		verdicts = append(verdicts, v)
+	}
+	return verdicts, nil
+}
+
+// Accept journals a batch durably under its request ID and marks it
+// pending. It returns only after the record is fsynced (group-committed
+// with concurrent accepts); on journal failure the in-memory pending
+// mark is rolled back so a retransmit can try again cleanly.
+func (l *Ledger) Accept(id string, events []dataset.DownloadEvent) error {
+	lines := make([][]byte, len(events))
+	for i := range events {
+		line, err := export.MarshalEventLine(&events[i])
+		if err != nil {
+			return fmt.Errorf("serve: ledger accept %s: %w", id, err)
+		}
+		lines[i] = line
+	}
+	return l.acceptPayload(id, events, encodePayload(id, lines))
+}
+
+// AcceptWire is Accept for the serving hot path: body is the batch's
+// own wire bytes (the non-empty line-JSON event lines of the request,
+// '\n'-terminated), journaled verbatim instead of re-marshaling events.
+// body and events must describe the same batch.
+func (l *Ledger) AcceptWire(id string, events []dataset.DownloadEvent, body []byte) error {
+	payload := make([]byte, 0, len(id)+1+len(body))
+	payload = append(payload, id...)
+	payload = append(payload, '\n')
+	payload = append(payload, body...)
+	return l.acceptPayload(id, events, payload)
+}
+
+func (l *Ledger) acceptPayload(id string, events []dataset.DownloadEvent, payload []byte) error {
+	if id == "" {
+		return fmt.Errorf("serve: ledger: empty request id")
+	}
+	l.mu.Lock()
+	if _, done := l.results[id]; done {
+		l.mu.Unlock()
+		return nil // already served; caller will hit Lookup
+	}
+	l.pending[id] = events
+	l.mu.Unlock()
+	if err := l.j.Append(recAccept, payload); err != nil {
+		l.mu.Lock()
+		delete(l.pending, id)
+		l.mu.Unlock()
+		return fmt.Errorf("serve: ledger accept %s: %w", id, err)
+	}
+	return nil
+}
+
+// Result journals the verdicts served for id (asynchronously — a lost
+// result record is re-derived by recovery) and resolves the pending
+// mark. The first result for an ID wins; a concurrent duplicate (e.g. a
+// retransmit raced through classification) is dropped, keeping the
+// accounting exactly-once. The returned body is the response to serve
+// for id — the winner's bytes, identical across retransmits.
+func (l *Ledger) Result(id string, verdicts []VerdictRecord) ([]byte, error) {
+	var buf bytes.Buffer
+	for i := range verdicts {
+		line, err := json.Marshal(&verdicts[i])
+		if err != nil {
+			return nil, fmt.Errorf("serve: ledger result %s: %w", id, err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	body := buf.Bytes()
+	l.mu.Lock()
+	if prev, done := l.results[id]; done {
+		l.mu.Unlock()
+		return prev, nil
+	}
+	l.results[id] = body
+	delete(l.pending, id)
+	l.mu.Unlock()
+	payload := make([]byte, 0, len(id)+1+len(body))
+	payload = append(payload, id...)
+	payload = append(payload, '\n')
+	payload = append(payload, body...)
+	if err := l.j.AppendAsync(recResult, payload); err != nil {
+		return body, fmt.Errorf("serve: ledger result %s: %w", id, err)
+	}
+	if l.compactBytes > 0 && l.j.LiveBytes() > l.compactBytes {
+		return body, l.Compact()
+	}
+	return body, nil
+}
+
+// Lookup returns the response body journaled for id, if the batch
+// completed.
+func (l *Ledger) Lookup(id string) ([]byte, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	v, ok := l.results[id]
+	return v, ok
+}
+
+// LookupVerdicts parses the journaled response body for id back into
+// verdict records — the introspection/testing counterpart of Lookup.
+func (l *Ledger) LookupVerdicts(id string) ([]VerdictRecord, bool) {
+	body, ok := l.Lookup(id)
+	if !ok {
+		return nil, false
+	}
+	var lines [][]byte
+	for _, line := range bytes.Split(body, []byte{'\n'}) {
+		if len(line) > 0 {
+			lines = append(lines, line)
+		}
+	}
+	verdicts, err := parseVerdictLines(lines)
+	if err != nil {
+		return nil, false
+	}
+	return verdicts, true
+}
+
+// IsPending reports whether id was accepted but has no result yet.
+func (l *Ledger) IsPending(id string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.pending[id]
+	return ok
+}
+
+// PendingEvents returns the journaled events for a pending id (nil if
+// resolved or unknown).
+func (l *Ledger) PendingEvents(id string) []dataset.DownloadEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pending[id]
+}
+
+// PendingIDs returns the pending request IDs in sorted order, so
+// recovery replays are deterministic.
+func (l *Ledger) PendingIDs() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ids := make([]string, 0, len(l.pending))
+	for id := range l.pending {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Counts returns (pending, completed) batch counts.
+func (l *Ledger) Counts() (pending, completed int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pending), len(l.results)
+}
+
+// Compact snapshots the full ledger state into the journal and drops
+// the segments the snapshot covers.
+func (l *Ledger) Compact() error {
+	l.mu.Lock()
+	snap := ledgerSnapshot{
+		Results: make(map[string]string, len(l.results)),
+		Pending: make(map[string][]string, len(l.pending)),
+	}
+	for id, v := range l.results {
+		snap.Results[id] = string(v)
+	}
+	for id, events := range l.pending {
+		lines := make([]string, len(events))
+		for i := range events {
+			line, err := export.MarshalEventLine(&events[i])
+			if err != nil {
+				l.mu.Unlock()
+				return fmt.Errorf("serve: ledger compact: %w", err)
+			}
+			lines[i] = string(line)
+		}
+		snap.Pending[id] = lines
+	}
+	l.mu.Unlock()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("serve: ledger compact: %w", err)
+	}
+	return l.j.Compact(data)
+}
+
+// Stats exposes the underlying journal counters.
+func (l *Ledger) Stats() journal.Stats { return l.j.Stats() }
+
+// Close syncs and closes the journal. Idempotent.
+func (l *Ledger) Close() error { return l.j.Close() }
+
+// RecoverLedger replays every pending (accepted-but-unresulted) batch
+// from a crash through the engine and journals the regenerated results:
+// the boot-time half of the exactly-once contract. Classification is
+// deterministic, so the replayed verdicts are byte-identical to the
+// ones the dead process would have served. Returns the number of
+// batches replayed.
+func RecoverLedger(engine *Engine, l *Ledger, rec *LedgerRecovery) (int, error) {
+	if rec == nil || len(rec.Pending) == 0 {
+		return 0, nil
+	}
+	replayed := 0
+	for _, id := range l.PendingIDs() {
+		events := l.PendingEvents(id)
+		if events == nil {
+			continue
+		}
+		verdicts, err := engine.ClassifyBatch(context.Background(), events)
+		if err != nil {
+			return replayed, fmt.Errorf("serve: recover %s: %w", id, err)
+		}
+		if _, err := l.Result(id, verdicts); err != nil {
+			return replayed, err
+		}
+		replayed++
+	}
+	return replayed, nil
+}

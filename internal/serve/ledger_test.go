@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/journal"
+)
+
+func newTestLedger(t *testing.T, dir string) (*Ledger, *LedgerRecovery) {
+	t.Helper()
+	l, rec, err := OpenLedger(LedgerOptions{Journal: journal.Options{Dir: dir}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, rec
+}
+
+// TestLedgerAcceptResultLookup: the basic exactly-once protocol —
+// accept, result, dedup lookup — against a live journal.
+func TestLedgerAcceptResultLookup(t *testing.T) {
+	f := sharedFixture(t)
+	l, rec := newTestLedger(t, t.TempDir())
+	defer l.Close()
+	if len(rec.Pending) != 0 || rec.Results != 0 {
+		t.Fatalf("fresh ledger recovered %+v", rec)
+	}
+	events := f.replay[:4]
+	if err := l.Accept("batch-1", events); err != nil {
+		t.Fatal(err)
+	}
+	if !l.IsPending("batch-1") {
+		t.Fatal("accepted batch not pending")
+	}
+	if _, ok := l.Lookup("batch-1"); ok {
+		t.Fatal("pending batch has a result")
+	}
+	verdicts := []VerdictRecord{{Type: "verdict", File: string(events[0].File), Verdict: "benign"}}
+	if _, err := l.Result("batch-1", verdicts); err != nil {
+		t.Fatal(err)
+	}
+	if l.IsPending("batch-1") {
+		t.Fatal("resulted batch still pending")
+	}
+	got, ok := l.LookupVerdicts("batch-1")
+	if !ok || len(got) != 1 || got[0].File != verdicts[0].File {
+		t.Fatalf("Lookup = %+v, %v", got, ok)
+	}
+	// First result wins: a racing duplicate must not overwrite.
+	if _, err := l.Result("batch-1", []VerdictRecord{{File: "other"}}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = l.LookupVerdicts("batch-1")
+	if got[0].File != verdicts[0].File {
+		t.Fatal("duplicate result overwrote the first")
+	}
+	// Accept of an already-resulted ID is a no-op, not a new pending.
+	if err := l.Accept("batch-1", events); err != nil {
+		t.Fatal(err)
+	}
+	if l.IsPending("batch-1") {
+		t.Fatal("re-accept of resulted batch went pending")
+	}
+}
+
+// TestLedgerRecoveryReplaysPending: a ledger reopened after an unclean
+// stop reconstructs completed results and replays pending batches
+// through the engine to byte-identical verdicts.
+func TestLedgerRecoveryReplaysPending(t *testing.T) {
+	f := sharedFixture(t)
+	dir := t.TempDir()
+	l, _ := newTestLedger(t, dir)
+	engine := newTestEngine(t, f, EngineConfig{})
+
+	done := f.replay[:3]
+	verdicts, err := engine.ClassifyBatch(context.Background(), done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Accept("done-1", done); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Result("done-1", verdicts); err != nil {
+		t.Fatal(err)
+	}
+	pending := f.replay[3:8]
+	if err := l.Accept("pend-1", pending); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash window: results are async, so force them down
+	// before "dying" without Close-ing cleanly at the ledger layer.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := newTestLedger(t, dir)
+	defer l2.Close()
+	if rec.Results != 1 {
+		t.Fatalf("recovered %d results, want 1", rec.Results)
+	}
+	if len(rec.Pending) != 1 || len(rec.Pending["pend-1"]) != 5 {
+		t.Fatalf("recovered pending %+v", rec.Pending)
+	}
+	got, ok := l2.LookupVerdicts("done-1")
+	if !ok || len(got) != len(verdicts) {
+		t.Fatalf("completed batch lost in recovery: %v %v", got, ok)
+	}
+	for i := range got {
+		if got[i].Key() != verdicts[i].Key() {
+			t.Fatalf("recovered verdict %d = %q, want %q", i, got[i].Key(), verdicts[i].Key())
+		}
+	}
+
+	n, err := RecoverLedger(engine, l2, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("replayed %d batches, want 1", n)
+	}
+	replayed, ok := l2.LookupVerdicts("pend-1")
+	if !ok || len(replayed) != 5 {
+		t.Fatalf("pending batch not resolved by recovery: %v %v", replayed, ok)
+	}
+	// Byte-identity: replayed verdicts match fresh offline classification.
+	for i := range pending {
+		want := offlineKey(t, f, f.clf, &pending[i])
+		if replayed[i].Key() != want {
+			t.Fatalf("replayed verdict %d = %q, offline %q", i, replayed[i].Key(), want)
+		}
+	}
+}
+
+// TestLedgerCompaction: compaction preserves the full dedup state and
+// recovery afterwards still sees every batch.
+func TestLedgerCompaction(t *testing.T) {
+	f := sharedFixture(t)
+	dir := t.TempDir()
+	l, _ := newTestLedger(t, dir)
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("b-%02d", i)
+		if err := l.Accept(id, f.replay[i:i+1]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Result(id, []VerdictRecord{{Type: "verdict", File: string(f.replay[i].File)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Accept("open-1", f.replay[10:12]); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Compactions == 0 {
+		t.Fatal("Compact did not compact")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec := newTestLedger(t, dir)
+	defer l2.Close()
+	if rec.Results != 10 {
+		t.Fatalf("post-compaction recovery found %d results, want 10", rec.Results)
+	}
+	if len(rec.Pending) != 1 || len(rec.Pending["open-1"]) != 2 {
+		t.Fatalf("post-compaction pending %+v", rec.Pending)
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := l2.Lookup(fmt.Sprintf("b-%02d", i)); !ok {
+			t.Fatalf("batch b-%02d lost across compaction", i)
+		}
+	}
+}
+
+// TestLedgerEmptyID: an empty request ID is rejected, not journaled.
+func TestLedgerEmptyID(t *testing.T) {
+	f := sharedFixture(t)
+	l, _ := newTestLedger(t, t.TempDir())
+	defer l.Close()
+	if err := l.Accept("", f.replay[:1]); err == nil {
+		t.Fatal("empty request id accepted")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/classify"
+	"repro/internal/journal"
 )
 
 // latencyBounds are the histogram bucket upper bounds in seconds,
@@ -79,6 +80,20 @@ type Metrics struct {
 	// admitted into the queue vs shed with 429 on overflow.
 	RequestsAccepted atomic.Uint64
 	RequestsRejected atomic.Uint64
+	// RequestsDeferred counts batches that took the journal-and-defer
+	// rung of the admission ladder: journaled durably, classified in the
+	// background, results fetched via GET /result.
+	RequestsDeferred atomic.Uint64
+	// DedupHits counts batches answered straight from the verdict ledger
+	// because their request ID was already journaled with a result — a
+	// retransmit after a lost response, served without reclassification.
+	DedupHits atomic.Uint64
+	// ShedExpired counts events shed because their request's deadline
+	// expired before a worker reached them.
+	ShedExpired atomic.Uint64
+	// ReloadFailures counts rule-set updates refused by validation; the
+	// engine keeps serving the previous generation (degraded mode).
+	ReloadFailures atomic.Uint64
 	// BadRequests counts malformed /classify or /admin/reload bodies.
 	BadRequests atomic.Uint64
 	// EventsIn counts individual events admitted for classification.
@@ -117,20 +132,41 @@ func (m *Metrics) VerdictCount(v classify.Verdict) uint64 {
 }
 
 // WriteTo emits the metrics in Prometheus-style text exposition format.
-// queueDepth is sampled at call time (the engine owns the queues).
-func (m *Metrics) WriteTo(w io.Writer, queueDepth int) {
+// queueDepth and degraded are sampled at call time (the engine owns
+// them); js carries the journal counters when a ledger is attached
+// (nil otherwise).
+func (m *Metrics) WriteTo(w io.Writer, queueDepth int, degraded bool, js *journal.Stats) {
 	fmt.Fprintf(w, "longtail_requests_total{result=\"accepted\"} %d\n", m.RequestsAccepted.Load())
 	fmt.Fprintf(w, "longtail_requests_total{result=\"rejected\"} %d\n", m.RequestsRejected.Load())
+	fmt.Fprintf(w, "longtail_requests_total{result=\"deferred\"} %d\n", m.RequestsDeferred.Load())
 	fmt.Fprintf(w, "longtail_requests_total{result=\"bad\"} %d\n", m.BadRequests.Load())
+	fmt.Fprintf(w, "longtail_requests_total{result=\"dedup\"} %d\n", m.DedupHits.Load())
 	fmt.Fprintf(w, "longtail_events_total %d\n", m.EventsIn.Load())
 	for v := classify.VerdictNone; v <= classify.VerdictRejected; v++ {
 		fmt.Fprintf(w, "longtail_verdicts_total{verdict=%q} %d\n", v.String(), m.verdicts[v].Load())
 	}
 	fmt.Fprintf(w, "longtail_extract_errors_total %d\n", m.ExtractErrors.Load())
+	fmt.Fprintf(w, "longtail_shed_expired_total %d\n", m.ShedExpired.Load())
 	fmt.Fprintf(w, "longtail_reloads_total %d\n", m.Reloads.Load())
+	fmt.Fprintf(w, "longtail_reload_failures_total %d\n", m.ReloadFailures.Load())
 	fmt.Fprintf(w, "longtail_reload_generation %d\n", m.Generation.Load())
+	fmt.Fprintf(w, "longtail_degraded %d\n", boolGauge(degraded))
 	fmt.Fprintf(w, "longtail_queue_depth %d\n", queueDepth)
+	if js != nil {
+		fmt.Fprintf(w, "longtail_journal_appends_total %d\n", js.Appends)
+		fmt.Fprintf(w, "longtail_journal_syncs_total %d\n", js.Syncs)
+		fmt.Fprintf(w, "longtail_journal_rotations_total %d\n", js.Rotations)
+		fmt.Fprintf(w, "longtail_journal_compactions_total %d\n", js.Compactions)
+		fmt.Fprintf(w, "longtail_journal_bytes_total %d\n", js.Bytes)
+	}
 	m.QueueWait.write(w, "longtail_stage_latency_seconds", "queue")
 	m.Extract.write(w, "longtail_stage_latency_seconds", "extract")
 	m.Classify.write(w, "longtail_stage_latency_seconds", "classify")
+}
+
+func boolGauge(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

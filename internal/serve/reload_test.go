@@ -63,7 +63,7 @@ func TestConcurrentClassifyAndReload(t *testing.T) {
 			defer wg.Done()
 			for b := 0; b < batches; b++ {
 				lo := ((s*batches + b) * batchSize) % (len(f.replay) - batchSize)
-				verdicts, err := engine.ClassifyBatch(f.replay[lo : lo+batchSize])
+				verdicts, err := engine.ClassifyBatch(context.Background(), f.replay[lo:lo+batchSize])
 				if err != nil {
 					errCh <- err
 					return

@@ -13,22 +13,25 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/avsim"
 	"repro/internal/classify"
 	"repro/internal/dataset"
-	"repro/internal/experiments"
 	"repro/internal/export"
 	"repro/internal/features"
+	"repro/internal/labeling"
 	"repro/internal/synth"
 )
 
 // The fixture is one small deterministic pipeline shared by every test:
 // a labeled corpus, an extractor, a classifier trained on month 1, and
-// the month-2 events the serving tests replay.
+// the month-2 events the serving tests replay. It is built directly
+// from synth+labeling (not experiments.Run) because internal/
+// experiments imports this package for the chaos-serve harness.
 type fixture struct {
-	pipeline *experiments.Pipeline
-	ex       *features.Extractor
-	clf      *classify.Classifier
-	replay   []dataset.DownloadEvent
+	store  *dataset.Store
+	ex     *features.Extractor
+	clf    *classify.Classifier
+	replay []dataset.DownloadEvent
 }
 
 var (
@@ -37,15 +40,33 @@ var (
 	fixErr  error
 )
 
+// labeledStore generates and labels the deterministic corpus, the
+// inlined equivalent of experiments.Run without the analyzer.
+func labeledStore(cfg synth.Config) (*synth.Result, error) {
+	res, err := synth.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	lab, err := labeling.New(avsim.NewDefaultService(), res.Oracle, nil, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := lab.LabelStore(res.Store, res.Samples); err != nil {
+		return nil, err
+	}
+	res.Store.Freeze()
+	return res, nil
+}
+
 func sharedFixture(t *testing.T) *fixture {
 	t.Helper()
 	fixOnce.Do(func() {
-		p, err := experiments.Run(synth.DefaultConfig(7, 0.004))
+		p, err := labeledStore(synth.DefaultConfig(7, 0.004))
 		if err != nil {
 			fixErr = err
 			return
 		}
-		ex, err := features.NewExtractor(p.Store, p.Result.Oracle)
+		ex, err := features.NewExtractor(p.Store, p.Oracle)
 		if err != nil {
 			fixErr = err
 			return
@@ -70,7 +91,7 @@ func sharedFixture(t *testing.T) *fixture {
 		for _, idx := range p.Store.EventIndexesInMonth(months[1]) {
 			replay = append(replay, events[idx])
 		}
-		fix = &fixture{pipeline: p, ex: ex, clf: clf, replay: replay}
+		fix = &fixture{store: p.Store, ex: ex, clf: clf, replay: replay}
 	})
 	if fixErr != nil {
 		t.Fatal(fixErr)
@@ -157,7 +178,7 @@ func TestEngineMatchesOffline(t *testing.T) {
 		if hi > len(f.replay) {
 			hi = len(f.replay)
 		}
-		verdicts, err := engine.ClassifyBatch(f.replay[lo:hi])
+		verdicts, err := engine.ClassifyBatch(context.Background(), f.replay[lo:hi])
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -185,14 +206,14 @@ func TestEngineMatchesOffline(t *testing.T) {
 func TestEngineBackpressure(t *testing.T) {
 	f := sharedFixture(t)
 	engine := newTestEngine(t, f, EngineConfig{Shards: 2, QueueSize: 8})
-	if _, err := engine.ClassifyBatch(f.replay[:9]); err != ErrOverloaded {
+	if _, err := engine.ClassifyBatch(context.Background(), f.replay[:9]); err != ErrOverloaded {
 		t.Fatalf("oversized batch error = %v, want ErrOverloaded", err)
 	}
 	if engine.QueueDepth() != 0 {
 		t.Fatalf("queue depth after rejected batch = %d, want 0", engine.QueueDepth())
 	}
 	// A batch that fits still serves.
-	verdicts, err := engine.ClassifyBatch(f.replay[:8])
+	verdicts, err := engine.ClassifyBatch(context.Background(), f.replay[:8])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +237,7 @@ func TestEngineDrain(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			results[g], errs[g] = engine.ClassifyBatch(f.replay[g*20 : (g+1)*20])
+			results[g], errs[g] = engine.ClassifyBatch(context.Background(), f.replay[g*20:(g+1)*20])
 		}(g)
 	}
 	wg.Wait()
@@ -231,7 +252,7 @@ func TestEngineDrain(t *testing.T) {
 			}
 		}
 	}
-	if _, err := engine.ClassifyBatch(f.replay[:1]); err != ErrDraining {
+	if _, err := engine.ClassifyBatch(context.Background(), f.replay[:1]); err != ErrDraining {
 		t.Fatalf("post-drain error = %v, want ErrDraining", err)
 	}
 }

@@ -2,44 +2,117 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"repro/internal/classify"
 	"repro/internal/dataset"
 	"repro/internal/export"
+	"repro/internal/journal"
+	"repro/internal/retry"
+)
+
+// RequestIDHeader carries the client's stable per-batch request ID;
+// with a ledger attached it is the dedup key that makes retransmitted
+// batches exactly-once. TimeoutHeader carries an optional per-request
+// deadline in milliseconds, propagated into the shard queues.
+const (
+	RequestIDHeader = "X-Request-Id"
+	TimeoutHeader   = "X-Timeout-Ms"
 )
 
 // Server is the HTTP surface of the verdict-serving subsystem.
 //
 //	POST /classify      line-JSON "event" records in, line-JSON
-//	                    "verdict" records out (input order); 429 under
-//	                    backpressure, 503 while draining.
+//	                    "verdict" records out (input order). Admission
+//	                    is a graduated ladder: full service while the
+//	                    queue is healthy; journal-and-defer (202 +
+//	                    durable accept, background classification) as
+//	                    depth rises past the high-water mark or on
+//	                    overflow; 429 only once the defer queue is full
+//	                    too. Retransmits of a completed request ID are
+//	                    answered from the verdict ledger.
+//	GET  /result        ?id=<request id>: verdicts of a deferred batch
+//	                    (200), 204 while still pending, 404 if unknown.
 //	POST /admin/reload  rulemine-format JSON rule set in; hot-swaps the
-//	                    served rules and reports the new generation.
-//	GET  /healthz       liveness + current generation and queue depth.
+//	                    served rules. A set that fails validation leaves
+//	                    the old generation serving (degraded mode).
+//	GET  /healthz       liveness + generation, queue depth, journal
+//	                    state; "degraded" after a refused reload.
 //	GET  /metrics       Prometheus-style text exposition.
 type Server struct {
 	engine *Engine
 	// policy applies to rule sets loaded through /admin/reload.
 	policy classify.ConflictPolicy
+	// ledger is the durable exactly-once request ledger; nil runs the
+	// server stateless (the pre-journal behavior).
+	ledger *Ledger
+	// deferHighWater is the queue-load fraction beyond which new
+	// journaled batches are deferred instead of classified inline.
+	deferHighWater float64
+
+	deferCh   chan string
+	deferCtx  context.Context
+	deferStop context.CancelFunc
+	deferDone chan struct{}
+}
+
+// ServerOption customizes NewServer.
+type ServerOption func(*Server)
+
+// WithLedger attaches the durable verdict ledger, enabling request-ID
+// dedup, the journal-and-defer admission rung and GET /result.
+func WithLedger(l *Ledger) ServerOption {
+	return func(s *Server) { s.ledger = l }
+}
+
+// WithDeferHighWater sets the queue-load fraction (0..1] above which
+// identified batches are journaled and deferred. 0 defers every
+// identified batch (useful in tests); default 0.75.
+func WithDeferHighWater(f float64) ServerOption {
+	return func(s *Server) { s.deferHighWater = f }
 }
 
 // NewServer wraps an engine; reloaded rule sets use the given conflict
 // policy (the paper's choice is classify.Reject).
-func NewServer(engine *Engine, policy classify.ConflictPolicy) (*Server, error) {
+func NewServer(engine *Engine, policy classify.ConflictPolicy, opts ...ServerOption) (*Server, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("serve: nil engine")
 	}
-	return &Server{engine: engine, policy: policy}, nil
+	s := &Server{engine: engine, policy: policy, deferHighWater: 0.75}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.ledger != nil {
+		s.deferCh = make(chan string, 256)
+		s.deferCtx, s.deferStop = context.WithCancel(context.Background())
+		s.deferDone = make(chan struct{})
+		go s.deferLoop()
+	}
+	return s, nil
+}
+
+// Close stops the background deferred-batch worker. Idempotent; safe to
+// call on a stateless server. Pending journal entries stay on disk for
+// the next process's recovery — that is the point.
+func (s *Server) Close() {
+	if s.deferStop == nil {
+		return
+	}
+	s.deferStop()
+	<-s.deferDone
 }
 
 // Handler returns the route mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/classify", s.handleClassify)
+	mux.HandleFunc("/result", s.handleResult)
 	mux.HandleFunc("/admin/reload", s.handleReload)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -50,13 +123,17 @@ func (s *Server) Handler() http.Handler {
 // scanner budget).
 const maxEventLine = 1 << 22
 
-func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST only", http.StatusMethodNotAllowed)
-		return
-	}
-	m := s.engine.Metrics()
+// readEvents parses the line-JSON request body.
+// readEvents parses the line-JSON request body. With keepBody it also
+// returns the normalized wire bytes (non-empty lines, '\n'-terminated)
+// so a journaling server can log the batch verbatim instead of
+// re-marshaling it.
+func readEvents(r *http.Request, keepBody bool) ([]dataset.DownloadEvent, []byte, error) {
 	var events []dataset.DownloadEvent
+	var body []byte
+	if keepBody && r.ContentLength > 0 {
+		body = make([]byte, 0, r.ContentLength)
+	}
 	sc := bufio.NewScanner(r.Body)
 	sc.Buffer(make([]byte, 0, 1<<16), maxEventLine)
 	lineNo := 0
@@ -68,32 +145,22 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 		ev, err := export.UnmarshalEventLine(line)
 		if err != nil {
-			m.BadRequests.Add(1)
-			http.Error(w, fmt.Sprintf("line %d: %v", lineNo, err), http.StatusBadRequest)
-			return
+			return nil, nil, fmt.Errorf("line %d: %v", lineNo, err)
 		}
 		events = append(events, ev)
+		if keepBody {
+			body = append(body, line...)
+			body = append(body, '\n')
+		}
 	}
 	if err := sc.Err(); err != nil {
-		m.BadRequests.Add(1)
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return nil, nil, err
 	}
-	verdicts, err := s.engine.ClassifyBatch(events)
-	switch {
-	case errors.Is(err, ErrOverloaded):
-		m.RequestsRejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, err.Error(), http.StatusTooManyRequests)
-		return
-	case errors.Is(err, ErrDraining):
-		http.Error(w, err.Error(), http.StatusServiceUnavailable)
-		return
-	case err != nil:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	m.RequestsAccepted.Add(1)
+	return events, body, nil
+}
+
+// writeVerdicts streams verdict records as line JSON.
+func writeVerdicts(w http.ResponseWriter, verdicts []VerdictRecord) {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for i := range verdicts {
@@ -104,6 +171,228 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	bw.Flush()
 }
 
+// writeDeferred acknowledges a journaled-and-deferred batch: the events
+// are durable, classification happens in the background, and the client
+// fetches the verdicts from GET /result.
+func (s *Server) writeDeferred(w http.ResponseWriter, id string) {
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]any{"deferred": true, "id": id})
+}
+
+// requestContext derives the classification context, honoring the
+// client's deadline header so expired work can be shed in-queue.
+func requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if ms, err := strconv.Atoi(r.Header.Get(TimeoutHeader)); err == nil && ms > 0 {
+		return context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+	}
+	return r.Context(), func() {}
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	m := s.engine.Metrics()
+	id := r.Header.Get(RequestIDHeader)
+	journaled := s.ledger != nil && id != ""
+
+	if journaled {
+		// Exactly-once: a retransmit of a completed batch replays the
+		// journaled response verbatim; one still in flight (or deferred)
+		// is re-acknowledged and nudged toward the background worker.
+		if respBody, ok := s.ledger.Lookup(id); ok {
+			m.DedupHits.Add(1)
+			m.RequestsAccepted.Add(1)
+			w.Write(respBody)
+			return
+		}
+		if s.ledger.IsPending(id) {
+			s.enqueueDeferred(id)
+			s.writeDeferred(w, id)
+			return
+		}
+	}
+
+	events, body, err := readEvents(r, journaled)
+	if err != nil {
+		m.BadRequests.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Admission ladder, rung 2: past the high-water mark, journal the
+	// batch durably and classify it in the background instead of making
+	// the client wait in a saturated queue.
+	if journaled && s.engine.QueueDepth() >= int(s.deferHighWater*float64(s.engine.Capacity())) {
+		if s.tryDefer(w, id, events, body, m) {
+			return
+		}
+	}
+
+	ctx, cancel := requestContext(r)
+	defer cancel()
+
+	var acceptErr chan error
+	if journaled {
+		// Durable accept overlaps with classification: the fsync hides
+		// behind the extract/classify work and the response is held
+		// until both finish.
+		acceptErr = make(chan error, 1)
+		events, body := events, body
+		go func() { acceptErr <- s.ledger.AcceptWire(id, events, body) }()
+	}
+	verdicts, err := s.engine.ClassifyBatch(ctx, events)
+	if acceptErr != nil {
+		if aerr := <-acceptErr; aerr != nil {
+			http.Error(w, aerr.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		// Rung 2 again (the queue filled between the check and the
+		// reservation), then rung 3: shed with 429.
+		if journaled && s.tryDefer(w, id, events, body, m) {
+			return
+		}
+		m.RequestsRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, ErrDeadlineExceeded):
+		// The client's deadline expired in-queue; the work was shed. A
+		// journaled batch is already durable, so finish it in the
+		// background and let the client pick the verdicts up later.
+		if journaled {
+			s.enqueueDeferred(id)
+			m.RequestsDeferred.Add(1)
+			s.writeDeferred(w, id)
+			return
+		}
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if journaled {
+		// Result returns the canonical response body for the ID (the
+		// winner's bytes if a retransmit raced this request), which is
+		// what goes on the wire — dedup replies are byte-identical.
+		respBody, err := s.ledger.Result(id, verdicts)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		m.RequestsAccepted.Add(1)
+		w.Write(respBody)
+		return
+	}
+	m.RequestsAccepted.Add(1)
+	writeVerdicts(w, verdicts)
+}
+
+// tryDefer journals the batch durably and hands it to the background
+// worker, acknowledging with 202. Returns false when the defer queue is
+// saturated (the caller falls through to 429) or the journal write
+// failed (500 written here).
+func (s *Server) tryDefer(w http.ResponseWriter, id string, events []dataset.DownloadEvent, body []byte, m *Metrics) bool {
+	if err := s.ledger.AcceptWire(id, events, body); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return true
+	}
+	if !s.enqueueDeferred(id) {
+		// Defer queue full: top of the ladder. The accept record stays
+		// journaled; the client's retry will be re-acknowledged as
+		// pending and re-enqueued once there is room.
+		return false
+	}
+	m.RequestsDeferred.Add(1)
+	s.writeDeferred(w, id)
+	return true
+}
+
+// enqueueDeferred hands id to the background worker (idempotent: the
+// worker skips IDs that already have results).
+func (s *Server) enqueueDeferred(id string) bool {
+	if s.deferCh == nil {
+		return false
+	}
+	select {
+	case s.deferCh <- id:
+		return true
+	default:
+		return false
+	}
+}
+
+// deferLoop classifies journaled-and-deferred batches in the
+// background, retrying around transient overload with jittered
+// backoff. On Close it exits immediately; unfinished batches remain
+// journaled as pending and are replayed by recovery on the next boot —
+// the same path a crash takes.
+func (s *Server) deferLoop() {
+	defer close(s.deferDone)
+	for {
+		select {
+		case <-s.deferCtx.Done():
+			return
+		case id := <-s.deferCh:
+			if _, done := s.ledger.Lookup(id); done {
+				continue
+			}
+			events := s.ledger.PendingEvents(id)
+			if events == nil {
+				continue
+			}
+			var verdicts []VerdictRecord
+			err := retry.Do(s.deferCtx, retry.Policy{
+				MaxAttempts:    -1,
+				InitialBackoff: time.Millisecond,
+				MaxBackoff:     50 * time.Millisecond,
+			}, func(ctx context.Context) error {
+				var cerr error
+				verdicts, cerr = s.engine.ClassifyBatch(ctx, events)
+				if errors.Is(cerr, ErrDraining) {
+					return retry.Permanent(cerr)
+				}
+				return cerr
+			})
+			if err != nil {
+				continue // draining or closed: stays pending for recovery
+			}
+			s.ledger.Result(id, verdicts)
+		}
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if s.ledger == nil {
+		http.Error(w, "no journal attached", http.StatusNotFound)
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		http.Error(w, "missing id", http.StatusBadRequest)
+		return
+	}
+	if respBody, ok := s.ledger.Lookup(id); ok {
+		w.Write(respBody)
+		return
+	}
+	if s.ledger.IsPending(id) {
+		s.enqueueDeferred(id)
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	http.Error(w, "unknown request id", http.StatusNotFound)
+}
+
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -111,6 +400,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	}
 	clf, err := LoadRules(r.Body, s.policy)
 	if err != nil {
+		// Supervised degraded mode: the old generation keeps serving;
+		// health reports the refused update instead of flapping.
+		s.engine.MarkDegraded(err.Error())
 		s.engine.Metrics().BadRequests.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -127,15 +419,31 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	json.NewEncoder(w).Encode(map[string]any{
-		"status":     "ok",
+	status := "ok"
+	resp := map[string]any{
 		"generation": s.engine.Generation(),
 		"queueDepth": s.engine.QueueDepth(),
 		"rules":      s.engine.RuleCount(),
-	})
+	}
+	if reason := s.engine.DegradedReason(); reason != "" {
+		status = "degraded"
+		resp["degradedReason"] = reason
+	}
+	if s.ledger != nil {
+		pending, completed := s.ledger.Counts()
+		resp["journalPending"] = pending
+		resp["journalCompleted"] = completed
+	}
+	resp["status"] = status
+	json.NewEncoder(w).Encode(resp)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.engine.Metrics().WriteTo(w, s.engine.QueueDepth())
+	var js *journal.Stats
+	if s.ledger != nil {
+		st := s.ledger.Stats()
+		js = &st
+	}
+	s.engine.Metrics().WriteTo(w, s.engine.QueueDepth(), s.engine.DegradedReason() != "", js)
 }
