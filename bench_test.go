@@ -570,6 +570,7 @@ func BenchmarkServeThroughputJournaled(b *testing.B) {
 	b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "events/sec")
 	js := ledger.Stats()
 	b.ReportMetric(float64(js.Syncs), "fsyncs")
+	b.ReportMetric(float64(js.Compactions), "compactions")
 }
 
 // BenchmarkPrevalenceIndex measures the store freeze/indexing cost.

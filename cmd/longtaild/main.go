@@ -109,6 +109,7 @@ func run() error {
 	shards := flag.Int("shards", 4, "worker shards")
 	queue := flag.Int("queue", 1024, "bounded ingest queue size (events)")
 	journalDir := flag.String("journal-dir", "", "write-ahead journal directory (empty: serve stateless)")
+	retention := flag.Int("result-retention", 0, "completed batches kept for retransmit dedup (0: default 65536, negative: unbounded)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 	flag.Parse()
 
@@ -138,7 +139,8 @@ func run() error {
 	if *journalDir != "" {
 		var rec *serve.LedgerRecovery
 		ledger, rec, err = serve.OpenLedger(serve.LedgerOptions{
-			Journal: journal.Options{Dir: *journalDir},
+			Journal:    journal.Options{Dir: *journalDir},
+			MaxResults: *retention,
 		})
 		if err != nil {
 			return err

@@ -126,6 +126,7 @@ type Journal struct {
 	seg       File
 	segIndex  uint64
 	segBytes  int64
+	liveBytes int64  // bytes appended since the last compaction, across rotations
 	appendSeq uint64 // records written (not necessarily durable)
 
 	// syncMu serializes the fsync itself; group commit happens here.
@@ -165,11 +166,33 @@ func Open(opts Options) (*Journal, *Recovered, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	j := &Journal{opts: opts, segIndex: lastSeg + 1}
+	j := &Journal{opts: opts, segIndex: lastSeg + 1, liveBytes: segmentDiskBytes(opts.Dir)}
 	if err := j.openSegmentLocked(); err != nil {
 		return nil, nil, err
 	}
 	return j, rec, nil
+}
+
+// segmentDiskBytes sums the on-disk segment sizes, seeding liveBytes at
+// Open: a process restarting on top of a long un-compacted history
+// should reach its compaction threshold immediately, not after another
+// threshold's worth of fresh appends.
+func segmentDiskBytes(dir string) int64 {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, e := range entries {
+		var idx uint64
+		if n, _ := fmt.Sscanf(e.Name(), "wal-%08d.seg", &idx); n != 1 {
+			continue
+		}
+		if info, err := e.Info(); err == nil {
+			total += info.Size()
+		}
+	}
+	return total
 }
 
 func segmentName(index uint64) string  { return fmt.Sprintf("wal-%08d.seg", index) }
@@ -204,6 +227,13 @@ func encodeFrame(r Record) []byte {
 // write appends one frame to the active segment (rotating first if the
 // segment is full) and returns the record's sequence number.
 func (j *Journal) write(r Record) (uint64, error) {
+	// Enforce the frame bound on the write side too: readFrames treats a
+	// length above maxFrameSize as corruption and stops replaying, so an
+	// oversized record must never be acknowledged as durable — it would
+	// silently take the rest of its segment down with it at recovery.
+	if 1+len(r.Data) > maxFrameSize {
+		return 0, fmt.Errorf("journal: record of %d bytes exceeds frame limit %d", len(r.Data), maxFrameSize-1)
+	}
 	frame := encodeFrame(r)
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -219,6 +249,7 @@ func (j *Journal) write(r Record) (uint64, error) {
 		return 0, fmt.Errorf("journal: append: %w", err)
 	}
 	j.segBytes += int64(len(frame))
+	j.liveBytes += int64(len(frame))
 	j.appendSeq++
 	j.appends.Add(1)
 	j.bytes.Add(uint64(len(frame)))
@@ -321,14 +352,40 @@ func (j *Journal) syncTo(seq uint64) error {
 // Compact captures the caller's state as a snapshot, rotates to a fresh
 // segment and deletes every segment the snapshot covers. After a crash,
 // recovery loads the snapshot and replays only the later segments.
+//
+// The snapshot must already dominate every appended record. If the
+// caller's state and the journal are written concurrently (appends
+// racing with the state mutation the snapshot serializes), use
+// CompactFunc instead — a snapshot captured outside the journal lock
+// can miss a record whose append lands before the rotation, and that
+// record's only durable copy is then deleted.
 func (j *Journal) Compact(snapshot []byte) error {
+	return j.CompactFunc(func() ([]byte, error) { return snapshot, nil })
+}
+
+// CompactFunc is Compact with the state capture made atomic against the
+// write path: capture runs under the journal's write lock, so no record
+// can be appended between the moment the caller serializes its state
+// and the rotation that seals the old segments. Everything capture
+// observes is covered by the snapshot; everything it cannot observe
+// lands in the fresh segment and survives the deletion. capture must
+// not append to this journal (deadlock); an error from capture aborts
+// the compaction with the journal unchanged.
+func (j *Journal) CompactFunc(capture func() ([]byte, error)) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed.Load() {
 		return fmt.Errorf("journal: closed")
 	}
-	// Seal the active segment first so the snapshot strictly dominates
-	// every earlier record.
+	snapshot, err := capture()
+	if err != nil {
+		return err
+	}
+	if 1+len(snapshot) > maxFrameSize {
+		return fmt.Errorf("journal: snapshot of %d bytes exceeds frame limit %d", len(snapshot), maxFrameSize-1)
+	}
+	// Seal the active segment so the snapshot strictly dominates every
+	// earlier record.
 	if err := j.rotateLocked(); err != nil {
 		return err
 	}
@@ -355,6 +412,7 @@ func (j *Journal) Compact(snapshot []byte) error {
 		return fmt.Errorf("journal: compact rename: %w", err)
 	}
 	j.compactions.Add(1)
+	j.liveBytes = 0
 	// Best-effort cleanup: a crash here leaves redundant-but-harmless
 	// files that the next Compact retries.
 	entries, err := os.ReadDir(j.opts.Dir)
@@ -373,12 +431,16 @@ func (j *Journal) Compact(snapshot []byte) error {
 	return nil
 }
 
-// LiveBytes returns the bytes written to the active segment, a cheap
-// proxy for when the caller should Compact.
+// LiveBytes returns the bytes appended since the last compaction,
+// accumulated across segment rotations (and seeded from the on-disk
+// segments at Open) — the replay debt a crash right now would pay, and
+// the number to compare against a compaction threshold. Unlike the
+// active segment's size it is not capped by SegmentBytes, so a
+// threshold larger than one segment is still reachable.
 func (j *Journal) LiveBytes() int64 {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.segBytes
+	return j.liveBytes
 }
 
 // Stats returns a snapshot of the journal counters.

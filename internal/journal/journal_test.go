@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -329,6 +330,155 @@ func TestConcurrentAppendGroupCommit(t *testing.T) {
 	_, rec := reopen(t, dir)
 	if len(rec.Records) != writers*perWriter {
 		t.Fatalf("recovered %d records, want %d", len(rec.Records), writers*perWriter)
+	}
+}
+
+// TestOversizeRecordRejected: a record recovery could never read back
+// (readFrames treats len > maxFrameSize as corruption) is refused at
+// the write path instead of being acknowledged and silently lost.
+func TestOversizeRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(1, make([]byte, maxFrameSize)); err == nil {
+		t.Fatal("oversize Append acknowledged as durable")
+	}
+	if err := j.AppendAsync(1, make([]byte, maxFrameSize)); err == nil {
+		t.Fatal("oversize AppendAsync accepted")
+	}
+	// The rejection leaves the journal fully usable.
+	if err := j.Append(1, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := reopen(t, dir)
+	if len(rec.Records) != 1 || string(rec.Records[0].Data) != "ok" {
+		t.Fatalf("recovered %+v, want exactly the in-bounds record", rec.Records)
+	}
+	if rec.TornTail != 0 {
+		t.Fatalf("oversize rejection left %d torn bytes on disk", rec.TornTail)
+	}
+}
+
+// TestLiveBytesAcrossRotations: the compaction trigger accumulates
+// across segment rotations (so a threshold above one segment's size is
+// reachable), resets on Compact, and is seeded from the on-disk backlog
+// at Open.
+func TestLiveBytesAcrossRotations(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(Options{Dir: dir, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if err := j.Append(1, bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := j.Stats(); st.Rotations == 0 {
+		t.Fatal("no rotations at 256-byte segments; the test is vacuous")
+	}
+	if lb := j.LiveBytes(); lb <= 256 {
+		t.Fatalf("LiveBytes = %d, capped at one segment — the compaction trigger can never fire", lb)
+	}
+	if err := j.Compact([]byte("snap")); err != nil {
+		t.Fatal(err)
+	}
+	if lb := j.LiveBytes(); lb != 0 {
+		t.Fatalf("LiveBytes = %d after Compact, want 0", lb)
+	}
+	for i := 0; i < 8; i++ {
+		if err := j.Append(1, bytes.Repeat([]byte{byte(i)}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	postCompact := j.LiveBytes()
+	if postCompact <= 0 {
+		t.Fatalf("LiveBytes = %d after post-compaction appends", postCompact)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := reopen(t, dir)
+	defer j2.Close()
+	if lb := j2.LiveBytes(); lb < postCompact {
+		t.Fatalf("reopen seeded LiveBytes = %d, want >= %d (the un-compacted backlog)", lb, postCompact)
+	}
+}
+
+// TestCompactFuncCapturesUnderWriteLock: the ledger protocol in
+// miniature — writers mark an ID in shared state *before* appending its
+// record, a compactor snapshots that state via CompactFunc. Because the
+// capture runs under the journal write lock, any record already in a
+// to-be-deleted segment has its state mark visible to the capture; a
+// capture taken outside the lock (the old Compact(bytes) pattern) can
+// miss a record whose append beats the rotation, deleting its only
+// durable copy. After recovery, every ID must appear in the snapshot or
+// in a surviving segment.
+func TestCompactFuncCapturesUnderWriteLock(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 4, 50
+	var stateMu sync.Mutex
+	var state []string
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := fmt.Sprintf("w%d-%03d", w, i)
+				stateMu.Lock()
+				state = append(state, id)
+				stateMu.Unlock()
+				if err := j.Append(1, []byte(id)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			err := j.CompactFunc(func() ([]byte, error) {
+				stateMu.Lock()
+				defer stateMu.Unlock()
+				return []byte(strings.Join(state, "\n")), nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := reopen(t, dir)
+	present := make(map[string]bool)
+	for _, id := range strings.Split(string(rec.Snapshot), "\n") {
+		present[id] = true
+	}
+	for _, r := range rec.Records {
+		present[string(r.Data)] = true
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			if id := fmt.Sprintf("w%d-%03d", w, i); !present[id] {
+				t.Fatalf("record %s lost: not in the snapshot and its segment was deleted", id)
+			}
+		}
 	}
 }
 

@@ -51,9 +51,15 @@ type Ledger struct {
 	// pointer per batch, not one per verdict field — and makes
 	// retransmit replies byte-identical by construction.
 	results map[string][]byte
+	// order lists result IDs oldest-completed first — the eviction queue
+	// bounding results at maxResults entries, so a long-running daemon's
+	// dedup state (and every compaction snapshot) stays O(retransmit
+	// window), not O(total request history).
+	order      []string
+	maxResults int
 
-	// compactBytes triggers snapshot+compaction once the active segment
-	// grows past it (0 = never).
+	// compactBytes triggers snapshot+compaction once that many bytes
+	// have been journaled since the last compaction (-1 = never).
 	compactBytes int64
 }
 
@@ -63,9 +69,18 @@ type LedgerOptions struct {
 	// required.
 	Journal journal.Options
 	// CompactBytes compacts the journal (snapshot of the full ledger
-	// state, then segment truncation) whenever the active segment
-	// exceeds this size. Default 32 MiB; negative disables.
+	// state, then segment truncation) whenever the bytes journaled since
+	// the last compaction — cumulative across segment rotations, not the
+	// size of any one segment — exceed this threshold. Default 32 MiB;
+	// negative disables.
 	CompactBytes int64
+	// MaxResults bounds how many completed batches the dedup cache
+	// retains; beyond it the oldest-completed results are evicted.
+	// Size it to the client retransmit window: a retransmit of an
+	// evicted ID is re-accepted and reclassified (deterministically,
+	// so the verdicts match) instead of being answered from the ledger.
+	// Default 65536; negative disables eviction.
+	MaxResults int
 }
 
 // LedgerRecovery reports what OpenLedger reconstructed from disk.
@@ -101,9 +116,13 @@ func OpenLedger(opts LedgerOptions) (*Ledger, *LedgerRecovery, error) {
 		pending:      make(map[string][]dataset.DownloadEvent),
 		results:      make(map[string][]byte),
 		compactBytes: opts.CompactBytes,
+		maxResults:   opts.MaxResults,
 	}
 	if l.compactBytes == 0 {
 		l.compactBytes = 32 << 20
+	}
+	if l.maxResults == 0 {
+		l.maxResults = 65536
 	}
 	if rec.Snapshot != nil {
 		var snap ledgerSnapshot
@@ -111,8 +130,16 @@ func OpenLedger(opts LedgerOptions) (*Ledger, *LedgerRecovery, error) {
 			j.Close()
 			return nil, nil, fmt.Errorf("serve: ledger snapshot: %w", err)
 		}
-		for id, v := range snap.Results {
-			l.results[id] = []byte(v)
+		// A snapshot loses completion order, so restore in sorted-ID
+		// order: deterministic across restarts, which is what matters
+		// for a bound that only approximates "oldest first".
+		ids := make([]string, 0, len(snap.Results))
+		for id := range snap.Results {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			l.storeResultLocked(id, []byte(snap.Results[id]))
 		}
 		for id, strLines := range snap.Pending {
 			lines := make([][]byte, len(strLines))
@@ -153,7 +180,7 @@ func OpenLedger(opts LedgerOptions) (*Ledger, *LedgerRecovery, error) {
 				return nil, nil, fmt.Errorf("serve: ledger replay: result without id line")
 			}
 			id := string(r.Data[:idx])
-			l.results[id] = r.Data[idx+1:]
+			l.storeResultLocked(id, r.Data[idx+1:])
 			delete(l.pending, id)
 		default:
 			j.Close()
@@ -226,6 +253,27 @@ func parseVerdictLines(lines [][]byte) ([]VerdictRecord, error) {
 	return verdicts, nil
 }
 
+// storeResultLocked records the response body served for id and evicts
+// the oldest-completed batches once more than maxResults are retained.
+// Callers hold l.mu (or, during OpenLedger, have exclusive access).
+// Evicted IDs keep their journal records until the next compaction's
+// snapshot drops them, but recovery replays through this same bound, so
+// a restart cannot resurrect an unbounded history either.
+func (l *Ledger) storeResultLocked(id string, body []byte) {
+	if _, ok := l.results[id]; !ok {
+		l.order = append(l.order, id)
+	}
+	l.results[id] = body
+	if l.maxResults <= 0 {
+		return
+	}
+	for len(l.order) > l.maxResults {
+		delete(l.results, l.order[0])
+		l.order[0] = "" // release the string so the sliced-off slot doesn't pin it
+		l.order = l.order[1:]
+	}
+}
+
 // Accept journals a batch durably under its request ID and marks it
 // pending. It returns only after the record is fsynced (group-committed
 // with concurrent accepts); on journal failure the in-memory pending
@@ -296,7 +344,7 @@ func (l *Ledger) Result(id string, verdicts []VerdictRecord) ([]byte, error) {
 		l.mu.Unlock()
 		return prev, nil
 	}
-	l.results[id] = body
+	l.storeResultLocked(id, body)
 	delete(l.pending, id)
 	l.mu.Unlock()
 	payload := make([]byte, 0, len(id)+1+len(body))
@@ -378,34 +426,41 @@ func (l *Ledger) Counts() (pending, completed int) {
 }
 
 // Compact snapshots the full ledger state into the journal and drops
-// the segments the snapshot covers.
+// the segments the snapshot covers. The capture runs via
+// journal.CompactFunc, inside the journal's write lock with l.mu also
+// held: no Accept can slip a record into a to-be-deleted segment after
+// the snapshot is taken, so every durable batch is either in the
+// snapshot or in a segment that survives — the exactly-once contract
+// holds across compaction. (Lock order is journal → ledger; Accept and
+// Result never append while holding l.mu, so this cannot deadlock.)
 func (l *Ledger) Compact() error {
-	l.mu.Lock()
-	snap := ledgerSnapshot{
-		Results: make(map[string]string, len(l.results)),
-		Pending: make(map[string][]string, len(l.pending)),
-	}
-	for id, v := range l.results {
-		snap.Results[id] = string(v)
-	}
-	for id, events := range l.pending {
-		lines := make([]string, len(events))
-		for i := range events {
-			line, err := export.MarshalEventLine(&events[i])
-			if err != nil {
-				l.mu.Unlock()
-				return fmt.Errorf("serve: ledger compact: %w", err)
-			}
-			lines[i] = string(line)
+	return l.j.CompactFunc(func() ([]byte, error) {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		snap := ledgerSnapshot{
+			Results: make(map[string]string, len(l.results)),
+			Pending: make(map[string][]string, len(l.pending)),
 		}
-		snap.Pending[id] = lines
-	}
-	l.mu.Unlock()
-	data, err := json.Marshal(snap)
-	if err != nil {
-		return fmt.Errorf("serve: ledger compact: %w", err)
-	}
-	return l.j.Compact(data)
+		for id, v := range l.results {
+			snap.Results[id] = string(v)
+		}
+		for id, events := range l.pending {
+			lines := make([]string, len(events))
+			for i := range events {
+				line, err := export.MarshalEventLine(&events[i])
+				if err != nil {
+					return nil, fmt.Errorf("serve: ledger compact: %w", err)
+				}
+				lines[i] = string(line)
+			}
+			snap.Pending[id] = lines
+		}
+		data, err := json.Marshal(snap)
+		if err != nil {
+			return nil, fmt.Errorf("serve: ledger compact: %w", err)
+		}
+		return data, nil
+	})
 }
 
 // Stats exposes the underlying journal counters.

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/journal"
@@ -170,6 +171,127 @@ func TestLedgerCompaction(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		if _, ok := l2.Lookup(fmt.Sprintf("b-%02d", i)); !ok {
 			t.Fatalf("batch b-%02d lost across compaction", i)
+		}
+	}
+}
+
+// TestLedgerResultRetention: the completed-result dedup cache is
+// bounded — oldest-completed batches are evicted past MaxResults, both
+// live and across recovery, and an evicted ID re-enters the accept path
+// instead of being answered from the ledger.
+func TestLedgerResultRetention(t *testing.T) {
+	f := sharedFixture(t)
+	dir := t.TempDir()
+	l, _, err := OpenLedger(LedgerOptions{Journal: journal.Options{Dir: dir}, MaxResults: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		id := fmt.Sprintf("b-%02d", i)
+		if err := l.Accept(id, f.replay[i:i+1]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Result(id, []VerdictRecord{{Type: "verdict", File: string(f.replay[i].File)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, completed := l.Counts(); completed != 4 {
+		t.Fatalf("retained %d results, want 4", completed)
+	}
+	if _, ok := l.Lookup("b-00"); ok {
+		t.Fatal("evicted result still served")
+	}
+	for i := 6; i < 10; i++ {
+		if _, ok := l.Lookup(fmt.Sprintf("b-%02d", i)); !ok {
+			t.Fatalf("recent result b-%02d evicted out of order", i)
+		}
+	}
+	// A retransmit of an evicted ID is re-accepted (and would be
+	// reclassified — deterministically, so the verdicts match).
+	if err := l.Accept("b-00", f.replay[0:1]); err != nil {
+		t.Fatal(err)
+	}
+	if !l.IsPending("b-00") {
+		t.Fatal("re-accept of an evicted ID did not go pending")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery replays through the same bound: the journaled history
+	// cannot resurrect more than MaxResults completed batches.
+	l2, rec, err := OpenLedger(LedgerOptions{Journal: journal.Options{Dir: dir}, MaxResults: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if rec.Results > 4 {
+		t.Fatalf("recovery resurrected %d results past the bound of 4", rec.Results)
+	}
+	if len(rec.Pending) != 1 || len(rec.Pending["b-00"]) != 1 {
+		t.Fatalf("recovered pending %+v, want the re-accepted b-00", rec.Pending)
+	}
+}
+
+// TestLedgerCompactConcurrentAccept: compaction racing with live
+// accepts/results must never delete a batch's only durable record —
+// after a reopen, every acknowledged ID is either completed or pending,
+// regardless of where its journal append fell relative to the
+// snapshot+rotation.
+func TestLedgerCompactConcurrentAccept(t *testing.T) {
+	f := sharedFixture(t)
+	dir := t.TempDir()
+	l, _, err := OpenLedger(LedgerOptions{Journal: journal.Options{Dir: dir}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := fmt.Sprintf("w%d-%03d", w, i)
+				if err := l.Accept(id, f.replay[:1]); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%2 == 0 {
+					if _, err := l.Result(id, []VerdictRecord{{Type: "verdict", File: id}}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			if err := l.Compact(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, _, err := OpenLedger(LedgerOptions{Journal: journal.Options{Dir: dir}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			id := fmt.Sprintf("w%d-%03d", w, i)
+			_, completed := l2.Lookup(id)
+			if !completed && !l2.IsPending(id) {
+				t.Fatalf("batch %s vanished: accepted durably but lost across a concurrent compaction", id)
+			}
 		}
 	}
 }
