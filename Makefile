@@ -1,12 +1,19 @@
 # Tier-1 verification (ROADMAP.md): build + vet + race-enabled tests,
-# plus a gofmt cleanliness gate and a short fuzz smoke over the wire
-# codec. `make verify` is the one command CI and pre-commit hooks run.
+# plus a gofmt cleanliness gate, the project lint suite (longtailvet)
+# and a short fuzz smoke over the wire codec and the journal recovery
+# path. `make verify` is the one command CI and pre-commit hooks run;
+# `make verify-fast` is the same gate minus the fuzz smoke, for tight
+# edit-compile loops.
 
 GO ?= go
+LONGTAILVET ?= bin/longtailvet
 
-.PHONY: verify build vet test fmtcheck bench chaos-serve fuzz-smoke
+.PHONY: verify verify-fast build vet test fmtcheck lint longtailvet \
+	staticcheck govulncheck bench chaos-serve fuzz-smoke
 
-verify: build vet test fmtcheck fuzz-smoke
+verify: verify-fast fuzz-smoke
+
+verify-fast: build vet test fmtcheck lint
 
 build:
 	$(GO) build ./...
@@ -23,10 +30,40 @@ fmtcheck:
 		echo "gofmt -l reports unformatted files:"; echo "$$out"; exit 1; \
 	fi
 
-# 30-second native-fuzzing smoke over the single-event codec the
-# /classify endpoint and the write-ahead journal parse on every request.
+# The project's own static-analysis suite (internal/lint, DESIGN.md
+# §10): six analyzers enforcing the determinism, locking,
+# journal-ordering, retry-policy, error-wrapping and atomic-swap
+# invariants. Run through `go vet -vettool` so findings cover _test.go
+# files and participate in vet's result cache.
+longtailvet:
+	@mkdir -p $(dir $(LONGTAILVET))
+	$(GO) build -o $(LONGTAILVET) ./cmd/longtailvet
+
+lint: longtailvet
+	$(GO) vet -vettool=$(LONGTAILVET) ./...
+
+# Optional third-party gates: run only when the tool is installed, so
+# `make verify` stays dependency-free (ROADMAP.md: stdlib only).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping"; \
+	fi
+
+# Native-fuzzing smoke: the single-event codec the /classify endpoint
+# parses on every request, and the journal recovery path that must
+# survive arbitrary torn/corrupt segment tails (30s each).
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzUnmarshalEventLine -fuzztime=30s -run '^$$' ./internal/export/
+	$(GO) test -fuzz=FuzzJournalRecovery -fuzztime=30s -run '^$$' ./internal/journal/
 
 # Serving-layer chaos harness under the race detector: kill -9
 # mid-replay with injected transport faults and a torn journal tail,

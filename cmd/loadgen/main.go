@@ -154,6 +154,7 @@ func run() error {
 			fmt.Printf("  hot reload at batch %d/%d: now serving generation %d\n", b, nBatches, gen)
 		}
 		if interval > 0 {
+			//lint:allow retrypolicy open-loop pacing to the next send slot, not a retry; retry.Do would distort the offered load
 			time.Sleep(time.Until(next))
 			next = next.Add(interval)
 		}

@@ -1,0 +1,25 @@
+// Command longtailvet runs the repo's project-specific static-analysis
+// suite (internal/lint): six analyzers that mechanically enforce the
+// determinism, locking, journal-ordering, retry-policy, error-wrapping
+// and atomic-swap invariants the reproduction's correctness rests on.
+//
+// Two ways to run it:
+//
+//	longtailvet ./...                         # standalone, vet-style output
+//	go vet -vettool=$(which longtailvet) ./... # as a vet tool (covers _test.go files)
+//
+// The vettool form speaks cmd/go's unitchecker protocol, so findings
+// come back in standard file:line:col form, participate in go vet's
+// result caching, and include test files. Exit status 2 means findings,
+// 1 means an internal error. Intentional exceptions in the tree carry
+// `//lint:allow <analyzer> <reason>` annotations; see internal/lint.
+package main
+
+import (
+	"repro/internal/lint"
+	"repro/internal/lint/lintkit"
+)
+
+func main() {
+	lintkit.Main(lint.Suite()...)
+}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// buildVettool compiles the longtailvet binary once into a temp dir.
+func buildVettool(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "longtailvet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building longtailvet: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// expectedFindings is the exact diagnostic set the badmod fixture
+// module must produce, as (file-position regexp, message regexp) pairs.
+var expectedFindings = []struct{ pos, msg string }{
+	{`app/app\.go:\d+:\d+`, `error formatted with %v loses the error chain`},
+	{`app/app\.go:\d+:\d+`, `comparing an error to sentinel ErrBusy with ==`},
+	{`app/app\.go:\d+:\d+`, `time\.Sleep inside a loop is a hand-rolled retry/poll loop`},
+	{`app/app\.go:\d+:\d+`, `atomic\.Uint64 field gen may only be the receiver of its own methods`},
+	{`synth/gen\.go:\d+:\d+`, `time\.Now breaks seed-determinism`},
+	{`synth/gen\.go:\d+:\d+`, `global math/rand\.Intn uses shared process state`},
+}
+
+// checkFindings asserts output contains exactly the expected set.
+func checkFindings(t *testing.T, output string) {
+	t.Helper()
+	var lines []string
+	for _, line := range strings.Split(output, "\n") {
+		if strings.Contains(line, ".go:") {
+			lines = append(lines, line)
+		}
+	}
+	for _, want := range expectedFindings {
+		re := regexp.MustCompile(want.pos + `: .*` + want.msg)
+		found := false
+		for _, line := range lines {
+			if re.MatchString(line) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing expected finding %q %q", want.pos, want.msg)
+		}
+	}
+	if len(lines) != len(expectedFindings) {
+		t.Errorf("got %d findings, want exactly %d:\n%s", len(lines), len(expectedFindings), output)
+	}
+}
+
+// TestVettoolProtocol drives the binary exactly as cmd/go does:
+// `go vet -vettool=longtailvet ./...` over the known-bad fixture
+// module, asserting the exact diagnostic set and a failing exit.
+func TestVettoolProtocol(t *testing.T) {
+	bin := buildVettool(t)
+	badmod, err := filepath.Abs(filepath.Join("testdata", "badmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = badmod
+	cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err == nil {
+		t.Fatalf("go vet -vettool succeeded on the bad fixture; want findings\nstderr:\n%s", stderr.String())
+	}
+	checkFindings(t, stderr.String())
+}
+
+// TestStandaloneMode runs the same fixture through the binary's own
+// loader; the diagnostic set must match the vettool path exactly.
+func TestStandaloneMode(t *testing.T) {
+	bin := buildVettool(t)
+	badmod, err := filepath.Abs(filepath.Join("testdata", "badmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = badmod
+	cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err = cmd.Run()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != 2 {
+		t.Fatalf("standalone run: err = %v (stderr %q), want exit status 2", err, stderr.String())
+	}
+	checkFindings(t, stderr.String())
+}
+
+// TestAnalyzerFlagsReachVettool verifies config-driven scoping flows
+// through cmd/go's flag relay: widening -determinism.pkgs has no
+// effect on the fixture's "clean"-named package unless it is added.
+func TestAnalyzerFlagsReachVettool(t *testing.T) {
+	bin := buildVettool(t)
+	badmod, err := filepath.Abs(filepath.Join("testdata", "badmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Narrow the determinism scope to nothing: the synth findings must
+	// disappear while the rest stay.
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "-determinism.pkgs=none", "./...")
+	cmd.Dir = badmod
+	cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err == nil {
+		t.Fatal("expected remaining findings to fail the run")
+	}
+	out := stderr.String()
+	if strings.Contains(out, "seed-determinism") {
+		t.Errorf("determinism findings survived -determinism.pkgs=none:\n%s", out)
+	}
+	if !strings.Contains(out, "error formatted with %v") {
+		t.Errorf("errwrap findings missing under -determinism.pkgs=none:\n%s", out)
+	}
+}
+
+// TestVersionProtocol checks the -V=full line cmd/go parses for its
+// action cache: "<name> version devel ... buildID=<hash>".
+func TestVersionProtocol(t *testing.T) {
+	bin := buildVettool(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := strings.Fields(strings.TrimSpace(string(out)))
+	if len(fields) < 3 || fields[1] != "version" || !strings.HasPrefix(fields[len(fields)-1], "buildID=") {
+		t.Errorf("-V=full output %q does not match cmd/go's expected shape", out)
+	}
+}
+
+// TestFlagsProtocol checks the -flags JSON cmd/go requests before
+// relaying user flags.
+func TestFlagsProtocol(t *testing.T) {
+	bin := buildVettool(t)
+	out, err := exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flags []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(out, &flags); err != nil {
+		t.Fatalf("-flags output is not the JSON cmd/go expects: %v\n%s", err, out)
+	}
+	names := make(map[string]bool)
+	for _, f := range flags {
+		names[f.Name] = true
+	}
+	for _, want := range []string{"determinism.pkgs", "determinism.allow", "retrypolicy.exempt", "journalorder.pkgs"} {
+		if !names[want] {
+			t.Errorf("-flags output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+// Package synth violates the determinism invariant: its base name puts
+// it in the deterministic core, and it reads the wall clock and the
+// global PRNG.
+package synth
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock inside the deterministic core.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Jitter uses the global PRNG.
+func Jitter() int { return rand.Intn(100) }

@@ -18,6 +18,7 @@ package agent
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/reputation"
@@ -33,30 +34,34 @@ type Stats struct {
 }
 
 // CollectionServer receives download reports from software agents and
-// stores the surviving ones. It is single-goroutine: the deployment's
-// CS serializes ingestion per shard, and the simulation feeds it from
-// one stream.
+// stores the surviving ones. All methods are safe for concurrent use:
+// the deployment's CS serializes ingestion per shard, and mu is that
+// shard lock — concurrent agent uplinks contend on it, and the
+// prevalence cap still sees one total order of arrivals.
 //
 // Two ingestion paths exist. Report applies the collection rules to one
 // event directly (exactly-once, in-order callers such as the trace
 // generator). Deliver is the at-least-once network endpoint: it accepts
 // sequence-numbered envelopes that may arrive duplicated or reordered,
 // deduplicates them, restores sequence order within a bounded window,
-// and feeds the surviving events to Report — see transport.go.
+// and feeds the surviving events to the collection rules — see
+// transport.go.
 type CollectionServer struct {
 	sigma   int
 	agentWL *reputation.DomainList
 	store   *dataset.Store
-	seen    map[dataset.FileHash]map[dataset.MachineID]struct{}
-	stats   Stats
+
+	mu    sync.Mutex
+	seen  map[dataset.FileHash]map[dataset.MachineID]struct{} // guarded by mu
+	stats Stats                                               // guarded by mu
 
 	// At-least-once transport state (transport.go): the next sequence
-	// number Report expects, events that arrived ahead of it, and the
+	// number ingestion expects, events that arrived ahead of it, and the
 	// delivery counters.
-	nextSeq       uint64
-	pendingSeq    map[uint64]dataset.DownloadEvent
-	reorderWindow int
-	tstats        TransportStats
+	nextSeq       uint64                           // guarded by mu
+	pendingSeq    map[uint64]dataset.DownloadEvent // guarded by mu
+	reorderWindow int                              // guarded by mu
+	tstats        TransportStats                   // guarded by mu
 }
 
 // NewCollectionServer builds a CS writing into store. agentWL may be nil
@@ -83,6 +88,14 @@ func NewCollectionServer(store *dataset.Store, sigma int, agentWL *reputation.Do
 // for the prevalence cap to match the deployment's behaviour; the
 // generator guarantees per-file ordering.
 func (cs *CollectionServer) Report(e dataset.DownloadEvent) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.reportLocked(e)
+}
+
+// reportLocked applies the collection rules to one event. Callers hold
+// cs.mu.
+func (cs *CollectionServer) reportLocked(e dataset.DownloadEvent) error {
 	if err := e.Validate(); err != nil {
 		return err
 	}
@@ -116,7 +129,11 @@ func (cs *CollectionServer) Report(e dataset.DownloadEvent) error {
 }
 
 // Stats returns the pipeline counters.
-func (cs *CollectionServer) Stats() Stats { return cs.stats }
+func (cs *CollectionServer) Stats() Stats {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.stats
+}
 
 // SoftwareAgent is the per-machine monitoring agent. It observes all
 // web-based download events on its machine and forwards them to the CS;

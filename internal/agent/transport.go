@@ -46,6 +46,8 @@ func (cs *CollectionServer) SetReorderWindow(w int) error {
 	if w < 1 {
 		return fmt.Errorf("agent: reorder window %d must be >= 1", w)
 	}
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	cs.reorderWindow = w
 	return nil
 }
@@ -58,6 +60,8 @@ func (cs *CollectionServer) SetReorderWindow(w int) error {
 // order, so restoring sequence order is what keeps the stored dataset
 // identical to a fault-free run.
 func (cs *CollectionServer) Deliver(env Envelope) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	if env.Seq < cs.nextSeq {
 		cs.tstats.Duplicates++
 		return nil
@@ -84,7 +88,7 @@ func (cs *CollectionServer) Deliver(env Envelope) error {
 		}
 		delete(cs.pendingSeq, cs.nextSeq)
 		cs.nextSeq++
-		if err := cs.Report(e); err != nil {
+		if err := cs.reportLocked(e); err != nil {
 			return err
 		}
 		cs.tstats.Delivered++
@@ -92,7 +96,11 @@ func (cs *CollectionServer) Deliver(env Envelope) error {
 }
 
 // TransportStats returns the delivery counters.
-func (cs *CollectionServer) TransportStats() TransportStats { return cs.tstats }
+func (cs *CollectionServer) TransportStats() TransportStats {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.tstats
+}
 
 // checkpoint is the JSON-serialized durable state of a collection
 // server: everything needed to resume ingestion after a crash, given
@@ -119,6 +127,8 @@ type checkpointSeen struct {
 // it is sufficient to restore the server after a crash; keys are sorted
 // so identical states serialize identically.
 func (cs *CollectionServer) Checkpoint() ([]byte, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
 	ck := checkpoint{
 		Sigma:     cs.sigma,
 		NextSeq:   cs.nextSeq,

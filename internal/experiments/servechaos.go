@@ -318,7 +318,8 @@ func RunChaosServe(cfg ChaosServeConfig) (*ChaosServeReport, error) {
 	tsA := httptest.NewServer(srvA.Handler())
 	flaky := newFlakyTransport(inj, http.DefaultTransport)
 	clientA := &serve.Client{
-		BaseURL:    tsA.URL,
+		BaseURL: tsA.URL,
+		//lint:allow retrypolicy the chaos harness wires the fault-injecting transport directly; serve.Client supplies the retry layer above it
 		HTTPClient: &http.Client{Transport: flaky},
 	}
 
@@ -417,7 +418,8 @@ func RunChaosServe(cfg ChaosServeConfig) (*ChaosServeReport, error) {
 	tsB := httptest.NewServer(srvB.Handler())
 	defer tsB.Close()
 	clientB := &serve.Client{
-		BaseURL:    tsB.URL,
+		BaseURL: tsB.URL,
+		//lint:allow retrypolicy the chaos harness wires the fault-injecting transport directly; serve.Client supplies the retry layer above it
 		HTTPClient: &http.Client{Transport: newFlakyTransport(inj, http.DefaultTransport)},
 	}
 

@@ -123,11 +123,11 @@ type Journal struct {
 	opts Options
 
 	mu        sync.Mutex // guards the write path and segment rotation
-	seg       File
-	segIndex  uint64
-	segBytes  int64
-	liveBytes int64  // bytes appended since the last compaction, across rotations
-	appendSeq uint64 // records written (not necessarily durable)
+	seg       File       // guarded by mu
+	segIndex  uint64     // guarded by mu
+	segBytes  int64      // guarded by mu
+	liveBytes int64      // guarded by mu; bytes appended since the last compaction, across rotations
+	appendSeq uint64     // guarded by mu; records written (not necessarily durable)
 
 	// syncMu serializes the fsync itself; group commit happens here.
 	// syncStateMu is a separate, never-held-during-IO lock over
@@ -137,8 +137,8 @@ type Journal struct {
 	syncMu      sync.Mutex
 	syncStateMu sync.Mutex
 	syncedSeq   atomic.Uint64
-	syncSeg     File   // segment the next fsync applies to
-	syncHi      uint64 // appendSeq covered once syncSeg syncs
+	syncSeg     File   // guarded by syncStateMu; segment the next fsync applies to
+	syncHi      uint64 // guarded by syncStateMu; appendSeq covered once syncSeg syncs
 
 	appends     atomic.Uint64
 	syncs       atomic.Uint64

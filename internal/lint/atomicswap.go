@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/lintkit"
+)
+
+// AtomicSwap protects the hot-swap discipline of the serving layer: the
+// engine's rule-set generation lives behind an atomic.Pointer so that
+// workers load exactly one generation per event with no lock on the hot
+// path, and /admin/reload swaps it with zero downtime. That only holds
+// if every touch of a sync/atomic-typed field goes through the atomic's
+// method set. The analyzer flags any other use of such a field — copying
+// it into a variable, passing it by value, ranging over it, taking its
+// address to hand elsewhere — each of which either tears the value or
+// (for a copied atomic) silently forks the state so later Stores are
+// invisible to readers of the copy.
+//
+// go vet's copylocks catches by-value copies of types containing a
+// noCopy; this analyzer is stricter: inside this repo an atomic field is
+// only ever the immediate receiver of Load/Store/Swap/Add/
+// CompareAndSwap.
+var AtomicSwap = &lintkit.Analyzer{
+	Name: "atomicswap",
+	Doc:  "sync/atomic struct fields may only be used as the receiver of their own methods",
+	Run:  runAtomicSwap,
+}
+
+func runAtomicSwap(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		if lintkit.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+			if !ok || !obj.IsField() || !isSyncAtomicType(obj.Type()) {
+				return true
+			}
+			if isMethodReceiverUse(stack) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "%s field %s may only be the receiver of its own methods (Load/Store/Swap/CompareAndSwap); copying or aliasing it forks the atomic state", atomicTypeName(obj.Type()), sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}
+
+// isSyncAtomicType reports whether t is a named type from sync/atomic.
+func isSyncAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+func atomicTypeName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "sync/atomic"
+	}
+	return "atomic." + named.Obj().Name()
+}
+
+// isMethodReceiverUse reports whether the innermost enclosing nodes
+// form `<field>.<Method>(...)` — i.e. the selector's parent is another
+// selector (the method lookup) whose parent is the call.
+func isMethodReceiverUse(stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	parent, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return call.Fun == parent
+}

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/lintkit"
+)
+
+// ErrWrap enforces Go 1.13+ error semantics, which the pipeline's
+// degraded-mode handling depends on: retry.Do classifies failures with
+// errors.Is/errors.As, so an error formatted away with %v (instead of
+// wrapped with %w) silently breaks retry classification, and a
+// sentinel compared with == stops matching the moment anyone adds a
+// wrapping layer. Two checks, applied to every package including
+// tests:
+//
+//   - fmt.Errorf("...%v...", err) where the argument is an error —
+//     use %w so the chain stays inspectable;
+//   - err == ErrSentinel / err != ErrSentinel where the sentinel is a
+//     package-level Err* variable (or io.EOF) — use errors.Is, which
+//     sees through wrapping. Comparisons with nil are fine.
+var ErrWrap = &lintkit.Analyzer{
+	Name: "errwrap",
+	Doc:  "wrap errors with %w and compare sentinels with errors.Is",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorType)
+}
+
+func checkErrorfWrap(pass *lintkit.Pass, call *ast.CallExpr) {
+	id := calleeIdent(call)
+	if id == nil || qualifiedName(pass.Info.Uses[id]) != "fmt.Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs := formatVerbs(constant.StringVal(tv.Value))
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			break
+		}
+		if verb == 'w' {
+			continue
+		}
+		arg := call.Args[argIdx]
+		if isErrorType(pass.TypeOf(arg)) {
+			pass.Reportf(arg.Pos(), "error formatted with %%%c loses the error chain; use %%w so errors.Is/As keep working through the wrap", verb)
+		}
+	}
+}
+
+// formatVerbs extracts the verb letters of a format string in argument
+// order. Width/precision stars consume an argument slot too, recorded
+// as '*'.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// flags, width, precision (a '*' consumes an arg slot)
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.IndexByte("+-# 0123456789.", c) >= 0 {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs
+}
+
+func checkSentinelCompare(pass *lintkit.Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.EQL && bin.Op != token.NEQ {
+		return
+	}
+	if !isErrorType(pass.TypeOf(bin.X)) && !isErrorType(pass.TypeOf(bin.Y)) {
+		return
+	}
+	for _, side := range []ast.Expr{bin.X, bin.Y} {
+		if name, ok := sentinelName(pass, side); ok {
+			op := "errors.Is(err, " + name + ")"
+			if bin.Op == token.NEQ {
+				op = "!" + op
+			}
+			pass.Reportf(bin.Pos(), "comparing an error to sentinel %s with %s breaks once the error is wrapped; use %s", name, bin.Op, op)
+			return
+		}
+	}
+}
+
+// sentinelName reports whether expr denotes a package-level error
+// variable following the ErrFoo convention (or io.EOF), returning its
+// display name.
+func sentinelName(pass *lintkit.Pass, expr ast.Expr) (string, bool) {
+	var id *ast.Ident
+	display := ""
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+		display = e.Name
+	case *ast.SelectorExpr:
+		id = e.Sel
+		if pkg, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			display = pkg.Name + "." + e.Sel.Name
+		} else {
+			display = e.Sel.Name
+		}
+	default:
+		return "", false
+	}
+	obj, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || obj.Pkg() == nil || !isErrorType(obj.Type()) {
+		return "", false
+	}
+	// Package-level only: local error variables are not sentinels.
+	if obj.Parent() != obj.Pkg().Scope() {
+		return "", false
+	}
+	if strings.HasPrefix(obj.Name(), "Err") || strings.HasPrefix(obj.Name(), "err") || obj.Name() == "EOF" {
+		return display, true
+	}
+	return "", false
+}

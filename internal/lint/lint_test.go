@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint/lintkit/lintkittest"
+)
+
+// Each analyzer has a flagging fixture (every bad shape carries a
+// `// want` expectation) and a non-flagging one (scope exemptions and
+// sanctioned patterns), per the analysistest convention.
+
+func TestDeterminism(t *testing.T) {
+	lintkittest.Run(t, "testdata/src/determinism/synth", Determinism)
+}
+
+func TestDeterminismOutOfScope(t *testing.T) {
+	lintkittest.Run(t, "testdata/src/determinism/clean", Determinism)
+}
+
+func TestLockguard(t *testing.T) {
+	lintkittest.Run(t, "testdata/src/lockguard/serve", Lockguard)
+}
+
+// TestLockguardCatchesCompactionBug pins the acceptance criterion
+// directly: the PR 3 bug shape — guarded state captured before the
+// write lock — must be flagged, and the fixed shape must not.
+func TestLockguardCatchesCompactionBug(t *testing.T) {
+	diags := lintkittest.Findings(t, "testdata/src/lockguard/serve", Lockguard)
+	lintkittest.MustFind(t, diags, "lockguard", `pending is guarded by mu but compactRacy accesses it`)
+	for _, d := range diags {
+		if strings.Contains(d.Message, "compactSafe") {
+			t.Errorf("compactSafe (capture under the lock) must be clean, got: %s", d)
+		}
+	}
+}
+
+func TestJournalOrder(t *testing.T) {
+	lintkittest.Run(t, "testdata/src/journalorder/serve", JournalOrder)
+}
+
+func TestRetryPolicy(t *testing.T) {
+	lintkittest.Run(t, "testdata/src/retrypolicy/app", RetryPolicy)
+}
+
+func TestRetryPolicyExemptPackage(t *testing.T) {
+	lintkittest.Run(t, "testdata/src/retrypolicy/retry", RetryPolicy)
+}
+
+func TestErrWrap(t *testing.T) {
+	lintkittest.Run(t, "testdata/src/errwrap/app", ErrWrap)
+}
+
+func TestAtomicSwap(t *testing.T) {
+	lintkittest.Run(t, "testdata/src/atomicswap/app", AtomicSwap)
+}
+
+// TestAllowDirectives runs the whole suite over the directive fixture:
+// suppression must be analyzer-scoped and reason-mandatory.
+func TestAllowDirectives(t *testing.T) {
+	lintkittest.Run(t, "testdata/src/allow/app", Suite()...)
+}
+
+// TestSuiteSelfClean runs every analyzer over the lint packages
+// themselves — the suite must hold itself to its own invariants.
+func TestSuiteSelfClean(t *testing.T) {
+	for _, dir := range []string{".", "lintkit", "lintkit/lintkittest"} {
+		diags := lintkittest.Findings(t, dir, Suite()...)
+		for _, d := range diags {
+			t.Errorf("suite is not self-clean: %s", d)
+		}
+	}
+}

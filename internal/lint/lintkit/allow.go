@@ -1,0 +1,146 @@
+package lintkit
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression directive. A finding is suppressed when a comment of
+// the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// appears on the finding's line, on the line immediately above it, or
+// in the doc comment of the enclosing top-level declaration (which
+// suppresses that analyzer for the whole declaration). The reason is
+// mandatory: an allow directive without one is itself reported, so
+// every escape hatch in the tree documents why it is safe.
+const allowPrefix = "//lint:allow"
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+	pos      token.Pos
+}
+
+// allowIndex answers "is this diagnostic suppressed?" for one package.
+type allowIndex struct {
+	// byLine maps file -> line -> analyzers allowed on that line (the
+	// directive's own line; a directive suppresses its line and the one
+	// below, covering both same-line and line-above placement).
+	byLine map[string]map[int][]string
+	// spans are declaration-wide allowances from doc comments.
+	spans []allowSpan
+	// missingReason collects malformed directives to report.
+	missingReason []allowDirective
+}
+
+type allowSpan struct {
+	file       string
+	start, end int // line range, inclusive
+	analyzer   string
+}
+
+// parseAllowComment extracts the directive from one comment, if any.
+// ok distinguishes "not a directive" from "directive with empty
+// analyzer/reason".
+func parseAllowComment(c *ast.Comment) (analyzer, reason string, ok bool) {
+	text := c.Text
+	if !strings.HasPrefix(text, allowPrefix) {
+		return "", "", false
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+	// Anything after an embedded "//" is a comment on the directive
+	// (test fixtures use this for want markers), not part of the reason.
+	if i := strings.Index(rest, "//"); i >= 0 {
+		rest = strings.TrimSpace(rest[:i])
+	}
+	if rest == "" {
+		return "", "", true
+	}
+	parts := strings.SplitN(rest, " ", 2)
+	analyzer = parts[0]
+	if len(parts) == 2 {
+		reason = strings.TrimSpace(parts[1])
+	}
+	return analyzer, reason, true
+}
+
+// buildAllowIndex scans every comment in the package's files.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				analyzer, reason, ok := parseAllowComment(c)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if analyzer == "" || reason == "" {
+					idx.missingReason = append(idx.missingReason, allowDirective{
+						analyzer: analyzer, reason: reason,
+						file: pos.Filename, line: pos.Line, pos: c.Pos(),
+					})
+					continue
+				}
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					idx.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], analyzer)
+			}
+		}
+		// Doc-comment directives cover their whole declaration.
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc == nil {
+				continue
+			}
+			for _, c := range doc.List {
+				analyzer, reason, ok := parseAllowComment(c)
+				if !ok || analyzer == "" || reason == "" {
+					continue // malformed ones were collected above
+				}
+				idx.spans = append(idx.spans, allowSpan{
+					file:     fset.Position(decl.Pos()).Filename,
+					start:    fset.Position(decl.Pos()).Line,
+					end:      fset.Position(decl.End()).Line,
+					analyzer: analyzer,
+				})
+			}
+		}
+	}
+	return idx
+}
+
+// allows reports whether a finding from analyzer at (file, line) is
+// suppressed.
+func (idx *allowIndex) allows(analyzer, file string, line int) bool {
+	if lines, ok := idx.byLine[file]; ok {
+		for _, l := range []int{line, line - 1} {
+			for _, a := range lines[l] {
+				if a == analyzer {
+					return true
+				}
+			}
+		}
+	}
+	for _, s := range idx.spans {
+		if s.analyzer == analyzer && s.file == file && line >= s.start && line <= s.end {
+			return true
+		}
+	}
+	return false
+}

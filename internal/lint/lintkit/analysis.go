@@ -1,0 +1,152 @@
+// Package lintkit is a self-contained, stdlib-only re-implementation of
+// the golang.org/x/tools/go/analysis runtime surface this repo's
+// project-specific analyzers need: an Analyzer/Pass/Diagnostic model, a
+// package loader built on `go list -export` plus the compiler's export
+// data, an in-source suppression directive (//lint:allow), and a driver
+// speaking both the standalone command-line protocol and the
+// `go vet -vettool` unitchecker protocol.
+//
+// The repo's invariants — byte-determinism from a seed, mutex-guarded
+// field access, journal-before-response ordering — are enforced by the
+// analyzers in the parent package (internal/lint); lintkit is only the
+// machinery that loads typed syntax and reports findings in standard
+// `file:line:col: message` vet format. It exists as its own package so
+// the analyzers read like x/tools analyzers and could be ported to the
+// real framework by swapping one import if the dependency ever lands in
+// the module.
+package lintkit
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static analysis pass: a name findings are
+// attributed to (and suppressed by, via //lint:allow <name>), doc text,
+// optional string-valued flags relayed through `go vet`, and the Run
+// function applied once per loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer; it must be a valid identifier as it
+	// doubles as a flag-name prefix and a //lint:allow selector.
+	Name string
+	// Doc is the one-paragraph invariant statement shown by -help.
+	Doc string
+	// Flags declares the analyzer's configuration knobs. Each is
+	// registered as -<name> in standalone mode and advertised to cmd/go
+	// in vettool mode, so `go vet -vettool=... -<name>=v` works too.
+	Flags []*Flag
+	// Run inspects one package and reports findings via pass.Reportf.
+	// A returned error aborts the whole run (reserved for internal
+	// failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// Flag is one string-valued analyzer option.
+type Flag struct {
+	// Name is the full flag name, conventionally "<analyzer>.<option>".
+	Name  string
+	Usage string
+	// Value holds the default until the driver overwrites it from the
+	// command line; analyzers read it inside Run.
+	Value string
+}
+
+// Lookup returns the analyzer's flag with the given name, or nil.
+func (a *Analyzer) Lookup(name string) *Flag {
+	for _, f := range a.Flags {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// Pass carries one typed package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	// Path is the package's import path as the build system reports it
+	// (for test variants under `go vet` this is the displayed ID, e.g.
+	// "repro/internal/serve [repro/internal/serve.test]").
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf is a nil-tolerant shorthand for Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// Diagnostic is one reported finding, already resolved to a concrete
+// file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the standard vet form the rest of the toolchain (and
+// editors) parse: `file:line:col: message [analyzer]`.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer —
+// the stable order every driver prints in.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// PathBase returns the last slash-separated segment of an import path,
+// with any `go vet` test-variant suffix (" [pkg.test]") stripped — the
+// key the analyzers' package scoping matches on, so that
+// "repro/internal/serve [repro/internal/serve.test]" still scopes as
+// "serve".
+func PathBase(path string) string {
+	if i := strings.IndexByte(path, ' '); i >= 0 {
+		path = path[:i]
+	}
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		path = path[i+1:]
+	}
+	return path
+}
+
+// IsTestFile reports whether the file's name marks it as a _test.go
+// file. Analyzers whose invariants only bind production code use it to
+// skip test sources when `go vet` hands them the test variant.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go")
+}

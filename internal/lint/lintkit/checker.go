@@ -1,0 +1,40 @@
+package lintkit
+
+import "fmt"
+
+// Run applies each analyzer to the loaded package and returns the
+// surviving findings in stable order. Findings covered by a
+// //lint:allow directive are dropped; malformed directives (missing
+// analyzer or reason) are reported as findings themselves, attributed
+// to the pseudo-analyzer "allow".
+func Run(lp *LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+	idx := buildAllowIndex(lp.Fset, lp.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Path:     lp.Path,
+			Fset:     lp.Fset,
+			Files:    lp.Files,
+			Pkg:      lp.Pkg,
+			Info:     lp.Info,
+			report: func(d Diagnostic) {
+				if !idx.allows(d.Analyzer, d.Pos.Filename, d.Pos.Line) {
+					diags = append(diags, d)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("lintkit: analyzer %s on %s: %w", a.Name, lp.Path, err)
+		}
+	}
+	for _, m := range idx.missingReason {
+		diags = append(diags, Diagnostic{
+			Pos:      lp.Fset.Position(m.pos),
+			Analyzer: "allow",
+			Message:  "lint:allow directive must name an analyzer and give a reason: //lint:allow <analyzer> <reason>",
+		})
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}

@@ -1,0 +1,223 @@
+package lintkit
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Main is the entry point shared by every driver binary (cmd/longtailvet).
+// It speaks two protocols:
+//
+//   - Standalone: `longtailvet [flags] ./...` loads the matched packages
+//     via `go list -export` and prints findings in vet format. Exit code
+//     2 means findings, 1 means an internal error, 0 means clean.
+//
+//   - Vettool: when cmd/go drives it via `go vet -vettool=$(which
+//     longtailvet)`, the binary is invoked with -flags (describe flags as
+//     JSON), -V=full (print a version line incorporating the binary's own
+//     content hash, so vet's result cache invalidates when the analyzers
+//     change), and finally once per package with a JSON config file
+//     argument (*.cfg) listing sources and export data. Dependencies
+//     arrive with VetxOnly=true and are skipped after writing the
+//     (empty) facts file cmd/go expects — the suite needs no
+//     cross-package facts.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (vettool protocol)")
+	version := fs.String("V", "", "print version and exit (-V=full, vettool protocol)")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON instead of vet text")
+	for _, a := range analyzers {
+		for _, f := range a.Flags {
+			fs.StringVar(&f.Value, f.Name, f.Value, f.Usage)
+		}
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] <packages>   (standalone)\n", progname)
+		fmt.Fprintf(os.Stderr, "       go vet -vettool=$(which %s) <packages>\n\n", progname)
+		fmt.Fprintf(os.Stderr, "analyzers:\n")
+		for _, a := range analyzers {
+			doc := a.Doc
+			if i := strings.IndexByte(doc, '\n'); i >= 0 {
+				doc = doc[:i]
+			}
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, doc)
+		}
+		fmt.Fprintf(os.Stderr, "\nflags:\n")
+		fs.PrintDefaults()
+	}
+	fs.Parse(os.Args[1:])
+
+	switch {
+	case *printFlags:
+		describeFlags(analyzers)
+		os.Exit(0)
+	case *version != "":
+		// The line format cmd/go's buildid parser accepts; the content
+		// hash makes vet's action cache sensitive to analyzer changes.
+		fmt.Printf("%s version devel comments-go-here buildID=%s\n", progname, selfHash())
+		os.Exit(0)
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vettoolRun(args[0], analyzers, *jsonOut))
+	}
+	if len(args) == 0 {
+		args = []string{"."}
+	}
+	os.Exit(standaloneRun(args, analyzers, *jsonOut))
+}
+
+// describeFlags prints the JSON flag description cmd/go requests with
+// -flags before relaying user flags to the tool.
+func describeFlags(analyzers []*Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	for _, a := range analyzers {
+		for _, f := range a.Flags {
+			out = append(out, jsonFlag{Name: f.Name, Usage: f.Usage})
+		}
+	}
+	data, _ := json.Marshal(out)
+	fmt.Println(string(data))
+}
+
+// selfHash hashes the executable so the version line (vet's cache key)
+// changes whenever the analyzers are rebuilt.
+func selfHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:40]
+}
+
+// emit prints findings and returns the process exit code.
+func emit(diags []Diagnostic, jsonOut bool) int {
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		enc.Encode(diags)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// standaloneRun is the `longtailvet ./...` path.
+func standaloneRun(patterns []string, analyzers []*Analyzer, jsonOut bool) int {
+	pkgs, err := Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var diags []Diagnostic
+	for _, lp := range pkgs {
+		ds, err := Run(lp, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		diags = append(diags, ds...)
+	}
+	SortDiagnostics(diags)
+	return emit(diags, jsonOut)
+}
+
+// vetConfig mirrors the JSON config cmd/go writes for vet tools (the
+// unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vettoolRun analyzes one package as directed by a vet config file.
+func vettoolRun(cfgPath string, analyzers []*Analyzer, jsonOut bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "longtailvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// cmd/go requires the facts file to exist even though this suite
+	// records no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		// A dependency: facts-only invocation, nothing to analyze.
+		return 0
+	}
+	fset := token.NewFileSet()
+	compilerImp := exportDataImporter(fset, func(path string) (string, bool) {
+		f, ok := cfg.PackageFile[path]
+		return f, ok
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		return compilerImp.Import(path)
+	})
+	lp, err := TypeCheck(cfg.ID, fset, cfg.GoFiles, imp, cfg.GoVersion)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	diags, err := Run(lp, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return emit(diags, jsonOut)
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

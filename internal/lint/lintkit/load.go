@@ -1,0 +1,174 @@
+package lintkit
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+)
+
+// LoadedPackage is one type-checked package ready for analysis.
+type LoadedPackage struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns with `go list -export -deps` run in dir and
+// type-checks every directly matched (non-dependency) package from
+// source. Imports resolve through the compiler export data the go
+// command reports, so loading is exact, offline, and as fast as a
+// regular build — dependencies are never re-type-checked from source.
+func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lintkit: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.Bytes())
+	}
+	exports := make(map[string]string)
+	var targets []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lintkit: decode go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lintkit: go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly {
+			pkg := p
+			targets = append(targets, &pkg)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := exportDataImporter(fset, func(path string) (string, bool) {
+		f, ok := exports[path]
+		return f, ok
+	})
+	var loaded []*LoadedPackage
+	for _, p := range targets {
+		files := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			files[i] = joinDir(p.Dir, f)
+		}
+		lp, err := TypeCheck(p.ImportPath, fset, files, imp, runtime.Version())
+		if err != nil {
+			return nil, err
+		}
+		loaded = append(loaded, lp)
+	}
+	return loaded, nil
+}
+
+func joinDir(dir, file string) string {
+	if dir == "" || strings.HasPrefix(file, "/") || strings.HasPrefix(file, "\\") {
+		return file
+	}
+	return dir + string(os.PathSeparator) + file
+}
+
+// exportDataImporter builds a types.Importer that resolves import
+// paths to compiler export data files via resolve. The gc importer
+// handles the archive/raw framing and caches packages internally.
+func exportDataImporter(fset *token.FileSet, resolve func(path string) (string, bool)) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := resolve(path)
+		if !ok {
+			return nil, fmt.Errorf("lintkit: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+// TypeCheck parses and type-checks one package from its source files.
+// goVersion is the language version handed to go/types (e.g. from the
+// vet config or runtime.Version()).
+func TypeCheck(path string, fset *token.FileSet, filenames []string, imp types.Importer, goVersion string) (*LoadedPackage, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lintkit: parse: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: langVersion(goVersion),
+		// Analyzers only need a well-typed view of the code that exists;
+		// soft errors (e.g. unused variables in fixtures) must not block
+		// analysis, matching vet's tolerance.
+		Error: func(error) {},
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lintkit: typecheck %s: %w", path, err)
+	}
+	return &LoadedPackage{Path: path, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// langVersion normalizes a toolchain version ("go1.24.0", "devel ...")
+// to the "go1.N" language version go/types accepts, or "" when it
+// cannot tell (meaning "latest").
+func langVersion(v string) string {
+	if !strings.HasPrefix(v, "go1.") {
+		return ""
+	}
+	rest := v[len("go1."):]
+	for i := 0; i < len(rest); i++ {
+		if rest[i] < '0' || rest[i] > '9' {
+			rest = rest[:i]
+			break
+		}
+	}
+	if rest == "" {
+		return ""
+	}
+	return "go1." + rest
+}

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint/lintkit"
+)
+
+// Lockguard checks `// guarded by <mu>` field annotations: every access
+// to an annotated field from a method of the owning struct must happen
+// with the named mutex held. "Held" is established conservatively and
+// lexically, the way the repo's code is actually written:
+//
+//   - the method calls <recv>.<mu>.Lock() or <recv>.<mu>.RLock() at a
+//     position before the access (defer <recv>.<mu>.Unlock() keeps it
+//     held for the rest of the body), or
+//   - the method's name ends in "Locked" — the repo's convention for
+//     "caller holds the lock" helpers (e.g. storeResultLocked,
+//     rotateLocked), or
+//   - the access is explicitly annotated //lint:allow lockguard <why>.
+//
+// This is precisely the analysis that would have caught the PR 3
+// compaction bug, where a snapshot of guarded ledger state was captured
+// before the journal's write lock was taken: the guarded reads preceded
+// the Lock() call, which is exactly the pattern flagged here.
+//
+// The check is flow-insensitive by design — it cannot prove an Unlock
+// happened before the access — so it is a reviewable convention
+// enforcer, not a race detector; `go test -race` remains the dynamic
+// backstop.
+var Lockguard = &lintkit.Analyzer{
+	Name: "lockguard",
+	Doc:  "accesses to fields annotated `// guarded by <mu>` must hold the named lock",
+	Run:  runLockguard,
+}
+
+var guardedByRE = regexp.MustCompile(`(?i)\bguarded by ([A-Za-z_][A-Za-z0-9_]*)\b`)
+
+// guardedField records one annotation: the field object and the name
+// of the sibling mutex that guards it.
+type guardedField struct {
+	mu string
+}
+
+func runLockguard(pass *lintkit.Pass) error {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if lintkit.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			checkMethodLocks(pass, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// collectGuardedFields scans struct declarations for annotated fields,
+// validating that the named guard is a sibling field with a Lock
+// method (sync.Mutex, sync.RWMutex or compatible).
+func collectGuardedFields(pass *lintkit.Pass) map[types.Object]guardedField {
+	guarded := make(map[types.Object]guardedField)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := make(map[string]bool)
+			for _, fld := range st.Fields.List {
+				for _, name := range fld.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, fld := range st.Fields.List {
+				mu := annotationOf(fld)
+				if mu == "" {
+					continue
+				}
+				if !fieldNames[mu] {
+					pass.Reportf(fld.Pos(), "field is annotated `guarded by %s` but the struct has no field %s", mu, mu)
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						guarded[obj] = guardedField{mu: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// annotationOf extracts the guard name from a field's doc or trailing
+// comment.
+func annotationOf(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkMethodLocks verifies every guarded-field access through the
+// method's receiver.
+func checkMethodLocks(pass *lintkit.Pass, fd *ast.FuncDecl, guarded map[types.Object]guardedField) {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return // convention: caller holds the lock
+	}
+	recvObj := receiverObject(pass, fd)
+	if recvObj == nil {
+		return
+	}
+	// First pass: where does this method acquire each mutex?
+	lockPos := make(map[string][]token.Pos) // mutex field name -> Lock()/RLock() call positions
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := ast.Unparen(inner.X).(*ast.Ident)
+		if !ok || pass.Info.Uses[base] != recvObj {
+			return true
+		}
+		lockPos[inner.Sel.Name] = append(lockPos[inner.Sel.Name], call.Pos())
+		return true
+	})
+	// Second pass: every receiver-rooted access to a guarded field must
+	// be preceded by a Lock of its mutex.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || pass.Info.Uses[base] != recvObj {
+			return true
+		}
+		fieldObj := pass.Info.Uses[sel.Sel]
+		g, ok := guarded[fieldObj]
+		if !ok {
+			return true
+		}
+		if !lockedBefore(lockPos[g.mu], sel.Pos()) {
+			pass.Reportf(sel.Pos(), "%s.%s is guarded by %s but %s accesses it without %s.%s.Lock() held before this point (suffix the method name with Locked if the caller holds it)",
+				base.Name, sel.Sel.Name, g.mu, fd.Name.Name, base.Name, g.mu)
+		}
+		return true
+	})
+}
+
+// receiverObject resolves the method's receiver variable.
+func receiverObject(pass *lintkit.Pass, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	return pass.Info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// lockedBefore reports whether any lock acquisition precedes pos.
+func lockedBefore(locks []token.Pos, pos token.Pos) bool {
+	for _, l := range locks {
+		if l < pos {
+			return true
+		}
+	}
+	return false
+}

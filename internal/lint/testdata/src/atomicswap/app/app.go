@@ -1,0 +1,39 @@
+// Package app is the atomicswap fixture: the hot-swapped rule-set
+// pointer (and every other sync/atomic field) may only be the receiver
+// of its own methods.
+package app
+
+import "sync/atomic"
+
+type rules struct{ gen uint64 }
+
+type engine struct {
+	rules    atomic.Pointer[rules]
+	inflight atomic.Int64
+}
+
+// Good: method-receiver uses.
+func (e *engine) swap(next *rules) *rules {
+	e.inflight.Add(1)
+	old := e.rules.Swap(next)
+	e.inflight.Add(-1)
+	return old
+}
+
+// Good: loads on the hot path.
+func (e *engine) current() *rules {
+	return e.rules.Load()
+}
+
+// Bad: copying the atomic forks its state — later Stores through e are
+// invisible to readers of the copy.
+func (e *engine) fork() *rules {
+	snapshot := e.rules // want `atomic.Pointer field rules may only be the receiver of its own methods`
+	return snapshot.Load()
+}
+
+// Bad: handing out the address invites non-atomic access patterns the
+// engine can no longer see.
+func (e *engine) leak() *atomic.Int64 {
+	return &e.inflight // want `atomic.Int64 field inflight may only be the receiver of its own methods`
+}

@@ -1,0 +1,14 @@
+// Package clean is the determinism scope-check fixture: its base name
+// is not in -determinism.pkgs, so the same wall-clock and global-PRNG
+// patterns that light up the synth fixture must produce no findings
+// here (the daemon and serving layer legitimately read the clock).
+package clean
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stamp() int64 { return time.Now().Unix() }
+
+func pick(n int) int { return rand.Intn(n) }

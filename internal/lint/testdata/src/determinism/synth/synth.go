@@ -1,0 +1,57 @@
+// Package synth is a determinism-analyzer fixture: its package base
+// name places it inside the deterministic core, so wall-clock reads,
+// global PRNG use and map-ordered serialization must all be flagged.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Timestamps must come from the trace clock, not the wall clock.
+func stamp() int64 {
+	return time.Now().Unix() // want `time.Now breaks seed-determinism`
+}
+
+// The global PRNG shares process state; a seeded *rand.Rand is fine.
+func pick(n int) int {
+	return rand.Intn(n) // want `global math/rand.Intn uses shared process state`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand.Shuffle uses shared process state`
+}
+
+// Seeded sources are the sanctioned pattern and must not be flagged.
+func seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// Serializing while ranging over a map emits bytes in randomized order.
+func emitUnsorted(w *strings.Builder, m map[string]int) {
+	for k, v := range m { // want `ranging over a map while calling WriteString`
+		w.WriteString(fmt.Sprintf("%s=%d\n", k, v))
+	}
+}
+
+// Collect-sort-emit is the sanctioned pattern and must not be flagged.
+func emitSorted(w *strings.Builder, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// An explicit exemption silences the analyzer and documents why.
+func wallClockAllowed() int64 {
+	//lint:allow determinism the daemon's metrics timestamp is intentionally wall-clock
+	return time.Now().Unix()
+}

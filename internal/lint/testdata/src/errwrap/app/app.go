@@ -1,0 +1,52 @@
+// Package app is the errwrap fixture: %v-wrapped errors and == sentinel
+// comparisons.
+package app
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrOverloaded = errors.New("queue full")
+
+// Bad: %v flattens the chain — retry.Do can no longer classify the
+// cause with errors.Is.
+func wrapV(err error) error {
+	return fmt.Errorf("accept failed: %v", err) // want `error formatted with %v loses the error chain`
+}
+
+// Bad: %s is the same flattening with different clothes.
+func wrapS(err error) error {
+	return fmt.Errorf("accept %s failed: %s", "x", err) // want `error formatted with %s loses the error chain`
+}
+
+// Good: %w keeps the chain inspectable.
+func wrapW(err error) error {
+	return fmt.Errorf("accept failed: %w", err)
+}
+
+// Good: non-error arguments may use any verb.
+func describe(n int, name string) error {
+	return fmt.Errorf("bad shard %d (%s)", n, name)
+}
+
+// Bad: == stops matching as soon as anyone wraps the sentinel.
+func isOverloadedEq(err error) bool {
+	return err == ErrOverloaded // want `comparing an error to sentinel ErrOverloaded with ==`
+}
+
+// Bad: != has the same problem, and io.EOF is still a sentinel.
+func isNotEOF(err error) bool {
+	return err != io.EOF // want `comparing an error to sentinel io.EOF with !=`
+}
+
+// Good: errors.Is sees through wrapping.
+func isOverloaded(err error) bool {
+	return errors.Is(err, ErrOverloaded)
+}
+
+// Good: nil checks are not sentinel comparisons.
+func failed(err error) bool {
+	return err != nil
+}

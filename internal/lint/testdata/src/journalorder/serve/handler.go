@@ -1,0 +1,53 @@
+// Package serve is the journalorder fixture: response bytes (or
+// verdict channel sends) must never precede the batch's journal accept
+// in the same function.
+package serve
+
+import "net/http"
+
+type VerdictRecord struct {
+	File    string
+	Verdict string
+}
+
+type ledger struct{}
+
+func (l *ledger) Accept(id string, body []byte) error   { return nil }
+func (l *ledger) AppendAsync(kind byte, b []byte) error { return nil }
+
+// Good: journal first, respond second — the durable handshake.
+func handleGood(w http.ResponseWriter, l *ledger, id string, body []byte) {
+	if err := l.Accept(id, body); err != nil {
+		http.Error(w, "journal unavailable", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// Bad: the 200 escapes before the batch is durable; a crash between
+// the two acknowledges a batch the ledger never heard of.
+func handleBad(w http.ResponseWriter, l *ledger, id string, body []byte) {
+	w.WriteHeader(http.StatusOK) // want `http response WriteHeader happens before the batch's journal accept`
+	w.Write(body)                // want `http response Write happens before the batch's journal accept`
+	l.Accept(id, body)
+}
+
+// Bad: a verdict escaping on a channel before the journal accept is
+// the same lost-batch window in the worker-pool shape.
+func pipelineBad(out chan VerdictRecord, l *ledger, id string, body []byte) {
+	out <- VerdictRecord{File: id} // want `verdict channel send happens before the batch's journal accept`
+	l.AppendAsync(1, body)
+}
+
+// Fine: a pure responder never journals, so ordering does not apply
+// (rejection paths respond without accepting).
+func reject(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusBadRequest)
+	w.Write([]byte("malformed"))
+}
+
+// Fine: a pure journaling helper writes no response.
+func persist(l *ledger, id string, body []byte) error {
+	return l.Accept(id, body)
+}

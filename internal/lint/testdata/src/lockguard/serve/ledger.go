@@ -1,0 +1,84 @@
+// Package serve is the lockguard fixture. The bad cases mirror real
+// bugs this analyzer exists to catch — most importantly the PR 3
+// compaction bug, where a snapshot of guarded state was captured
+// BEFORE the write lock was taken, so a concurrent append could land
+// in a segment the compaction was about to delete.
+package serve
+
+import "sync"
+
+type ledger struct {
+	mu sync.Mutex
+	// guarded by mu
+	pending map[string][]byte
+	results map[string][]byte // guarded by mu
+	order   []string          // guarded by bogus // want `the struct has no field bogus`
+
+	statsMu sync.RWMutex
+	// counts is guarded by statsMu.
+	counts map[string]int
+}
+
+// Good: lock taken before every guarded access.
+func (l *ledger) accept(id string, body []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pending[id] = body
+}
+
+// Good: RLock counts as holding the guard.
+func (l *ledger) count(id string) int {
+	l.statsMu.RLock()
+	defer l.statsMu.RUnlock()
+	return l.counts[id]
+}
+
+// Good: the Locked suffix promises the caller holds mu.
+func (l *ledger) storeLocked(id string, body []byte) {
+	l.results[id] = body
+}
+
+// Bad: no lock anywhere in the method.
+func (l *ledger) lookupRacy(id string) []byte {
+	return l.results[id] // want `results is guarded by mu`
+}
+
+// Bad — the PR 3 compaction shape: the guarded state is captured into
+// a snapshot BEFORE the lock is taken, so the capture races with
+// concurrent writers even though the method does lock later.
+func (l *ledger) compactRacy() map[string][]byte {
+	snapshot := make(map[string][]byte, len(l.pending)) // want `pending is guarded by mu`
+	for id, body := range l.pending {                   // want `pending is guarded by mu`
+		snapshot[id] = body
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pending = map[string][]byte{}
+	return snapshot
+}
+
+// Good — the fixed compaction shape: capture under the lock.
+func (l *ledger) compactSafe() map[string][]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	snapshot := make(map[string][]byte, len(l.pending))
+	for id, body := range l.pending {
+		snapshot[id] = body
+	}
+	l.pending = map[string][]byte{}
+	return snapshot
+}
+
+// Bad: locking the WRONG mutex does not guard mu-protected state.
+func (l *ledger) wrongLock(id string) []byte {
+	l.statsMu.RLock()
+	defer l.statsMu.RUnlock()
+	return l.pending[id] // want `pending is guarded by mu`
+}
+
+// Allowed: an annotated single-goroutine accessor documents why the
+// lock is unnecessary.
+func (l *ledger) bootstrap() int {
+	//lint:allow lockguard constructor-time access before the ledger is shared
+	return len(l.results)
+}

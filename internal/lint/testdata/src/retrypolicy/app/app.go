@@ -1,0 +1,46 @@
+// Package app is the retrypolicy fixture: a non-exempt package that
+// hand-rolls retry loops and HTTP clients.
+package app
+
+import (
+	"net/http"
+	"time"
+)
+
+// Bad: the canonical hand-rolled retry loop.
+func fetchRetry(do func() error) error {
+	var err error
+	for i := 0; i < 5; i++ {
+		if err = do(); err == nil {
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond) // want `time.Sleep inside a loop is a hand-rolled retry/poll loop`
+	}
+	return err
+}
+
+// Bad: polling with sleep in a range loop.
+func pollAll(checks []func() bool) {
+	for _, check := range checks {
+		for !check() {
+			time.Sleep(time.Second) // want `time.Sleep inside a loop is a hand-rolled retry/poll loop`
+		}
+	}
+}
+
+// Fine: a single delay outside any loop is not a retry loop.
+func settle() {
+	time.Sleep(10 * time.Millisecond)
+}
+
+// Bad: raw client construction bypasses the faults/retry decoration
+// point.
+func rawClient() *http.Client {
+	return &http.Client{Timeout: time.Second} // want `raw http.Client construction`
+}
+
+// Allowed: a documented exception.
+func chaosClient() *http.Client {
+	//lint:allow retrypolicy fault-injection transport must be constructed raw
+	return &http.Client{}
+}

@@ -1,0 +1,22 @@
+// Package retry is the retrypolicy scope fixture: the exempt package
+// that implements the policy is allowed to sleep in loops and build
+// clients, so nothing here may be flagged.
+package retry
+
+import (
+	"net/http"
+	"time"
+)
+
+func backoff(do func() error) error {
+	var err error
+	for i := 0; i < 3; i++ {
+		if err = do(); err == nil {
+			return nil
+		}
+		time.Sleep(time.Duration(i) * time.Millisecond)
+	}
+	return err
+}
+
+func client() *http.Client { return &http.Client{} }

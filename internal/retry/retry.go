@@ -146,7 +146,7 @@ func Do(ctx context.Context, p Policy, op func(ctx context.Context) error) error
 			return fmt.Errorf("retry: %d attempts exhausted: %w", attempt, err)
 		}
 		if p.MaxElapsed > 0 && now().Sub(start) >= p.MaxElapsed {
-			return fmt.Errorf("%w after %d attempts: %v", ErrBudgetExhausted, attempt, err)
+			return fmt.Errorf("%w after %d attempts: %w", ErrBudgetExhausted, attempt, err)
 		}
 		if p.OnRetry != nil {
 			p.OnRetry(attempt, err)

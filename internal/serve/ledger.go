@@ -43,15 +43,16 @@ type Ledger struct {
 	j *journal.Journal
 
 	mu      sync.Mutex
-	pending map[string][]dataset.DownloadEvent
-	// results maps request ID -> the exact response body served for it
+	pending map[string][]dataset.DownloadEvent // guarded by mu
+	// results maps request ID -> the exact response body served for it;
+	// guarded by mu.
 	// (verdict lines, '\n'-terminated). Storing the batch as one opaque
 	// byte blob instead of parsed records keeps the dedup state nearly
 	// invisible to the garbage collector — a long-lived daemon holds one
 	// pointer per batch, not one per verdict field — and makes
 	// retransmit replies byte-identical by construction.
 	results map[string][]byte
-	// order lists result IDs oldest-completed first — the eviction queue
+	// order lists result IDs oldest-completed first (guarded by mu) — the eviction queue
 	// bounding results at maxResults entries, so a long-running daemon's
 	// dedup state (and every compaction snapshot) stays O(retransmit
 	// window), not O(total request history).

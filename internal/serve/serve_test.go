@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -206,7 +207,7 @@ func TestEngineMatchesOffline(t *testing.T) {
 func TestEngineBackpressure(t *testing.T) {
 	f := sharedFixture(t)
 	engine := newTestEngine(t, f, EngineConfig{Shards: 2, QueueSize: 8})
-	if _, err := engine.ClassifyBatch(context.Background(), f.replay[:9]); err != ErrOverloaded {
+	if _, err := engine.ClassifyBatch(context.Background(), f.replay[:9]); !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("oversized batch error = %v, want ErrOverloaded", err)
 	}
 	if engine.QueueDepth() != 0 {
@@ -252,7 +253,7 @@ func TestEngineDrain(t *testing.T) {
 			}
 		}
 	}
-	if _, err := engine.ClassifyBatch(context.Background(), f.replay[:1]); err != ErrDraining {
+	if _, err := engine.ClassifyBatch(context.Background(), f.replay[:1]); !errors.Is(err, ErrDraining) {
 		t.Fatalf("post-drain error = %v, want ErrDraining", err)
 	}
 }

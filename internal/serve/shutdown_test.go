@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -183,7 +184,7 @@ func TestDeadlineShedAtAdmission(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	before := engine.Metrics().ShedExpired.Load()
-	if _, err := engine.ClassifyBatch(ctx, f.replay[:5]); err != ErrDeadlineExceeded {
+	if _, err := engine.ClassifyBatch(ctx, f.replay[:5]); !errors.Is(err, ErrDeadlineExceeded) {
 		t.Fatalf("expired-at-admission batch returned %v, want ErrDeadlineExceeded", err)
 	}
 	if got := engine.Metrics().ShedExpired.Load() - before; got != 5 {
