@@ -9,7 +9,7 @@ GO ?= go
 LONGTAILVET ?= bin/longtailvet
 
 .PHONY: verify verify-fast build vet test fmtcheck lint longtailvet \
-	staticcheck govulncheck bench chaos-serve fuzz-smoke
+	staticcheck govulncheck bench bench-json chaos-serve fuzz-smoke
 
 verify: verify-fast fuzz-smoke
 
@@ -75,3 +75,16 @@ chaos-serve:
 # ablations and the serving-throughput benches).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Serving hot-path benchmarks (rule-index match + the two end-to-end
+# throughput benches) rendered to a machine-readable artifact. The text
+# output lands in BENCH_serve.txt first so a bench failure fails the
+# target before benchjson runs; benchjson itself refuses to emit an
+# empty document.
+bench-json:
+	$(GO) test -run '^$$' \
+		-bench '^Benchmark(RuleMatch|ServeThroughput|ServeThroughputJournaled)$$' \
+		-benchmem . > BENCH_serve.txt
+	cat BENCH_serve.txt
+	$(GO) run ./cmd/benchjson -o BENCH_serve.json BENCH_serve.txt
+	@echo "wrote BENCH_serve.json"

@@ -11,12 +11,14 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"net/http/httptest"
 	"os"
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/analysis"
@@ -443,9 +445,95 @@ func BenchmarkPARTTraining(b *testing.B) {
 	b.ReportMetric(float64(len(train)), "instances")
 }
 
+// BenchmarkRuleMatch isolates rule matching: the compiled pivot index
+// (hash-map equality buckets + sorted-threshold binary search) against
+// the linear reference scan, on the trained month-1 rule set over
+// month-2 instances. allocs/op is the headline — the indexed path must
+// not allocate per miss beyond the matched-rule slice.
+func BenchmarkRuleMatch(b *testing.B) {
+	p := sharedPipeline(b)
+	months := p.Store.Months()
+	ex, err := features.NewExtractor(p.Store, p.Result.Oracle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, err := ex.Instances(p.Store.EventIndexesInMonth(months[0]))
+	if err != nil {
+		b.Fatal(err)
+	}
+	test, err := ex.Instances(p.Store.EventIndexesInMonth(months[1]))
+	if err != nil {
+		b.Fatal(err)
+	}
+	clf, err := classify.Train(train, 0.001, classify.Reject)
+	if err != nil {
+		b.Fatal(err)
+	}
+	linear := &classify.Classifier{Rules: clf.Rules, Policy: classify.Reject}
+	for _, tc := range []struct {
+		name string
+		clf  *classify.Classifier
+	}{{"indexed", clf}, {"linear", linear}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			matched := 0
+			for i := 0; i < b.N; i++ {
+				v, _ := tc.clf.ClassifyOne(&test[i%len(test)])
+				if v != classify.VerdictNone {
+					matched++
+				}
+			}
+			b.ReportMetric(float64(len(clf.Rules)), "rules")
+		})
+	}
+}
+
+// serveBenchStreams is the client concurrency both serve benchmarks
+// drive: throughput is a capacity metric, and a daemon serves multiple
+// uplinks (loadgen's worker pool is the reference client). For the
+// journaled variant the concurrency is load-bearing: one synchronous
+// stream serializes every group-committed fsync behind its own batch's
+// classification, measuring commit latency instead of throughput,
+// while concurrent streams overlap one stream's fsync wait with
+// another's classification and share fsyncs through the journal's
+// group commit.
+const serveBenchStreams = 4
+
+// driveServeBench replays month-2 batches through serveBenchStreams
+// concurrent clients against the given server URL, returning total
+// verdicts received.
+func driveServeBench(b *testing.B, url string, replay []dataset.DownloadEvent, batch int) int {
+	ctx := context.Background()
+	var sent atomic.Int64
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for s := 0; s < serveBenchStreams; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			client := &serve.Client{BaseURL: url, RequestIDPrefix: fmt.Sprintf("w%d", s)}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= b.N {
+					return
+				}
+				lo := (i * batch) % (len(replay) - batch + 1)
+				verdicts, err := client.Classify(ctx, replay[lo:lo+batch])
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				sent.Add(int64(len(verdicts)))
+			}
+		}(s)
+	}
+	wg.Wait()
+	return int(sent.Load())
+}
+
 // BenchmarkServeThroughput measures the online serving subsystem end to
 // end: an in-process longtaild (HTTP server over the sharded engine)
-// driven by a loadgen-style client replaying month-2 events in batches.
+// driven by loadgen-style clients replaying month-2 events in batches.
 // The custom metric is sustained verdicts per second through the full
 // wire path (line-JSON encode, HTTP, queue, extract, classify, line-JSON
 // decode).
@@ -477,7 +565,6 @@ func BenchmarkServeThroughput(b *testing.B) {
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	client := &serve.Client{BaseURL: ts.URL}
 
 	events := p.Store.Events()
 	var replay []dataset.DownloadEvent
@@ -488,17 +575,9 @@ func BenchmarkServeThroughput(b *testing.B) {
 	if len(replay) < batch {
 		b.Fatalf("only %d replay events; need %d", len(replay), batch)
 	}
-	ctx := context.Background()
-	sent := 0
+	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		lo := (i * batch) % (len(replay) - batch + 1)
-		verdicts, err := client.Classify(ctx, replay[lo:lo+batch])
-		if err != nil {
-			b.Fatal(err)
-		}
-		sent += len(verdicts)
-	}
+	sent := driveServeBench(b, ts.URL, replay, batch)
 	b.StopTimer()
 	b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "events/sec")
 }
@@ -544,7 +623,6 @@ func BenchmarkServeThroughputJournaled(b *testing.B) {
 	defer srv.Close()
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
-	client := &serve.Client{BaseURL: ts.URL}
 
 	events := p.Store.Events()
 	var replay []dataset.DownloadEvent
@@ -555,17 +633,9 @@ func BenchmarkServeThroughputJournaled(b *testing.B) {
 	if len(replay) < batch {
 		b.Fatalf("only %d replay events; need %d", len(replay), batch)
 	}
-	ctx := context.Background()
-	sent := 0
+	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		lo := (i * batch) % (len(replay) - batch + 1)
-		verdicts, err := client.Classify(ctx, replay[lo:lo+batch])
-		if err != nil {
-			b.Fatal(err)
-		}
-		sent += len(verdicts)
-	}
+	sent := driveServeBench(b, ts.URL, replay, batch)
 	b.StopTimer()
 	b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "events/sec")
 	js := ledger.Stats()

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRuleMatch/indexed 	 4105786	       292.7 ns/op	       0 B/op	       0 allocs/op
+BenchmarkServeThroughput          	    1200	    808565 ns/op	    316610 events/sec	  462176 B/op	     195 allocs/op
+BenchmarkServeThroughputJournaled 	    1200	   1653540 ns/op	         2.000 compactions	    154819 events/sec	       915.0 fsyncs	  516720 B/op	     198 allocs/op
+PASS
+ok  	repro	4.198s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" || rep.Goos != "linux" || rep.Pkg != "repro" {
+		t.Fatalf("header mismatch: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	rm := rep.Benchmarks[0]
+	if rm.Name != "BenchmarkRuleMatch/indexed" || rm.Iterations != 4105786 {
+		t.Fatalf("rule match line: %+v", rm)
+	}
+	if rm.Metrics["ns/op"] != 292.7 || rm.Metrics["allocs/op"] != 0 {
+		t.Fatalf("rule match metrics: %+v", rm.Metrics)
+	}
+	j := rep.Benchmarks[2]
+	if j.Metrics["events/sec"] != 154819 || j.Metrics["fsyncs"] != 915 || j.Metrics["compactions"] != 2 {
+		t.Fatalf("journaled metrics: %+v", j.Metrics)
+	}
+}
+
+func TestRunRoundTrips(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("round trip lost benchmarks: %+v", rep)
+	}
+}
+
+func TestRunRejectsEmpty(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader("PASS\nok x 1s\n"), &out); err == nil {
+		t.Fatal("want error on input with no benchmark lines")
+	}
+}

@@ -13,7 +13,7 @@
 //
 //	longtaild [-addr :8787] [-dataset dataset.jsonl] [-rules rules.json]
 //	          [-journal-dir DIR] [-seed N] [-scale F] [-tau F]
-//	          [-shards N] [-queue N]
+//	          [-shards N] [-queue N] [-pprof localhost:6060]
 //
 // With -journal-dir the daemon keeps a write-ahead journal of accepted
 // /classify batches: every batch is fsynced before it is acknowledged,
@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // -pprof side listener (DefaultServeMux only)
 	"os"
 	"os/signal"
 	"syscall"
@@ -111,7 +112,21 @@ func run() error {
 	journalDir := flag.String("journal-dir", "", "write-ahead journal directory (empty: serve stateless)")
 	retention := flag.Int("result-retention", 0, "completed batches kept for retransmit dedup (0: default 65536, negative: unbounded)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty: off)")
 	flag.Parse()
+
+	// Profiling stays off the serving listener: the debug endpoints are
+	// unauthenticated and hold goroutines for seconds, so they get their
+	// own (typically loopback-only) listener, opted in per run.
+	if *pprofAddr != "" {
+		go func() {
+			// net/http/pprof registers on http.DefaultServeMux.
+			log.Printf("longtaild: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("longtaild: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	store, oracle, err := loadContext(*datasetPath, *seed, *scale)
 	if err != nil {

@@ -109,9 +109,17 @@ type Classifier struct {
 	// AllRules is the full decision list PART produced.
 	AllRules []part.Rule
 	// Rules is the tau-filtered subset actually used for classification.
+	// Treated as immutable once the classifier is built: the compiled
+	// index below is derived from it.
 	Rules  []part.Rule
 	Tau    float64
 	Policy ConflictPolicy
+
+	// index is the compiled pivot index Train/NewFromRules build over
+	// Rules (see ruleindex.go). A zero-value Classifier without one
+	// falls back to the linear reference scan, so hand-built classifiers
+	// in tests keep working.
+	index *ruleIndex
 }
 
 // Train learns a classifier from labeled training instances.
@@ -173,13 +181,15 @@ func Train(train []features.Instance, tau float64, policy ConflictPolicy) (*Clas
 			supported = append(supported, r)
 		}
 	}
+	selectedRules := part.SimplifyAll(supported)
 	return &Classifier{
 		AllRules: conditioned,
 		// Selected rules are simplified for the analyst: redundant
 		// numeric bounds collapse, matching behaviour is unchanged.
-		Rules:  part.SimplifyAll(supported),
+		Rules:  selectedRules,
 		Tau:    tau,
 		Policy: policy,
+		index:  buildIndex(selectedRules),
 	}, nil
 }
 
@@ -201,6 +211,7 @@ func NewFromRules(rules []part.Rule, policy ConflictPolicy) (*Classifier, error)
 		AllRules: rules,
 		Rules:    rules,
 		Policy:   policy,
+		index:    buildIndex(rules),
 	}, nil
 }
 
@@ -218,13 +229,29 @@ func (c *Classifier) RuleComposition() (benign, malicious int) {
 }
 
 // matchedRules returns indexes of selected rules matching any of the
-// file's instances.
+// file's instances, through the compiled index when one was built.
 func (c *Classifier) matchedRules(insts []features.Instance) []int {
+	if c.index != nil {
+		return c.index.match(insts)
+	}
+	return c.matchedRulesLinear(insts)
+}
+
+// matchedRulesLinear is the reference matcher: a linear scan of every
+// rule against every instance via the part.Instance conversion. It
+// defines the semantics the compiled index must reproduce exactly (the
+// differential fuzz test holds the two equal) and stays the fallback
+// for classifiers built without an index. Each instance is converted
+// once per call, not once per (rule, instance) pair.
+func (c *Classifier) matchedRulesLinear(insts []features.Instance) []int {
+	pis := make([]part.Instance, len(insts))
+	for i := range insts {
+		pis[i] = toPartInstance(&insts[i])
+	}
 	var out []int
 	for ri := range c.Rules {
-		for ii := range insts {
-			pi := toPartInstance(&insts[ii])
-			if c.Rules[ri].Matches(&pi) {
+		for ii := range pis {
+			if c.Rules[ri].Matches(&pis[ii]) {
 				out = append(out, ri)
 				break
 			}
@@ -237,7 +264,24 @@ func (c *Classifier) matchedRules(insts []features.Instance) []int {
 // It also returns the matching rule indexes for attribution — every
 // label traces back to human-readable rules.
 func (c *Classifier) ClassifyFile(insts []features.Instance) (Verdict, []int) {
-	matched := c.matchedRules(insts)
+	return c.verdictOf(c.matchedRules(insts))
+}
+
+// ClassifyOne classifies a file represented by a single event instance
+// — the serving layer's per-event hot path. Equivalent to ClassifyFile
+// on a one-element slice, without materializing the slice.
+func (c *Classifier) ClassifyOne(in *features.Instance) (Verdict, []int) {
+	var matched []int
+	if c.index != nil {
+		matched = c.index.matchOne(in)
+	} else {
+		matched = c.matchedRulesLinear([]features.Instance{*in})
+	}
+	return c.verdictOf(matched)
+}
+
+// verdictOf applies the conflict policy to a matched-rule set.
+func (c *Classifier) verdictOf(matched []int) (Verdict, []int) {
 	if len(matched) == 0 {
 		return VerdictNone, nil
 	}

@@ -128,6 +128,7 @@ type Journal struct {
 	segBytes  int64      // guarded by mu
 	liveBytes int64      // guarded by mu; bytes appended since the last compaction, across rotations
 	appendSeq uint64     // guarded by mu; records written (not necessarily durable)
+	frameBuf  []byte     // guarded by mu; reusable frame scratch, so steady-state appends allocate nothing
 
 	// syncMu serializes the fsync itself; group commit happens here.
 	// syncStateMu is a separate, never-held-during-IO lock over
@@ -146,9 +147,10 @@ type Journal struct {
 	compactions atomic.Uint64
 	bytes       atomic.Uint64
 
-	closeOnce sync.Once
-	closeErr  error
-	closed    atomic.Bool
+	closeOnce  sync.Once
+	closeErr   error
+	closed     atomic.Bool
+	compacting atomic.Bool // single-flight latch for CompactStaged
 }
 
 // Open recovers whatever a previous process left in opts.Dir and opens
@@ -227,19 +229,35 @@ func encodeFrame(r Record) []byte {
 // write appends one frame to the active segment (rotating first if the
 // segment is full) and returns the record's sequence number.
 func (j *Journal) write(r Record) (uint64, error) {
-	// Enforce the frame bound on the write side too: readFrames treats a
-	// length above maxFrameSize as corruption and stops replaying, so an
-	// oversized record must never be acknowledged as durable — it would
-	// silently take the rest of its segment down with it at recovery.
-	if 1+len(r.Data) > maxFrameSize {
-		return 0, fmt.Errorf("journal: record of %d bytes exceeds frame limit %d", len(r.Data), maxFrameSize-1)
-	}
-	frame := encodeFrame(r)
+	return j.writeFunc(r.Kind, func(dst []byte) []byte { return append(dst, r.Data...) })
+}
+
+// writeFunc is write with the payload rendered by the caller directly
+// into the journal's reusable frame buffer: build appends the payload
+// bytes to dst and returns the extended slice. One copy total — no
+// intermediate payload or frame allocations — which is what keeps the
+// serving hot path's accept records allocation-free. build runs under
+// the journal lock and must not call back into the journal.
+func (j *Journal) writeFunc(kind byte, build func(dst []byte) []byte) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.closed.Load() {
 		return 0, fmt.Errorf("journal: closed")
 	}
+	buf := append(j.frameBuf[:0], 0, 0, 0, 0, 0, 0, 0, 0, kind)
+	buf = build(buf)
+	j.frameBuf = buf[:0] // retain the grown capacity across calls
+	// Enforce the frame bound on the write side too: readFrames treats a
+	// length above maxFrameSize as corruption and stops replaying, so an
+	// oversized record must never be acknowledged as durable — it would
+	// silently take the rest of its segment down with it at recovery.
+	payloadLen := len(buf) - frameHeaderSize
+	if payloadLen > maxFrameSize {
+		return 0, fmt.Errorf("journal: record of %d bytes exceeds frame limit %d", payloadLen-1, maxFrameSize-1)
+	}
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(buf[frameHeaderSize:], castagnoli))
+	frame := buf
 	if j.segBytes > 0 && j.segBytes+int64(len(frame)) > j.opts.segmentBytes() {
 		if err := j.rotateLocked(); err != nil {
 			return 0, err
@@ -312,6 +330,25 @@ func (j *Journal) AppendAsync(kind byte, data []byte) error {
 	return err
 }
 
+// AppendFunc is Append with the payload rendered by build directly into
+// the journal's frame buffer (see writeFunc): durable on return, zero
+// steady-state allocations. build must not call back into the journal.
+func (j *Journal) AppendFunc(kind byte, build func(dst []byte) []byte) error {
+	seq, err := j.writeFunc(kind, build)
+	if err != nil {
+		return err
+	}
+	return j.syncTo(seq)
+}
+
+// AppendAsyncFunc is AppendAsync with the payload rendered by build
+// directly into the journal's frame buffer. Same re-derivability caveat
+// as AppendAsync; build must not call back into the journal.
+func (j *Journal) AppendAsyncFunc(kind byte, build func(dst []byte) []byte) error {
+	_, err := j.writeFunc(kind, build)
+	return err
+}
+
 // Sync forces everything appended so far to durable storage.
 func (j *Journal) Sync() error {
 	j.mu.Lock()
@@ -333,7 +370,7 @@ func (j *Journal) syncTo(seq uint64) error {
 	j.syncStateMu.Lock()
 	f, hi := j.syncSeg, j.syncHi
 	j.syncStateMu.Unlock()
-	if err := f.Sync(); err != nil {
+	if err := datasync(f); err != nil {
 		return fmt.Errorf("journal: sync: %w", err)
 	}
 	j.syncs.Add(1)
@@ -371,33 +408,88 @@ func (j *Journal) Compact(snapshot []byte) error {
 // lands in the fresh segment and survives the deletion. capture must
 // not append to this journal (deadlock); an error from capture aborts
 // the compaction with the journal unchanged.
+//
+// capture runs in full — including serialization — under the write
+// lock. Callers whose state encodes to many megabytes should use
+// CompactStaged instead, which only needs a cheap reference capture
+// under the lock.
 func (j *Journal) CompactFunc(capture func() ([]byte, error)) error {
+	return j.CompactStaged(func() (func() ([]byte, error), error) {
+		snapshot, err := capture()
+		if err != nil {
+			return nil, err
+		}
+		return func() ([]byte, error) { return snapshot, nil }, nil
+	})
+}
+
+// CompactStaged is CompactFunc with the expensive serialization moved
+// off the write lock. stage runs under the journal's write lock and
+// should be cheap — capture references to (immutable) state and return
+// an encode thunk. The journal then seals the active segment, releases
+// the lock, and runs encode with appends flowing: every record stage
+// could observe lives in a sealed segment the snapshot replaces, and
+// every append that lands during encode goes to the fresh segment,
+// which recovery replays on top of the snapshot. Compaction is
+// single-flight: a call that finds one already running returns nil
+// without compacting, since the in-flight snapshot already dominates
+// everything this caller observed.
+func (j *Journal) CompactStaged(stage func() (func() ([]byte, error), error)) error {
+	if !j.compacting.CompareAndSwap(false, true) {
+		return nil
+	}
+	defer j.compacting.Store(false)
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.closed.Load() {
+		j.mu.Unlock()
 		return fmt.Errorf("journal: closed")
 	}
-	snapshot, err := capture()
+	encode, err := stage()
+	if err != nil {
+		j.mu.Unlock()
+		return err
+	}
+	// Seal the active segment so the snapshot strictly dominates every
+	// earlier record, and reset the live-log counter now: from here on
+	// the live log is whatever lands in the fresh segment. (If the
+	// snapshot write below fails, the sealed segments survive with the
+	// counter already reset; the log is briefly under-counted, which
+	// only delays the next trigger.)
+	if err := j.rotateLocked(); err != nil {
+		j.mu.Unlock()
+		return err
+	}
+	snapIdx := j.segIndex
+	covered := snapIdx - 1 // segments <= covered are now redundant
+	j.liveBytes = 0
+	j.mu.Unlock()
+
+	snapshot, err := encode()
 	if err != nil {
 		return err
 	}
 	if 1+len(snapshot) > maxFrameSize {
 		return fmt.Errorf("journal: snapshot of %d bytes exceeds frame limit %d", len(snapshot), maxFrameSize-1)
 	}
-	// Seal the active segment so the snapshot strictly dominates every
-	// earlier record.
-	if err := j.rotateLocked(); err != nil {
-		return err
-	}
-	covered := j.segIndex - 1 // segments <= covered are now redundant
-	path := filepath.Join(j.opts.Dir, snapshotName(j.segIndex))
+	path := filepath.Join(j.opts.Dir, snapshotName(snapIdx))
 	tmp := path + ".tmp"
 	f, err := j.opts.openFile(tmp)
 	if err != nil {
 		return fmt.Errorf("journal: compact: %w", err)
 	}
-	frame := encodeFrame(Record{Kind: 0, Data: snapshot})
-	if _, err := f.Write(frame); err != nil {
+	// Frame the snapshot without materializing header+payload in one
+	// buffer — at tens of megabytes the encodeFrame copy would dwarf
+	// the checksum itself.
+	var hdr [frameHeaderSize + 1]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(1+len(snapshot)))
+	hdr[frameHeaderSize] = 0 // snapshot record kind
+	crc := crc32.Update(crc32.Checksum(hdr[frameHeaderSize:], castagnoli), castagnoli, snapshot)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: compact write: %w", err)
+	}
+	if _, err := f.Write(snapshot); err != nil {
 		f.Close()
 		return fmt.Errorf("journal: compact write: %w", err)
 	}
@@ -412,7 +504,6 @@ func (j *Journal) CompactFunc(capture func() ([]byte, error)) error {
 		return fmt.Errorf("journal: compact rename: %w", err)
 	}
 	j.compactions.Add(1)
-	j.liveBytes = 0
 	// Best-effort cleanup: a crash here leaves redundant-but-harmless
 	// files that the next Compact retries.
 	entries, err := os.ReadDir(j.opts.Dir)
@@ -424,7 +515,7 @@ func (j *Journal) CompactFunc(capture func() ([]byte, error)) error {
 		if n, _ := fmt.Sscanf(e.Name(), "wal-%08d.seg", &idx); n == 1 && idx <= covered {
 			os.Remove(filepath.Join(j.opts.Dir, e.Name()))
 		}
-		if n, _ := fmt.Sscanf(e.Name(), "state-%08d.snap", &idx); n == 1 && idx < j.segIndex {
+		if n, _ := fmt.Sscanf(e.Name(), "state-%08d.snap", &idx); n == 1 && idx < snapIdx {
 			os.Remove(filepath.Join(j.opts.Dir, e.Name()))
 		}
 	}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package journal
+
+// datasync falls back to a full fsync on platforms without a usable
+// fdatasync (see sync_linux.go for the fast path).
+func datasync(f File) error { return f.Sync() }

@@ -36,6 +36,7 @@ var JournalOrder = &lintkit.Analyzer{
 // journalCallNames are the durable-accept entry points.
 var journalCallNames = map[string]bool{
 	"Accept": true, "AcceptWire": true, "Append": true, "AppendAsync": true,
+	"AppendFunc": true, "AppendAsyncFunc": true,
 }
 
 func runJournalOrder(pass *lintkit.Pass) error {

@@ -96,7 +96,7 @@ func (t *Tree) Classify(inst *Instance) (int, bool) {
 	for node != nil && !node.leaf {
 		next := -1
 		for bi := range node.conds {
-			if node.conds[bi].matches(inst) {
+			if node.conds[bi].Matches(inst) {
 				next = bi
 				break
 			}

@@ -21,7 +21,7 @@ type Rule struct {
 // Matches reports whether the rule's conditions all hold for inst.
 func (r *Rule) Matches(inst *Instance) bool {
 	for i := range r.Conditions {
-		if !r.Conditions[i].matches(inst) {
+		if !r.Conditions[i].Matches(inst) {
 			return false
 		}
 	}

@@ -29,8 +29,8 @@ type Condition struct {
 	Threshold float64
 }
 
-// matches reports whether the instance satisfies the condition.
-func (c *Condition) matches(inst *Instance) bool {
+// Matches reports whether the instance satisfies the condition.
+func (c *Condition) Matches(inst *Instance) bool {
 	v := inst.Values[c.AttrIndex]
 	switch c.Op {
 	case OpEquals:

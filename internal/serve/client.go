@@ -1,14 +1,14 @@
 package serve
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
+	"hash/crc32"
 	"io"
 	"net/http"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -61,17 +61,22 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+// idChecksum is the content-hash table for request IDs: CRC-32C runs
+// hardware-accelerated at memory speed, where a byte-at-a-time FNV over
+// a full batch body cost ~100µs of dependent multiplies per request.
+var idChecksum = crc32.MakeTable(crc32.Castagnoli)
+
 // nextRequestID derives a stable per-batch ID: prefix, client-local
-// sequence, and a content hash so the ID is also self-describing in
-// journal dumps.
+// sequence, and a content checksum so the ID is also self-describing in
+// journal dumps. Uniqueness comes from the sequence number; the
+// checksum only ties the ID to the batch bytes for a human reading a
+// journal dump, so a 32-bit CRC is plenty.
 func (c *Client) nextRequestID(body []byte) string {
 	prefix := c.RequestIDPrefix
 	if prefix == "" {
 		prefix = "req"
 	}
-	h := fnv.New64a()
-	h.Write(body)
-	return fmt.Sprintf("%s-%06d-%016x", prefix, c.seq.Add(1), h.Sum64())
+	return fmt.Sprintf("%s-%06d-%08x", prefix, c.seq.Add(1), crc32.Checksum(body, idChecksum))
 }
 
 // post sends body and returns the response body, retrying per policy.
@@ -118,23 +123,33 @@ func (c *Client) post(ctx context.Context, path string, body []byte, requestID s
 	return out, deferred, err
 }
 
-// parseVerdicts decodes a line-JSON verdict stream.
+// parseVerdicts decodes a line-JSON verdict stream. The body converts
+// to one string and canonical lines (the exact shape appendVerdictLine
+// emits) decode by substring slicing; anything else falls back to
+// encoding/json per line.
 func parseVerdicts(data []byte) ([]VerdictRecord, error) {
-	var verdicts []VerdictRecord
-	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(make([]byte, 0, 1<<16), maxEventLine)
-	for sc.Scan() {
-		if len(sc.Bytes()) == 0 {
+	s := string(data)
+	verdicts := make([]VerdictRecord, 0, strings.Count(s, "\n")+1)
+	for len(s) > 0 {
+		line := s
+		if nl := strings.IndexByte(s, '\n'); nl >= 0 {
+			line, s = s[:nl], s[nl+1:]
+		} else {
+			s = ""
+		}
+		line = strings.TrimSuffix(line, "\r")
+		if len(line) == 0 {
+			continue
+		}
+		if v, ok := parseVerdictLine(line); ok {
+			verdicts = append(verdicts, v)
 			continue
 		}
 		var v VerdictRecord
-		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+		if err := json.Unmarshal([]byte(line), &v); err != nil {
 			return nil, fmt.Errorf("serve: verdict line: %w", err)
 		}
 		verdicts = append(verdicts, v)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
 	}
 	return verdicts, nil
 }
@@ -164,16 +179,20 @@ func (c *Client) ClassifyWithID(ctx context.Context, id string, events []dataset
 }
 
 func marshalEvents(events []dataset.DownloadEvent) ([]byte, error) {
-	var body bytes.Buffer
+	size := 0
 	for i := range events {
-		line, err := export.MarshalEventLine(&events[i])
+		size += 128 + len(events[i].File) + len(events[i].Machine) +
+			len(events[i].Process) + len(events[i].URL) + len(events[i].Domain)
+	}
+	body := make([]byte, 0, size)
+	for i := range events {
+		line, err := export.AppendEventLine(body, &events[i])
 		if err != nil {
 			return nil, err
 		}
-		body.Write(line)
-		body.WriteByte('\n')
+		body = append(line, '\n')
 	}
-	return body.Bytes(), nil
+	return body, nil
 }
 
 func (c *Client) classify(ctx context.Context, id string, body []byte, n int) ([]VerdictRecord, error) {

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"strconv"
+	"unicode/utf8"
+
+	"repro/internal/export"
+)
+
+// This file is the verdict-record counterpart of export's fast line
+// codec: appendVerdictLine produces exactly json.Marshal's bytes for a
+// VerdictRecord, and parseVerdictLine inverts canonical lines by
+// slicing substrings instead of copying fields. Both the HTTP response
+// writer and the ledger's journaled response bodies go through
+// appendVerdictLine, so dedup replays stay byte-identical to first
+// responses by construction; encode_test.go holds the fast pair equal
+// to the encoding/json reference differentially.
+
+// appendVerdictLine appends v as one JSON object (no trailing newline),
+// byte-identical to json.Marshal(&v): field order type, file, verdict,
+// gen, then rules and error only when non-empty.
+func appendVerdictLine(dst []byte, v *VerdictRecord) []byte {
+	dst = append(dst, `{"type":`...)
+	dst = export.AppendJSONString(dst, v.Type)
+	dst = append(dst, `,"file":`...)
+	dst = export.AppendJSONString(dst, v.File)
+	dst = append(dst, `,"verdict":`...)
+	dst = export.AppendJSONString(dst, v.Verdict)
+	dst = append(dst, `,"gen":`...)
+	dst = strconv.AppendUint(dst, v.Generation, 10)
+	if len(v.Rules) > 0 {
+		dst = append(dst, `,"rules":[`...)
+		for i, r := range v.Rules {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = strconv.AppendInt(dst, int64(r), 10)
+		}
+		dst = append(dst, ']')
+	}
+	if v.Error != "" {
+		dst = append(dst, `,"error":`...)
+		dst = export.AppendJSONString(dst, v.Error)
+	}
+	return append(dst, '}')
+}
+
+// appendVerdictBody renders the full line-JSON response body for a
+// verdict slice — the one wire form shared by direct responses and the
+// ledger's journaled bodies.
+func appendVerdictBody(dst []byte, verdicts []VerdictRecord) []byte {
+	for i := range verdicts {
+		dst = appendVerdictLine(dst, &verdicts[i])
+		dst = append(dst, '\n')
+	}
+	return dst
+}
+
+// verdictBodySize estimates the rendered size of a verdict body for
+// buffer pre-sizing (generous; exactness doesn't matter).
+func verdictBodySize(verdicts []VerdictRecord) int {
+	n := 0
+	for i := range verdicts {
+		n += 64 + len(verdicts[i].File) + len(verdicts[i].Error) + 8*len(verdicts[i].Rules)
+	}
+	return n
+}
+
+// canonicalVerdict maps a verdict string to its canonical constant so
+// parsed records don't retain the response body through tiny substrings.
+func canonicalVerdict(s string) string {
+	switch s {
+	case "none":
+		return "none"
+	case "benign":
+		return "benign"
+	case "malicious":
+		return "malicious"
+	case "rejected":
+		return "rejected"
+	default:
+		return s
+	}
+}
+
+// scanPlain scans an unescaped printable-ASCII JSON string literal
+// opening at s[i]; ok=false sends the caller to the reference decoder.
+func scanPlain(s string, i int) (val string, next int, ok bool) {
+	if i >= len(s) || s[i] != '"' {
+		return "", i, false
+	}
+	i++
+	start := i
+	for i < len(s) {
+		b := s[i]
+		if b == '"' {
+			return s[start:i], i + 1, true
+		}
+		if b == '\\' || b < 0x20 || b >= utf8.RuneSelf {
+			return "", i, false
+		}
+		i++
+	}
+	return "", i, false
+}
+
+func verdictLit(s string, i int, lit string) (int, bool) {
+	if len(s)-i < len(lit) || s[i:i+len(lit)] != lit {
+		return i, false
+	}
+	return i + len(lit), true
+}
+
+// scanUint scans a decimal uint64 at s[i], rejecting the leading zeros
+// JSON forbids (and the canonical encoder never emits).
+func scanUint(s string, i int) (uint64, int, bool) {
+	start := i
+	var n uint64
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		d := uint64(s[i] - '0')
+		if n > (^uint64(0)-d)/10 {
+			return 0, i, false
+		}
+		n = n*10 + d
+		i++
+	}
+	if i == start || (s[start] == '0' && i-start > 1) {
+		return 0, i, false
+	}
+	return n, i, true
+}
+
+// parseVerdictLine parses one canonical verdict line (the exact shape
+// appendVerdictLine emits). ok=false means the line deviates — the
+// caller falls back to encoding/json, which defines the semantics.
+func parseVerdictLine(line string) (VerdictRecord, bool) {
+	var v VerdictRecord
+	i, ok := verdictLit(line, 0, `{"type":`)
+	if !ok {
+		return v, false
+	}
+	if v.Type, i, ok = scanPlain(line, i); !ok {
+		return v, false
+	}
+	if i, ok = verdictLit(line, i, `,"file":`); !ok {
+		return v, false
+	}
+	if v.File, i, ok = scanPlain(line, i); !ok {
+		return v, false
+	}
+	if i, ok = verdictLit(line, i, `,"verdict":`); !ok {
+		return v, false
+	}
+	var verdict string
+	if verdict, i, ok = scanPlain(line, i); !ok {
+		return v, false
+	}
+	v.Verdict = canonicalVerdict(verdict)
+	if i, ok = verdictLit(line, i, `,"gen":`); !ok {
+		return v, false
+	}
+	if v.Generation, i, ok = scanUint(line, i); !ok {
+		return v, false
+	}
+	if j, hasRules := verdictLit(line, i, `,"rules":[`); hasRules {
+		i = j
+		for {
+			neg := false
+			if i < len(line) && line[i] == '-' {
+				neg = true
+				i++
+			}
+			var u uint64
+			if u, i, ok = scanUint(line, i); !ok || u > 1<<31 {
+				return v, false
+			}
+			r := int(u)
+			if neg {
+				r = -r
+			}
+			v.Rules = append(v.Rules, r)
+			if i < len(line) && line[i] == ',' {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(line) || line[i] != ']' {
+			return v, false
+		}
+		i++
+	}
+	if j, hasErr := verdictLit(line, i, `,"error":`); hasErr {
+		if v.Error, i, ok = scanPlain(line, j); !ok {
+			return v, false
+		}
+	}
+	if i, ok = verdictLit(line, i, "}"); !ok || i != len(line) {
+		return v, false
+	}
+	return v, true
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,44 +70,98 @@ type VerdictRecord struct {
 
 // Key renders the generation-independent part of the record — the part
 // that must match offline classification byte-for-byte regardless of
-// how many hot reloads happened mid-stream.
+// how many hot reloads happened mid-stream. The rendering is pinned to
+// fmt.Sprintf("%s %s %v", File, Verdict, Rules) by TestVerdictKey.
 func (v VerdictRecord) Key() string {
-	return fmt.Sprintf("%s %s %v", v.File, v.Verdict, v.Rules)
+	b := make([]byte, 0, len(v.File)+len(v.Verdict)+4+4*len(v.Rules))
+	b = append(b, v.File...)
+	b = append(b, ' ')
+	b = append(b, v.Verdict...)
+	b = append(b, ' ', '[')
+	for i, r := range v.Rules {
+		if i > 0 {
+			b = append(b, ' ')
+		}
+		b = strconv.AppendInt(b, int64(r), 10)
+	}
+	b = append(b, ']')
+	return string(b)
 }
 
 // ruleGen is one immutable rule-set generation. The engine swaps whole
-// generations atomically; workers load the pointer once per event, so
-// an event classifies under exactly one generation.
+// generations atomically; workers load the pointer once per sub-batch,
+// so an event classifies under exactly one generation.
 type ruleGen struct {
 	clf *classify.Classifier
 	gen uint64
 }
 
-// job carries one event through a shard queue to its response slot.
-// ctx is the admitting request's context: a worker that dequeues a job
-// whose deadline already expired sheds it (cheap constant-time check)
-// instead of spending extraction/classification work on a response
-// nobody is waiting for, and flags the batch via shed.
-type job struct {
-	ev       dataset.DownloadEvent
+// shardBatch is one shard's slice of an admitted batch: the indexes of
+// the events routed to this shard, sharing the batch's event and result
+// arrays. One frame per (batch, shard) replaces one heap-allocated job
+// and one channel send per event; frames recycle through framePool.
+type shardBatch struct {
+	events   []dataset.DownloadEvent
+	results  []VerdictRecord
+	idx      []int32
 	ctx      context.Context
 	enqueued time.Time
-	out      *VerdictRecord
 	done     *sync.WaitGroup
 	shed     *atomic.Int64
+}
+
+var framePool = sync.Pool{New: func() any { return new(shardBatch) }}
+
+// memoKey identifies a verdict-determining input: the feature vector is
+// a pure function of (file, process, domain) against the immutable
+// store and oracle, so two events agreeing on these three fields get
+// identical verdicts under the same rule generation. File alone decides
+// the shard (FNV affinity), so every event of one file — and therefore
+// every memo reader/writer of one key — runs on one worker.
+type memoKey struct {
+	file    dataset.FileHash
+	process dataset.FileHash
+	domain  string
+}
+
+// memoVal caches the classification outcome for a key under one rule
+// generation. rules is shared across hits — verdict attributions are
+// immutable once produced.
+type memoVal struct {
+	verdict classify.Verdict
+	rules   []int
+}
+
+// memoMaxEntries caps each worker's memo; past it the map resets
+// wholesale (repeat downloads re-warm it in one miss each).
+const memoMaxEntries = 1 << 16
+
+// workerState is the per-worker (hence single-goroutine) memo: repeat
+// downloads of a file skip extraction and matching entirely. gen pins
+// the entries to one rule-set generation; a hot reload naturally
+// invalidates everything on the next sub-batch.
+type workerState struct {
+	memo map[memoKey]memoVal
+	gen  uint64
 }
 
 // Engine is the classification core: bounded sharded queues feeding a
 // worker pool that extracts features and classifies against the current
 // rule-set generation.
 type Engine struct {
-	ex       *features.Extractor
-	metrics  *Metrics
-	shards   []chan *job
-	capacity int64
-	inflight atomic.Int64
-	closed   atomic.Bool
-	wg       sync.WaitGroup
+	ex        *features.Extractor
+	metrics   *Metrics
+	shards    []chan *shardBatch
+	capacity  int64
+	inflight  atomic.Int64
+	closed    atomic.Bool
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	// drainMu/drainCond signal Close when inflight reaches zero, so the
+	// drain is a condition wait instead of a sleep poll.
+	drainMu   sync.Mutex
+	drainCond *sync.Cond
 
 	swapMu sync.Mutex
 	rules  atomic.Pointer[ruleGen]
@@ -134,14 +189,15 @@ func NewEngine(ex *features.Extractor, clf *classify.Classifier, cfg EngineConfi
 		metrics:  m,
 		capacity: int64(cfg.queueOrDefault()),
 	}
+	e.drainCond = sync.NewCond(&e.drainMu)
 	e.rules.Store(&ruleGen{clf: clf, gen: 1})
 	m.Generation.Store(1)
 	n := cfg.shardsOrDefault()
-	e.shards = make([]chan *job, n)
+	e.shards = make([]chan *shardBatch, n)
 	for i := range e.shards {
 		// Each shard can hold the whole admitted window, so a reserved
-		// job's enqueue never blocks and drain cannot deadlock.
-		e.shards[i] = make(chan *job, cfg.queueOrDefault())
+		// frame's enqueue never blocks and drain cannot deadlock.
+		e.shards[i] = make(chan *shardBatch, cfg.queueOrDefault())
 		e.wg.Add(1)
 		go e.worker(e.shards[i])
 	}
@@ -184,7 +240,8 @@ func (e *Engine) DegradedReason() string {
 
 // Swap atomically replaces the served rule set and returns the new
 // generation. In-flight events finish under the generation they loaded;
-// events admitted after Swap returns classify under the new one.
+// events admitted after Swap returns classify under the new one. The
+// bumped generation also invalidates every worker's verdict memo.
 func (e *Engine) Swap(clf *classify.Classifier) (uint64, error) {
 	if clf == nil {
 		return 0, fmt.Errorf("serve: swap: nil classifier")
@@ -199,15 +256,23 @@ func (e *Engine) Swap(clf *classify.Classifier) (uint64, error) {
 	return next.gen, nil
 }
 
-// shardOf routes a file hash to a shard (FNV-1a).
+// shardOf routes a file hash to a shard: FNV-1a over the digest's tail.
+// Any deterministic map preserves the per-file affinity the verdict
+// memo relies on; hashing only the last 16 bytes (64 bits of entropy in
+// a hex digest) keeps the dependent-multiply chain off the per-event
+// hot path without losing distribution.
 func shardOf(h dataset.FileHash, n int) int {
 	const (
 		offset32 = 2166136261
 		prime32  = 16777619
 	)
+	s := string(h)
+	if len(s) > 16 {
+		s = s[len(s)-16:]
+	}
 	x := uint32(offset32)
-	for i := 0; i < len(h); i++ {
-		x ^= uint32(h[i])
+	for i := 0; i < len(s); i++ {
+		x ^= uint32(s[i])
 		x *= prime32
 	}
 	return int(x % uint32(n))
@@ -247,7 +312,7 @@ func (e *Engine) ClassifyBatch(ctx context.Context, events []dataset.DownloadEve
 		}
 	}
 	if e.closed.Load() {
-		e.inflight.Add(-n)
+		e.decInflight(n)
 		return nil, ErrDraining
 	}
 	e.metrics.EventsIn.Add(uint64(n))
@@ -256,10 +321,25 @@ func (e *Engine) ClassifyBatch(ctx context.Context, events []dataset.DownloadEve
 	var shed atomic.Int64
 	done.Add(len(events))
 	now := time.Now()
+	ns := len(e.shards)
+	// Group the batch by shard: one pooled frame and one channel send
+	// per shard touched, instead of one allocation and send per event.
+	frames := make([]*shardBatch, ns)
 	for i := range events {
-		e.shards[shardOf(events[i].File, len(e.shards))] <- &job{
-			ev: events[i], ctx: ctx, enqueued: now, out: &results[i],
-			done: &done, shed: &shed,
+		s := shardOf(events[i].File, ns)
+		f := frames[s]
+		if f == nil {
+			f = framePool.Get().(*shardBatch)
+			f.events, f.results = events, results
+			f.ctx, f.enqueued = ctx, now
+			f.done, f.shed = &done, &shed
+			frames[s] = f
+		}
+		f.idx = append(f.idx, int32(i))
+	}
+	for s, f := range frames {
+		if f != nil {
+			e.shards[s] <- f
 		}
 	}
 	done.Wait()
@@ -269,69 +349,174 @@ func (e *Engine) ClassifyBatch(ctx context.Context, events []dataset.DownloadEve
 	return results, nil
 }
 
-// worker drains one shard until Close.
-func (e *Engine) worker(ch chan *job) {
+// worker drains one shard until Close. The memo state is owned by this
+// goroutine alone — shard affinity is what makes it race-free.
+func (e *Engine) worker(ch chan *shardBatch) {
 	defer e.wg.Done()
-	for j := range ch {
-		e.process(j)
+	ws := &workerState{memo: make(map[memoKey]memoVal)}
+	for f := range ch {
+		e.processFrame(f, ws)
 	}
 }
 
-// process classifies one event under exactly one rule-set generation.
-// Expired work is shed: if the admitting request's deadline passed
-// while the job sat in the queue, the worker spends no extraction or
-// classification effort on it and just counts it.
-func (e *Engine) process(j *job) {
-	e.metrics.QueueWait.Observe(time.Since(j.enqueued))
-	if j.ctx != nil && j.ctx.Err() != nil {
-		*j.out = VerdictRecord{
-			Type: "verdict", File: string(j.ev.File),
-			Error: "shed: " + j.ctx.Err().Error(),
+// frameTally accumulates one frame's metric deltas so the shared
+// counters are touched once per sub-batch instead of once per event.
+type frameTally struct {
+	shed          int
+	extractErrors int
+	memoHits      int
+	verdicts      [4]int
+}
+
+// processFrame classifies one shard's slice of a batch under exactly
+// one rule-set generation. Expired work is shed: if the admitting
+// request's deadline passed while the frame sat in the queue, the
+// worker spends no extraction or classification effort on it. Stage
+// latency is sampled — the first memo-missing event of each frame is
+// timed individually — so the histograms keep per-event semantics
+// without three clock reads per event.
+func (e *Engine) processFrame(f *shardBatch, ws *workerState) {
+	var tally frameTally
+	var extractDur, classifyDur time.Duration
+	timed := false
+	queueWait := time.Since(f.enqueued)
+
+	if f.ctx != nil && f.ctx.Err() != nil {
+		errStr := "shed: " + f.ctx.Err().Error()
+		for _, i := range f.idx {
+			f.results[i] = VerdictRecord{
+				Type: "verdict", File: string(f.events[i].File), Error: errStr,
+			}
 		}
-		e.metrics.ShedExpired.Add(1)
-		if j.shed != nil {
-			j.shed.Add(1)
-		}
-		j.done.Done()
-		e.inflight.Add(-1)
-		return
-	}
-	rg := e.rules.Load()
-	rec := VerdictRecord{Type: "verdict", File: string(j.ev.File), Generation: rg.gen}
-	t0 := time.Now()
-	vec, err := e.ex.Vector(&j.ev)
-	e.metrics.Extract.Observe(time.Since(t0))
-	if err != nil {
-		e.metrics.ExtractErrors.Add(1)
-		rec.Verdict = classify.VerdictNone.String()
-		rec.Error = err.Error()
+		tally.shed = len(f.idx)
 	} else {
-		inst := features.Instance{Vector: vec, File: j.ev.File}
-		t1 := time.Now()
-		v, matched := rg.clf.ClassifyFile([]features.Instance{inst})
-		e.metrics.Classify.Observe(time.Since(t1))
-		e.metrics.CountVerdict(v)
-		rec.Verdict = v.String()
-		rec.Rules = matched
+		rg := e.rules.Load()
+		if ws.gen != rg.gen {
+			// Hot reload: a new generation invalidates every memo entry.
+			ws.memo = make(map[memoKey]memoVal)
+			ws.gen = rg.gen
+		}
+		for _, i := range f.idx {
+			ev := &f.events[i]
+			rec := &f.results[i]
+			rec.Type = "verdict"
+			rec.File = string(ev.File)
+			rec.Generation = rg.gen
+			key := memoKey{file: ev.File, process: ev.Process, domain: ev.Domain}
+			if mv, ok := ws.memo[key]; ok {
+				tally.memoHits++
+				tally.verdicts[mv.verdict]++
+				rec.Verdict = mv.verdict.String()
+				rec.Rules = mv.rules
+				continue
+			}
+			var (
+				vec features.Vector
+				err error
+				v   classify.Verdict
+				mr  []int
+			)
+			if !timed {
+				timed = true
+				t0 := time.Now()
+				vec, err = e.ex.Vector(ev)
+				t1 := time.Now()
+				extractDur = t1.Sub(t0)
+				if err == nil {
+					inst := features.Instance{Vector: vec, File: ev.File}
+					v, mr = rg.clf.ClassifyOne(&inst)
+					classifyDur = time.Since(t1)
+				}
+			} else {
+				vec, err = e.ex.Vector(ev)
+				if err == nil {
+					inst := features.Instance{Vector: vec, File: ev.File}
+					v, mr = rg.clf.ClassifyOne(&inst)
+				}
+			}
+			if err != nil {
+				tally.extractErrors++
+				rec.Verdict = classify.VerdictNone.String()
+				rec.Error = err.Error()
+				continue
+			}
+			tally.verdicts[v]++
+			rec.Verdict = v.String()
+			rec.Rules = mr
+			if len(ws.memo) >= memoMaxEntries {
+				ws.memo = make(map[memoKey]memoVal)
+			}
+			ws.memo[key] = memoVal{verdict: v, rules: mr}
+		}
 	}
-	*j.out = rec
-	j.done.Done()
-	e.inflight.Add(-1)
+
+	// Fold the frame's tallies into the shared metrics before signaling
+	// completion, so counters read after ClassifyBatch returns are
+	// exact.
+	m := e.metrics
+	m.QueueWait.Observe(queueWait)
+	if timed {
+		m.Extract.Observe(extractDur)
+		if classifyDur > 0 || tally.extractErrors == 0 {
+			m.Classify.Observe(classifyDur)
+		}
+	}
+	if tally.extractErrors > 0 {
+		m.ExtractErrors.Add(uint64(tally.extractErrors))
+	}
+	if tally.memoHits > 0 {
+		m.MemoHits.Add(uint64(tally.memoHits))
+	}
+	for v, c := range tally.verdicts {
+		if c > 0 {
+			m.verdicts[v].Add(uint64(c))
+		}
+	}
+	n := len(f.idx)
+	if tally.shed > 0 {
+		m.ShedExpired.Add(uint64(tally.shed))
+		f.shed.Add(int64(tally.shed))
+	}
+	done := f.done
+	// Scrub and recycle the frame before signaling: after done.Add the
+	// batch (and its arrays) may be long gone.
+	f.events, f.results, f.ctx, f.done, f.shed = nil, nil, nil, nil, nil
+	f.idx = f.idx[:0]
+	framePool.Put(f)
+	done.Add(-n)
+	e.decInflight(int64(n))
+}
+
+// decInflight releases n admission slots and wakes a draining Close
+// when the last one goes.
+func (e *Engine) decInflight(n int64) {
+	if e.inflight.Add(-n) == 0 && e.closed.Load() {
+		e.drainMu.Lock()
+		e.drainCond.Broadcast()
+		e.drainMu.Unlock()
+	}
 }
 
 // Close drains the engine: admission stops immediately, every admitted
 // event still gets its verdict, and Close returns once the workers have
-// exited. Safe to call once.
+// exited. The drain waits on a condition variable signaled by the last
+// in-flight decrement — no sleep polling. Idempotent; concurrent and
+// repeat callers block until the first drain completes.
 func (e *Engine) Close() {
 	e.closed.Store(true)
-	// Wait for in-flight work (admitted batches hold inflight > 0 until
-	// their last event is processed, and admission re-checks closed
-	// after reserving, so no new sends can start once this hits zero).
-	for e.inflight.Load() > 0 {
-		time.Sleep(100 * time.Microsecond)
-	}
-	for _, ch := range e.shards {
-		close(ch)
-	}
-	e.wg.Wait()
+	e.closeOnce.Do(func() {
+		// Wait for in-flight work (admitted batches hold inflight > 0
+		// until their last event is processed, and admission re-checks
+		// closed after reserving, so no new sends can start once this
+		// hits zero).
+		e.drainMu.Lock()
+		for e.inflight.Load() > 0 {
+			e.drainCond.Wait()
+		}
+		e.drainMu.Unlock()
+		for _, ch := range e.shards {
+			close(ch)
+		}
+		e.wg.Wait()
+	})
 }

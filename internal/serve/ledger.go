@@ -58,6 +58,12 @@ type Ledger struct {
 	// window), not O(total request history).
 	order      []string
 	maxResults int
+	// stateBytes approximates the snapshot size: the summed length of
+	// retained response bodies (guarded by mu). lastSnapshotBytes is the
+	// size of the most recent compaction snapshot; the compaction
+	// trigger scales with it — see Result.
+	stateBytes        int64
+	lastSnapshotBytes int64
 
 	// compactBytes triggers snapshot+compaction once that many bytes
 	// have been journaled since the last compaction (-1 = never).
@@ -126,6 +132,7 @@ func OpenLedger(opts LedgerOptions) (*Ledger, *LedgerRecovery, error) {
 		l.maxResults = 65536
 	}
 	if rec.Snapshot != nil {
+		l.lastSnapshotBytes = int64(len(rec.Snapshot))
 		var snap ledgerSnapshot
 		if err := json.Unmarshal(rec.Snapshot, &snap); err != nil {
 			j.Close()
@@ -199,19 +206,7 @@ func OpenLedger(opts LedgerOptions) (*Ledger, *LedgerRecovery, error) {
 	return l, out, nil
 }
 
-// encodePayload renders `id\n` + one line per entry.
-func encodePayload(id string, lines [][]byte) []byte {
-	var buf bytes.Buffer
-	buf.WriteString(id)
-	buf.WriteByte('\n')
-	for _, line := range lines {
-		buf.Write(line)
-		buf.WriteByte('\n')
-	}
-	return buf.Bytes()
-}
-
-// splitPayload undoes encodePayload.
+// splitPayload splits a journaled `id\n` + line-JSON payload.
 func splitPayload(data []byte) (string, [][]byte, error) {
 	idx := bytes.IndexByte(data, '\n')
 	if idx < 0 {
@@ -261,14 +256,18 @@ func parseVerdictLines(lines [][]byte) ([]VerdictRecord, error) {
 // snapshot drops them, but recovery replays through this same bound, so
 // a restart cannot resurrect an unbounded history either.
 func (l *Ledger) storeResultLocked(id string, body []byte) {
-	if _, ok := l.results[id]; !ok {
+	if prev, ok := l.results[id]; !ok {
 		l.order = append(l.order, id)
+	} else {
+		l.stateBytes -= int64(len(prev))
 	}
 	l.results[id] = body
+	l.stateBytes += int64(len(body))
 	if l.maxResults <= 0 {
 		return
 	}
 	for len(l.order) > l.maxResults {
+		l.stateBytes -= int64(len(l.results[l.order[0]]))
 		delete(l.results, l.order[0])
 		l.order[0] = "" // release the string so the sliced-off slot doesn't pin it
 		l.order = l.order[1:]
@@ -288,22 +287,29 @@ func (l *Ledger) Accept(id string, events []dataset.DownloadEvent) error {
 		}
 		lines[i] = line
 	}
-	return l.acceptPayload(id, events, encodePayload(id, lines))
+	return l.acceptFunc(id, events, func(dst []byte) []byte {
+		for _, line := range lines {
+			dst = append(dst, line...)
+			dst = append(dst, '\n')
+		}
+		return dst
+	})
 }
 
 // AcceptWire is Accept for the serving hot path: body is the batch's
 // own wire bytes (the non-empty line-JSON event lines of the request,
 // '\n'-terminated), journaled verbatim instead of re-marshaling events.
 // body and events must describe the same batch.
-func (l *Ledger) AcceptWire(id string, events []dataset.DownloadEvent, body []byte) error {
-	payload := make([]byte, 0, len(id)+1+len(body))
-	payload = append(payload, id...)
-	payload = append(payload, '\n')
-	payload = append(payload, body...)
-	return l.acceptPayload(id, events, payload)
+func (l *Ledger) AcceptWire(id string, events []dataset.DownloadEvent, body string) error {
+	return l.acceptFunc(id, events, func(dst []byte) []byte {
+		return append(dst, body...)
+	})
 }
 
-func (l *Ledger) acceptPayload(id string, events []dataset.DownloadEvent, payload []byte) error {
+// acceptFunc marks id pending and journals `id\n` + whatever body
+// appends, rendered straight into the journal's frame buffer — the
+// accept path allocates nothing beyond the pending-map entry.
+func (l *Ledger) acceptFunc(id string, events []dataset.DownloadEvent, body func(dst []byte) []byte) error {
 	if id == "" {
 		return fmt.Errorf("serve: ledger: empty request id")
 	}
@@ -314,7 +320,12 @@ func (l *Ledger) acceptPayload(id string, events []dataset.DownloadEvent, payloa
 	}
 	l.pending[id] = events
 	l.mu.Unlock()
-	if err := l.j.Append(recAccept, payload); err != nil {
+	err := l.j.AppendFunc(recAccept, func(dst []byte) []byte {
+		dst = append(dst, id...)
+		dst = append(dst, '\n')
+		return body(dst)
+	})
+	if err != nil {
 		l.mu.Lock()
 		delete(l.pending, id)
 		l.mu.Unlock()
@@ -330,16 +341,10 @@ func (l *Ledger) acceptPayload(id string, events []dataset.DownloadEvent, payloa
 // accounting exactly-once. The returned body is the response to serve
 // for id — the winner's bytes, identical across retransmits.
 func (l *Ledger) Result(id string, verdicts []VerdictRecord) ([]byte, error) {
-	var buf bytes.Buffer
-	for i := range verdicts {
-		line, err := json.Marshal(&verdicts[i])
-		if err != nil {
-			return nil, fmt.Errorf("serve: ledger result %s: %w", id, err)
-		}
-		buf.Write(line)
-		buf.WriteByte('\n')
-	}
-	body := buf.Bytes()
+	// Rendered by the same append encoder writeVerdicts uses, so the
+	// journaled body a dedup replay serves is byte-identical to what a
+	// stateless response would have been.
+	body := appendVerdictBody(make([]byte, 0, verdictBodySize(verdicts)), verdicts)
 	l.mu.Lock()
 	if prev, done := l.results[id]; done {
 		l.mu.Unlock()
@@ -347,19 +352,44 @@ func (l *Ledger) Result(id string, verdicts []VerdictRecord) ([]byte, error) {
 	}
 	l.storeResultLocked(id, body)
 	delete(l.pending, id)
+	lastSnap := l.lastSnapshotBytes
 	l.mu.Unlock()
-	payload := make([]byte, 0, len(id)+1+len(body))
-	payload = append(payload, id...)
-	payload = append(payload, '\n')
-	payload = append(payload, body...)
-	if err := l.j.AppendAsync(recResult, payload); err != nil {
+	err := l.j.AppendAsyncFunc(recResult, func(dst []byte) []byte {
+		dst = append(dst, id...)
+		dst = append(dst, '\n')
+		return append(dst, body...)
+	})
+	if err != nil {
 		return body, fmt.Errorf("serve: ledger result %s: %w", id, err)
 	}
-	if l.compactBytes > 0 && l.j.LiveBytes() > l.compactBytes {
-		return body, l.Compact()
+	// Compaction trigger: the log/state-ratio rule. A compaction's cost
+	// is one full snapshot — O(stateBytes) of encode, write and fsync —
+	// so firing it every fixed CompactBytes makes the amortized cost per
+	// request grow linearly with the retained dedup window. Requiring
+	// the log to also outgrow a multiple of the LAST snapshot's size
+	// bounds the amortized snapshot cost per journaled byte by a
+	// constant, at the price of a bounded extra replay debt. Comparing
+	// against the previous snapshot (not the live state) keeps the
+	// trigger live: the log grows without bound between compactions
+	// while the reference size stays fixed, so compaction always
+	// eventually fires even when state grows as fast as the log.
+	if threshold := l.compactBytes; threshold > 0 {
+		if p := compactSnapshotFactor * lastSnap; p > threshold {
+			threshold = p
+		}
+		if l.j.LiveBytes() > threshold {
+			return body, l.Compact()
+		}
 	}
 	return body, nil
 }
+
+// compactSnapshotFactor is the log/snapshot ratio that arms compaction:
+// the journal must exceed both CompactBytes and this multiple of the
+// previous snapshot's size. 4 keeps the amortized snapshot cost under
+// ~25% of the bytes-proportional journaling work while capping the
+// recovery replay at 4x the snapshot it would load anyway.
+const compactSnapshotFactor = 4
 
 // Lookup returns the response body journaled for id, if the batch
 // completed.
@@ -428,40 +458,100 @@ func (l *Ledger) Counts() (pending, completed int) {
 
 // Compact snapshots the full ledger state into the journal and drops
 // the segments the snapshot covers. The capture runs via
-// journal.CompactFunc, inside the journal's write lock with l.mu also
-// held: no Accept can slip a record into a to-be-deleted segment after
-// the snapshot is taken, so every durable batch is either in the
-// snapshot or in a segment that survives — the exactly-once contract
-// holds across compaction. (Lock order is journal → ledger; Accept and
-// Result never append while holding l.mu, so this cannot deadlock.)
+// journal.CompactStaged: under the journal's write lock (with l.mu
+// also held) it takes a shallow clone of the state maps — response
+// bodies and pending event slices are immutable once stored, so
+// cloning the map headers pins a consistent snapshot — and the
+// O(stateBytes) encode then runs with serving traffic flowing. No
+// Accept can slip a record into a to-be-deleted segment after the
+// clone is taken, so every durable batch is either in the snapshot or
+// in a segment that survives — the exactly-once contract holds across
+// compaction. (Lock order is journal → ledger; Accept and Result never
+// append while holding l.mu, so this cannot deadlock.)
 func (l *Ledger) Compact() error {
-	return l.j.CompactFunc(func() ([]byte, error) {
+	return l.j.CompactStaged(func() (func() ([]byte, error), error) {
 		l.mu.Lock()
-		defer l.mu.Unlock()
-		snap := ledgerSnapshot{
-			Results: make(map[string]string, len(l.results)),
-			Pending: make(map[string][]string, len(l.pending)),
+		results := make(map[string][]byte, len(l.results))
+		for id, body := range l.results {
+			results[id] = body
 		}
-		for id, v := range l.results {
-			snap.Results[id] = string(v)
-		}
+		pending := make(map[string][]dataset.DownloadEvent, len(l.pending))
 		for id, events := range l.pending {
-			lines := make([]string, len(events))
-			for i := range events {
-				line, err := export.MarshalEventLine(&events[i])
-				if err != nil {
-					return nil, fmt.Errorf("serve: ledger compact: %w", err)
-				}
-				lines[i] = string(line)
+			pending[id] = events
+		}
+		l.mu.Unlock()
+		return func() ([]byte, error) {
+			snap, err := appendSnapshot(results, pending)
+			if err == nil {
+				l.mu.Lock()
+				l.lastSnapshotBytes = int64(len(snap))
+				l.mu.Unlock()
 			}
-			snap.Pending[id] = lines
-		}
-		data, err := json.Marshal(snap)
-		if err != nil {
-			return nil, fmt.Errorf("serve: ledger compact: %w", err)
-		}
-		return data, nil
+			return snap, err
+		}, nil
 	})
+}
+
+// appendSnapshot serializes the ledger state by hand into the
+// ledgerSnapshot JSON shape OpenLedger decodes with encoding/json.
+// Compaction cost scales with the retained dedup window (every response
+// body is re-serialized into the snapshot), so this path matters: the
+// reflective json.Marshal of the intermediate string maps made each
+// compaction a multi-hundred-millisecond stall on a loaded ledger,
+// most of it copying bodies into throwaway strings. Keys are emitted
+// sorted, so identical ledgers still snapshot to identical bytes.
+func appendSnapshot(results map[string][]byte, pending map[string][]dataset.DownloadEvent) ([]byte, error) {
+	size := 64
+	for id, v := range results {
+		// Verdict-line bodies escape to roughly +10% (a quote or two
+		// per ten bytes); undershooting here costs a full re-copy of a
+		// many-megabyte buffer on the final growth.
+		size += len(id) + len(v) + len(v)/8 + 8
+	}
+	for id, events := range pending {
+		size += len(id) + len(events)*160 + 8
+	}
+	dst := make([]byte, 0, size)
+	dst = append(dst, `{"results":{`...)
+	ids := make([]string, 0, len(results))
+	for id := range results {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for i, id := range ids {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = export.AppendJSONString(dst, id)
+		dst = append(dst, ':')
+		dst = export.AppendJSONBytes(dst, results[id])
+	}
+	dst = append(dst, `},"pending":{`...)
+	ids = ids[:0]
+	for id := range pending {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for i, id := range ids {
+		if i > 0 {
+			dst = append(dst, ',')
+		}
+		dst = export.AppendJSONString(dst, id)
+		dst = append(dst, `:[`...)
+		for j := range pending[id] {
+			line, err := export.MarshalEventLine(&pending[id][j])
+			if err != nil {
+				return nil, fmt.Errorf("serve: ledger compact: %w", err)
+			}
+			if j > 0 {
+				dst = append(dst, ',')
+			}
+			dst = export.AppendJSONBytes(dst, line)
+		}
+		dst = append(dst, ']')
+	}
+	dst = append(dst, `}}`...)
+	return dst, nil
 }
 
 // Stats exposes the underlying journal counters.

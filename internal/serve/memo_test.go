@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/classify"
+	"repro/internal/features"
+	"repro/internal/part"
+)
+
+// allMatchClassifier builds a classifier with one rule that matches
+// every instance (AlexaRank <= +huge) and concludes malicious — verdicts
+// under it differ from the trained fixture classifier for almost every
+// event, which is what makes stale memo entries detectable.
+func allMatchClassifier(t *testing.T) *classify.Classifier {
+	t.Helper()
+	clf, err := classify.NewFromRules([]part.Rule{{
+		Conditions: []part.Condition{{
+			AttrIndex: features.NumNominal,
+			AttrName:  features.AttributeNames[features.NumNominal],
+			Op:        part.OpLE, Threshold: 1e12,
+		}},
+		Class: classify.ClassMalicious, ClassName: "malicious",
+	}}, classify.Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clf
+}
+
+// TestMemoFreshAcrossSwap hammers the per-worker verdict memo with hot
+// reloads that change the rules: streamers replay the same small event
+// set (maximal memo pressure) while a reloader alternates between two
+// classifiers with different verdicts. Every returned verdict must
+// match the offline classification under the generation it claims —
+// a memo entry surviving a Swap would surface as a verdict labeled
+// with the new generation but computed under the old rules. Run under
+// -race this also exercises the worker-owned memo for data races.
+func TestMemoFreshAcrossSwap(t *testing.T) {
+	f := sharedFixture(t)
+	engine := newTestEngine(t, f, EngineConfig{Shards: 4, QueueSize: 4096})
+	clfB := allMatchClassifier(t)
+
+	hot := f.replay[:24]
+	// Generation g serves f.clf when odd (boot gen is 1), clfB when even.
+	keyFor := make(map[uint64][]string, 2)
+	for _, pair := range []struct {
+		parity uint64
+		clf    *classify.Classifier
+	}{{1, f.clf}, {0, clfB}} {
+		keys := make([]string, len(hot))
+		for i := range hot {
+			keys[i] = offlineKey(t, f, pair.clf, &hot[i])
+		}
+		keyFor[pair.parity] = keys
+	}
+
+	const reloads = 40
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	errCh := make(chan error, 5)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < reloads; i++ {
+			clf := clfB
+			if i%2 == 1 {
+				clf = f.clf
+			}
+			if _, err := engine.Swap(clf); err != nil {
+				errCh <- err
+				failed.Store(true)
+				return
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 60 && !failed.Load(); iter++ {
+				verdicts, err := engine.ClassifyBatch(context.Background(), hot)
+				if err != nil {
+					errCh <- err
+					failed.Store(true)
+					return
+				}
+				for i, v := range verdicts {
+					want := keyFor[v.Generation%2][i]
+					if got := v.Key(); got != want {
+						errCh <- fmt.Errorf("event %d gen %d: got %q, offline says %q",
+							i, v.Generation, got, want)
+						failed.Store(true)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	engine.Close()
+}
+
+// TestMemoHitAccounting: replaying an identical batch must answer from
+// the memo (hits counted, verdicts unchanged) and the counter must
+// surface in the /metrics exposition.
+func TestMemoHitAccounting(t *testing.T) {
+	f := sharedFixture(t)
+	engine := newTestEngine(t, f, EngineConfig{Shards: 2, QueueSize: 1024})
+	batch := f.replay[:20]
+	first, err := engine.ClassifyBatch(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := engine.Metrics().MemoHits.Load(); hits != 0 {
+		// The batch may repeat (file, process, domain) triples; hits on
+		// the first pass are legal but must be strictly fewer than the
+		// batch size.
+		if hits >= uint64(len(batch)) {
+			t.Fatalf("first pass recorded %d memo hits for %d events", hits, len(batch))
+		}
+	}
+	second, err := engine.ClassifyBatch(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := engine.Metrics().MemoHits.Load()
+	if hits < uint64(len(batch)) {
+		t.Fatalf("after identical replay MemoHits = %d, want >= %d", hits, len(batch))
+	}
+	for i := range first {
+		if first[i].Key() != second[i].Key() || first[i].Generation != second[i].Generation {
+			t.Fatalf("memoized verdict %d differs: %+v vs %+v", i, first[i], second[i])
+		}
+	}
+	var buf bytes.Buffer
+	engine.Metrics().WriteTo(&buf, engine.QueueDepth(), false, nil)
+	if !strings.Contains(buf.String(), "longtail_memo_hits_total ") {
+		t.Fatal("metrics exposition lacks longtail_memo_hits_total")
+	}
+	// Verdict tallies must count memoized answers too.
+	var total uint64
+	for v := classify.VerdictNone; v <= classify.VerdictRejected; v++ {
+		total += engine.Metrics().VerdictCount(v)
+	}
+	if want := uint64(2 * len(batch)); total != want {
+		t.Fatalf("verdict tallies sum to %d, want %d", total, want)
+	}
+	engine.Close()
+}

@@ -98,6 +98,10 @@ type Metrics struct {
 	BadRequests atomic.Uint64
 	// EventsIn counts individual events admitted for classification.
 	EventsIn atomic.Uint64
+	// MemoHits counts events answered from a worker's per-shard verdict
+	// memo — repeat (file, process, domain) triples under an unchanged
+	// rule generation that skipped extraction and matching entirely.
+	MemoHits atomic.Uint64
 	// ExtractErrors counts events whose feature extraction failed
 	// (e.g. no metadata for the file); these return an error verdict
 	// rather than failing the batch.
@@ -142,6 +146,7 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth int, degraded bool, js *journa
 	fmt.Fprintf(w, "longtail_requests_total{result=\"bad\"} %d\n", m.BadRequests.Load())
 	fmt.Fprintf(w, "longtail_requests_total{result=\"dedup\"} %d\n", m.DedupHits.Load())
 	fmt.Fprintf(w, "longtail_events_total %d\n", m.EventsIn.Load())
+	fmt.Fprintf(w, "longtail_memo_hits_total %d\n", m.MemoHits.Load())
 	for v := classify.VerdictNone; v <= classify.VerdictRejected; v++ {
 		fmt.Fprintf(w, "longtail_verdicts_total{verdict=%q} %d\n", v.String(), m.verdicts[v].Load())
 	}

@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/classify"
@@ -123,52 +126,101 @@ func (s *Server) Handler() http.Handler {
 // scanner budget).
 const maxEventLine = 1 << 22
 
-// readEvents parses the line-JSON request body.
-// readEvents parses the line-JSON request body. With keepBody it also
-// returns the normalized wire bytes (non-empty lines, '\n'-terminated)
-// so a journaling server can log the batch verbatim instead of
-// re-marshaling it.
-func readEvents(r *http.Request, keepBody bool) ([]dataset.DownloadEvent, []byte, error) {
-	var events []dataset.DownloadEvent
-	var body []byte
-	if keepBody && r.ContentLength > 0 {
-		body = make([]byte, 0, r.ContentLength)
+// copyBufPool holds scratch buffers for draining request bodies.
+var copyBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 32<<10)
+	return &b
+}}
+
+// readBody drains the request body into a single string. Content-Length
+// (which our own client always sends) pre-sizes the builder, so the
+// whole body lands in one allocation instead of io.ReadAll's doubling
+// churn, and strings.Builder's String() hands back its buffer without
+// the second copy a []byte→string conversion would pay.
+func readBody(r *http.Request) (string, error) {
+	var sb strings.Builder
+	if n := r.ContentLength; n > 0 {
+		sb.Grow(int(n))
 	}
-	sc := bufio.NewScanner(r.Body)
-	sc.Buffer(make([]byte, 0, 1<<16), maxEventLine)
+	bp := copyBufPool.Get().(*[]byte)
+	_, err := io.CopyBuffer(&sb, r.Body, *bp)
+	copyBufPool.Put(bp)
+	if err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// readEvents parses the line-JSON request body. The whole body is read
+// once into a single string; canonical event lines decode by slicing
+// substrings out of it (export.ParseEventLine), so the per-event parse
+// cost is allocation-free. With keepBody it also returns the normalized
+// wire form (non-empty lines, '\n'-terminated) so a journaling server
+// can log the batch verbatim instead of re-marshaling it; a body that
+// is already normalized — every batch our client sends — is returned
+// as-is, with no copy.
+func readEvents(r *http.Request, keepBody bool) ([]dataset.DownloadEvent, string, error) {
+	raw, err := readBody(r)
+	if err != nil {
+		return nil, "", err
+	}
+	s := raw
+	events := make([]dataset.DownloadEvent, 0, strings.Count(s, "\n")+1)
+	// The raw body is its own normalized form until the scan finds a
+	// blank line, a '\r', or a missing final newline; body stays nil
+	// (no copy) until that first deviation.
+	normalized := true
+	var body []byte
 	lineNo := 0
-	for sc.Scan() {
+	for len(s) > 0 {
+		lineStart := len(raw) - len(s)
+		line := s
+		hadNL := false
+		if nl := strings.IndexByte(s, '\n'); nl >= 0 {
+			line, s = s[:nl], s[nl+1:]
+			hadNL = true
+		} else {
+			s = ""
+		}
+		// Match the old bufio.ScanLines framing: trailing '\r' stripped,
+		// empty lines skipped (but counted), oversized lines refused.
 		lineNo++
-		line := sc.Bytes()
+		trimmed := strings.TrimSuffix(line, "\r")
+		if keepBody && normalized && (!hadNL || len(trimmed) != len(line) || len(trimmed) == 0) {
+			normalized = false
+			body = append(make([]byte, 0, len(raw)+1), raw[:lineStart]...)
+		}
+		line = trimmed
 		if len(line) == 0 {
 			continue
 		}
-		ev, err := export.UnmarshalEventLine(line)
+		if len(line) > maxEventLine {
+			return nil, "", bufio.ErrTooLong
+		}
+		ev, err := export.ParseEventLine(line)
 		if err != nil {
-			return nil, nil, fmt.Errorf("line %d: %w", lineNo, err)
+			return nil, "", fmt.Errorf("line %d: %w", lineNo, err)
 		}
 		events = append(events, ev)
-		if keepBody {
+		if keepBody && !normalized {
 			body = append(body, line...)
 			body = append(body, '\n')
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, err
+	if !keepBody {
+		return events, "", nil
 	}
-	return events, body, nil
+	if normalized {
+		return events, raw, nil
+	}
+	return events, string(body), nil
 }
 
-// writeVerdicts streams verdict records as line JSON.
+// writeVerdicts streams verdict records as line JSON, rendered by the
+// same append encoder the ledger journals (one buffer, one Write).
 func writeVerdicts(w http.ResponseWriter, verdicts []VerdictRecord) {
-	bw := bufio.NewWriter(w)
-	enc := json.NewEncoder(bw)
-	for i := range verdicts {
-		if err := enc.Encode(&verdicts[i]); err != nil {
-			return
-		}
-	}
-	bw.Flush()
+	buf := make([]byte, 0, verdictBodySize(verdicts))
+	w.Write(appendVerdictBody(buf, verdicts))
 }
 
 // writeDeferred acknowledges a journaled-and-deferred batch: the events
@@ -302,7 +354,7 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 // worker, acknowledging with 202. Returns false when the defer queue is
 // saturated (the caller falls through to 429) or the journal write
 // failed (500 written here).
-func (s *Server) tryDefer(w http.ResponseWriter, id string, events []dataset.DownloadEvent, body []byte, m *Metrics) bool {
+func (s *Server) tryDefer(w http.ResponseWriter, id string, events []dataset.DownloadEvent, body string, m *Metrics) bool {
 	if err := s.ledger.AcceptWire(id, events, body); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return true

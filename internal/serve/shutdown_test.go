@@ -195,35 +195,41 @@ func TestDeadlineShedAtAdmission(t *testing.T) {
 	}
 }
 
-// TestDeadlineShedInQueue: a worker that dequeues a job after its
-// request's deadline passed sheds it without extraction work.
+// TestDeadlineShedInQueue: a worker that dequeues a frame after its
+// request's deadline passed sheds every event in it without extraction
+// work.
 func TestDeadlineShedInQueue(t *testing.T) {
 	f := sharedFixture(t)
 	engine := newTestEngine(t, f, EngineConfig{})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	var out VerdictRecord
+	events := f.replay[:2]
+	results := make([]VerdictRecord, len(events))
 	var done sync.WaitGroup
 	var shed atomic.Int64
-	done.Add(1)
-	engine.inflight.Add(1)
+	done.Add(len(events))
+	engine.inflight.Add(int64(len(events)))
 	before := engine.Metrics().ExtractErrors.Load()
-	engine.process(&job{
-		ev: f.replay[0], ctx: ctx, enqueued: time.Now(),
-		out: &out, done: &done, shed: &shed,
-	})
+	frame := framePool.Get().(*shardBatch)
+	frame.events, frame.results = events, results
+	frame.ctx, frame.enqueued = ctx, time.Now()
+	frame.done, frame.shed = &done, &shed
+	frame.idx = append(frame.idx, 0, 1)
+	engine.processFrame(frame, &workerState{memo: make(map[memoKey]memoVal)})
 	done.Wait()
-	if shed.Load() != 1 {
-		t.Fatal("expired job not flagged shed")
+	if shed.Load() != 2 {
+		t.Fatalf("shed %d of 2 expired events", shed.Load())
 	}
-	if !strings.HasPrefix(out.Error, "shed:") {
-		t.Fatalf("shed verdict error = %q", out.Error)
-	}
-	if out.Verdict != "" || out.Rules != nil {
-		t.Fatalf("shed job was classified anyway: %+v", out)
+	for i := range results {
+		if !strings.HasPrefix(results[i].Error, "shed:") {
+			t.Fatalf("shed verdict %d error = %q", i, results[i].Error)
+		}
+		if results[i].Verdict != "" || results[i].Rules != nil {
+			t.Fatalf("shed event %d was classified anyway: %+v", i, results[i])
+		}
 	}
 	if engine.Metrics().ExtractErrors.Load() != before {
-		t.Fatal("shed job reached the extractor")
+		t.Fatal("shed frame reached the extractor")
 	}
 }
 
