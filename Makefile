@@ -9,9 +9,10 @@ GO ?= go
 LONGTAILVET ?= bin/longtailvet
 
 .PHONY: verify verify-fast build vet test fmtcheck lint longtailvet \
-	staticcheck govulncheck bench bench-json chaos-serve fuzz-smoke
+	staticcheck govulncheck bench bench-json chaos-serve chaos-cluster \
+	fuzz-smoke
 
-verify: verify-fast fuzz-smoke
+verify: verify-fast fuzz-smoke chaos-cluster
 
 verify-fast: build vet test fmtcheck lint
 
@@ -70,6 +71,15 @@ fuzz-smoke:
 # then restart + recovery with exactly-once verdict accounting.
 chaos-serve:
 	$(GO) test -race -run TestChaosServe -count=1 -v ./internal/experiments/
+
+# Cluster-wide chaos harness under the race detector: a 3-replica
+# consistent-hash cluster behind the health-aware router, driven
+# through link faults, a mid-replay replica kill -9 + journal
+# recovery, a router-side partition, and a generation-consistent
+# reload with one replica unreachable — holding the cluster to zero
+# lost batches, zero duplicated work, byte-identical verdicts.
+chaos-cluster:
+	$(GO) test -race -run TestChaosCluster -count=1 -v ./internal/experiments/
 
 # Full benchmark harness (one benchmark per paper table/figure plus the
 # ablations and the serving-throughput benches).

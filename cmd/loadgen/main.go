@@ -10,11 +10,20 @@
 // prove the swap drops no responses and changes no verdicts when the
 // rule set is unchanged — only the reported generation moves.
 //
+// With -router the same replay is aimed at a longtailrouter front
+// instead of a single daemon: the router speaks the identical wire
+// protocol, so the byte-identical offline cross-check holds unchanged
+// across consistent-hash routing, failover and retransmit dedup.
+// Around the run loadgen reports the cluster's node states from
+// /healthz and the deltas of the router's forwarding counters
+// (requests, forwards, failovers, hedges, no-replica rejections), so a
+// replay doubles as a cluster health report.
+//
 // Usage:
 //
 //	loadgen [-addr http://127.0.0.1:8787] [-seed N] [-scale F] [-tau F]
 //	        [-month YYYY-MM] [-batch N] [-rate F] [-reload-at F]
-//	        [-rules rules.json] [-noverify]
+//	        [-rules rules.json] [-noverify] [-router]
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -55,6 +65,7 @@ func run() error {
 	reloadAt := flag.Float64("reload-at", 0.5, "hot-reload the rule set after this fraction of the replay (<0 disables)")
 	rulesPath := flag.String("rules", "", "rule set JSON to verify against and reload (default: train locally)")
 	noVerify := flag.Bool("noverify", false, "skip the offline cross-check")
+	router := flag.Bool("router", false, "-addr is a longtailrouter front: report node states and failover/hedge counter deltas around the run")
 	flag.Parse()
 	ctx := context.Background()
 
@@ -138,6 +149,17 @@ func run() error {
 
 	fmt.Printf("replaying %s: %d events in %d batches of %d against %s\n",
 		month, len(replay), nBatches, *batch, *addr)
+	var routerBefore map[string]float64
+	if *router {
+		if err := printRouterHealth(ctx, client, "before replay"); err != nil {
+			return fmt.Errorf("router healthz: %w", err)
+		}
+		text, err := client.Metrics(ctx)
+		if err != nil {
+			return fmt.Errorf("router metrics: %w", err)
+		}
+		routerBefore = counterSamples(text)
+	}
 	verdictCounts := map[string]int{}
 	gens := map[uint64]int{}
 	mismatches := 0
@@ -233,6 +255,10 @@ func run() error {
 		fmt.Printf("  all %d streamed verdicts identical to offline classification\n", len(replay))
 	}
 
+	if *router {
+		return reportRouter(ctx, client, routerBefore)
+	}
+
 	// Surface the daemon's own counters for the run.
 	metrics, err := client.Metrics(ctx)
 	if err != nil {
@@ -242,6 +268,95 @@ func run() error {
 		if strings.HasPrefix(line, "longtail_") && !strings.Contains(line, "_bucket") &&
 			!strings.Contains(line, "_sum") && !strings.Contains(line, "_count") {
 			fmt.Printf("  %s\n", line)
+		}
+	}
+	return nil
+}
+
+// printRouterHealth renders the router's /healthz view of the cluster:
+// overall status and generation plus the state machine position and
+// rule generation of every member replica.
+func printRouterHealth(ctx context.Context, client *serve.Client, label string) error {
+	h, err := client.Health(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("router %s: status %v, generation %v", label, h["status"], h["generation"])
+	if t, ok := h["target_generation"]; ok {
+		fmt.Printf(" (target %v)", t)
+	}
+	fmt.Println()
+	if reason, ok := h["degraded_reason"].(string); ok && reason != "" {
+		fmt.Printf("  degraded: %s\n", reason)
+	}
+	nodes, _ := h["nodes"].([]any)
+	for _, n := range nodes {
+		m, ok := n.(map[string]any)
+		if !ok {
+			continue
+		}
+		fmt.Printf("  node %-22v %-9v generation %v\n", m["addr"], m["state"], m["generation"])
+	}
+	return nil
+}
+
+// counterSamples parses the single-valued samples out of a /metrics
+// exposition body, keyed by the full sample name including labels.
+func counterSamples(text string) map[string]float64 {
+	out := map[string]float64{}
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "longtail_") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// reportRouter prints the cluster state after the replay and the
+// forwarding-counter deltas attributable to this run.
+func reportRouter(ctx context.Context, client *serve.Client, before map[string]float64) error {
+	if err := printRouterHealth(ctx, client, "after replay"); err != nil {
+		return fmt.Errorf("router healthz: %w", err)
+	}
+	text, err := client.Metrics(ctx)
+	if err != nil {
+		return fmt.Errorf("router metrics: %w", err)
+	}
+	after := counterSamples(text)
+	fmt.Println("router counters for this run:")
+	for _, name := range []string{
+		"longtail_router_requests_total",
+		"longtail_router_forwarded_total",
+		"longtail_failover_total",
+		"longtail_hedged_total",
+		"longtail_router_no_replica_total",
+		"longtail_router_reloads_total",
+		"longtail_router_reload_failures_total",
+	} {
+		fmt.Printf("  %-40s +%g\n", name, after[name]-before[name])
+	}
+	// Per-node served/failed deltas show how the ring spread the load.
+	names := make([]string, 0, len(after))
+	for name := range after {
+		if strings.HasPrefix(name, "longtail_node_served_total") ||
+			strings.HasPrefix(name, "longtail_node_failed_total") ||
+			strings.HasPrefix(name, "longtail_breaker_trips_total") {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if d := after[name] - before[name]; d != 0 {
+			fmt.Printf("  %-40s +%g\n", name, d)
 		}
 	}
 	return nil

@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/retry"
+	"repro/internal/serve"
+)
+
+// Handler returns the router's HTTP surface. It speaks the same wire
+// protocol as a single replica — /classify, /result, /admin/reload,
+// /healthz, /metrics — so serve.Client and cmd/loadgen point at a
+// router unchanged; /admin/join and /admin/leave are router-only.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/classify", rt.handleClassify)
+	mux.HandleFunc("/result", rt.handleResult)
+	mux.HandleFunc("/admin/reload", rt.handleReload)
+	mux.HandleFunc("/admin/join", rt.handleJoin)
+	mux.HandleFunc("/admin/leave", rt.handleLeave)
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/metrics", rt.handleMetrics)
+	return mux
+}
+
+func (rt *Router) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	id := r.Header.Get(serve.RequestIDHeader)
+	if id == "" {
+		id = rt.NextRequestID()
+	}
+	ctx := r.Context()
+	var timeout time.Duration
+	if ms := r.Header.Get(serve.TimeoutHeader); ms != "" {
+		v, err := strconv.ParseInt(ms, 10, 64)
+		if err != nil || v <= 0 {
+			http.Error(w, "bad timeout header", http.StatusBadRequest)
+			return
+		}
+		// Propagate the client's deadline: the router gives up when the
+		// client would, and forwards the same budget to the replica so it
+		// can shed work nobody is waiting for.
+		timeout = time.Duration(v) * time.Millisecond
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	data, err := rt.Forward(ctx, id, body, timeout)
+	if err != nil {
+		writeForwardError(w, err)
+		return
+	}
+	w.Header().Set(serve.RequestIDHeader, id)
+	w.Write(data)
+}
+
+// writeForwardError maps forward-path failures onto the wire contract
+// clients already retry against: 503 (retryable) for availability
+// problems, the replica's own refusal for permanent ones.
+func writeForwardError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNoReplica):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case retry.IsPermanent(err):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusBadGateway)
+	}
+}
+
+func (rt *Router) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		http.Error(w, "missing id", http.StatusBadRequest)
+		return
+	}
+	data, err := rt.FetchResult(r.Context(), id)
+	switch {
+	case err == nil:
+		w.Write(data)
+	case errors.Is(err, serve.ErrResultPending):
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, serve.ErrUnknownRequest):
+		http.Error(w, "unknown request id", http.StatusNotFound)
+	default:
+		http.Error(w, err.Error(), http.StatusBadGateway)
+	}
+}
+
+func (rt *Router) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	rules, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	gen, err := rt.Reload(r.Context(), rules)
+	if err != nil {
+		// 409, not 5xx: a client retry would fan out again and bump every
+		// reachable replica's generation without fixing the partition.
+		// The prober owns convergence from here.
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{"generation": gen})
+}
+
+func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	addr := r.URL.Query().Get("addr")
+	if addr == "" {
+		http.Error(w, "missing addr", http.StatusBadRequest)
+		return
+	}
+	if err := rt.Join(addr); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{"joined": addr})
+}
+
+func (rt *Router) handleLeave(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	addr := r.URL.Query().Get("addr")
+	if addr == "" {
+		http.Error(w, "missing addr", http.StatusBadRequest)
+		return
+	}
+	if err := rt.Leave(r.Context(), addr); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{"left": addr})
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := rt.Status()
+	if st.Status != "ok" {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(st)
+}
+
+// nodeStates is the full label domain of longtail_node_state: every
+// state is exported as a 0/1 gauge per node so dashboards can plot
+// transitions without discovering label values.
+var nodeStates = []NodeState{NodeHealthy, NodeDegraded, NodeEjected, NodeLeaving}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	st := rt.Status()
+	m := &rt.metrics
+	fmt.Fprintf(w, "longtail_router_requests_total %d\n", m.Requests.Load())
+	fmt.Fprintf(w, "longtail_router_forwarded_total %d\n", m.Forwarded.Load())
+	fmt.Fprintf(w, "longtail_failover_total %d\n", m.Failover.Load())
+	fmt.Fprintf(w, "longtail_hedged_total %d\n", m.Hedged.Load())
+	fmt.Fprintf(w, "longtail_router_no_replica_total %d\n", m.NoReplica.Load())
+	fmt.Fprintf(w, "longtail_router_reloads_total %d\n", m.Reloads.Load())
+	fmt.Fprintf(w, "longtail_router_reload_failures_total %d\n", m.ReloadErr.Load())
+	fmt.Fprintf(w, "longtail_router_generation %d\n", st.Generation)
+	fmt.Fprintf(w, "longtail_router_target_generation %d\n", st.TargetGeneration)
+	degraded := 0
+	if st.Status != "ok" {
+		degraded = 1
+	}
+	fmt.Fprintf(w, "longtail_router_degraded %d\n", degraded)
+	for _, n := range st.Nodes {
+		for _, s := range nodeStates {
+			v := 0
+			if n.State == s.String() {
+				v = 1
+			}
+			fmt.Fprintf(w, "longtail_node_state{node=%q,state=%q} %d\n", n.Addr, s.String(), v)
+		}
+		fmt.Fprintf(w, "longtail_node_generation{node=%q} %d\n", n.Addr, n.Generation)
+		fmt.Fprintf(w, "longtail_node_served_total{node=%q} %d\n", n.Addr, n.Served)
+		fmt.Fprintf(w, "longtail_node_failed_total{node=%q} %d\n", n.Addr, n.Failed)
+		fmt.Fprintf(w, "longtail_node_inflight{node=%q} %d\n", n.Addr, n.Inflight)
+		fmt.Fprintf(w, "longtail_probe_total{node=%q,outcome=\"ok\"} %d\n", n.Addr, n.ProbeOK)
+		fmt.Fprintf(w, "longtail_probe_total{node=%q,outcome=\"error\"} %d\n", n.Addr, n.ProbeErr)
+		for _, s := range []string{"closed", "open", "half-open"} {
+			v := 0
+			if n.Breaker == s {
+				v = 1
+			}
+			fmt.Fprintf(w, "longtail_breaker_state{node=%q,state=%q} %d\n", n.Addr, s, v)
+		}
+		fmt.Fprintf(w, "longtail_breaker_trips_total{node=%q} %d\n", n.Addr, n.BreakerTrips)
+	}
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing([]string{"a", "a"}, 8); err == nil {
+		t.Error("duplicate address accepted")
+	}
+	if _, err := NewRing([]string{""}, 8); err == nil {
+		t.Error("empty address accepted")
+	}
+	if _, err := NewRing([]string{"a"}, -1); err == nil {
+		t.Error("negative vnodes accepted")
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r, err := NewRing(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Owner("k"); got != "" {
+		t.Errorf("Owner on empty ring = %q, want empty", got)
+	}
+	if got := r.Successors("k"); got != nil {
+		t.Errorf("Successors on empty ring = %v, want nil", got)
+	}
+}
+
+func testAddrs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("10.0.0.%d:8787", i+1)
+	}
+	return out
+}
+
+func TestRingOwnerDeterministicAndBalanced(t *testing.T) {
+	addrs := testAddrs(3)
+	r, err := NewRing(addrs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{addrs[2], addrs[0], addrs[1]}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	counts := make(map[string]int, len(addrs))
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("req-%06d", i)
+		owner := r.Owner(key)
+		if owner == "" {
+			t.Fatal("no owner")
+		}
+		if got := r2.Owner(key); got != owner {
+			t.Fatalf("owner depends on input order: %q vs %q", owner, got)
+		}
+		counts[owner]++
+	}
+	// With 64 vnodes per member, no replica should stray too far from the
+	// fair share keys/3 — the balance virtual nodes exist to provide.
+	for addr, n := range counts {
+		if n < keys/3/2 || n > keys/3*2 {
+			t.Errorf("replica %s owns %d of %d keys; want within [%d, %d]", addr, n, keys, keys/6, keys/3*2)
+		}
+	}
+}
+
+func TestRingSuccessorsDistinctAndComplete(t *testing.T) {
+	addrs := testAddrs(5)
+	r, err := NewRing(addrs, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("req-%04d", i)
+		succ := r.Successors(key)
+		if len(succ) != len(addrs) {
+			t.Fatalf("Successors(%q) has %d entries, want %d", key, len(succ), len(addrs))
+		}
+		if succ[0] != r.Owner(key) {
+			t.Fatalf("Successors(%q)[0] = %q, Owner = %q", key, succ[0], r.Owner(key))
+		}
+		seen := make(map[string]bool, len(succ))
+		for _, a := range succ {
+			if seen[a] {
+				t.Fatalf("Successors(%q) repeats %q", key, a)
+			}
+			seen[a] = true
+		}
+	}
+}
+
+func TestRingMinimalRemapOnRemoval(t *testing.T) {
+	addrs := testAddrs(4)
+	full, err := NewRing(addrs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := addrs[1]
+	shrunk, err := NewRing(append(append([]string{}, addrs[:1]...), addrs[2:]...), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const keys = 10000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("req-%06d", i)
+		before, after := full.Owner(key), shrunk.Owner(key)
+		if before == removed {
+			// Orphaned keys must land on the key's next distinct successor
+			// — that is what makes blind failover hit the right ledger.
+			want := full.Successors(key)[1]
+			if after != want {
+				t.Fatalf("orphaned key %q moved to %q, want successor %q", key, after, want)
+			}
+			continue
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the removed node changed owner; consistent hashing should move none", moved)
+	}
+}

@@ -1,0 +1,467 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/retry"
+	"repro/internal/serve"
+)
+
+// ErrNoReplica is returned by Forward when no replica is eligible for a
+// request: every candidate is ejected, leaving, or breaker-open.
+var ErrNoReplica = errors.New("cluster: no eligible replica")
+
+// NodeState is the router's view of one replica's availability.
+type NodeState int32
+
+// Node states, in decreasing order of trust. Healthy nodes are the
+// primary route tier; degraded nodes serve only when no healthy
+// candidate remains; ejected and leaving nodes are out of the ring.
+const (
+	NodeHealthy NodeState = iota
+	NodeDegraded
+	NodeEjected
+	NodeLeaving
+)
+
+// String returns the lowercase state name.
+func (s NodeState) String() string {
+	switch s {
+	case NodeHealthy:
+		return "healthy"
+	case NodeDegraded:
+		return "degraded"
+	case NodeEjected:
+		return "ejected"
+	case NodeLeaving:
+		return "leaving"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// node is the router's per-replica record. All fields are either
+// immutable after construction or atomic: the data path never takes the
+// router mutex.
+type node struct {
+	addr    string
+	client  *serve.Client
+	breaker *retry.Breaker
+
+	state      atomic.Int32  // NodeState
+	gen        atomic.Uint64 // last generation the replica reported
+	probeFails atomic.Int32  // consecutive failed health probes
+	inflight   atomic.Int64  // forwards in flight (drained on Leave)
+
+	served   atomic.Uint64 // successful forwards answered by this node
+	failed   atomic.Uint64 // forward attempts that errored on this node
+	probeOK  atomic.Uint64
+	probeErr atomic.Uint64
+}
+
+func (n *node) State() NodeState { return NodeState(n.state.Load()) }
+
+// Options configures a Router. The zero value of every optional field
+// selects a sensible default; Replicas is required.
+type Options struct {
+	// Replicas lists the replica addresses (host:port) forming the
+	// initial ring.
+	Replicas []string
+	// HTTPClient is the shared transport for all replica links — the
+	// decoration point for internal/faults.Transport. nil selects
+	// http.DefaultClient.
+	HTTPClient *http.Client
+	// Retry is the per-replica client policy (used for deferred-result
+	// polling and reload fan-out, not for /classify attempts — cross-node
+	// failover replaces in-place retries on the forward path).
+	Retry retry.Policy
+	// BreakerThreshold and BreakerReset configure each node's circuit
+	// breaker (defaults 3 consecutive failures, 2s reset).
+	BreakerThreshold int
+	BreakerReset     time.Duration
+	// ProbeInterval is the active health-probe period; 0 disables the
+	// background prober (ProbeAll can still be driven manually).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe (default 1s).
+	ProbeTimeout time.Duration
+	// EjectAfter is how many consecutive probe failures eject a replica
+	// from the ring (default 3). Keep it above the fault injector's
+	// MaxConsecutiveFailures or chaos runs eject nodes that were only
+	// unlucky.
+	EjectAfter int
+	// HedgeDelay launches a hedged attempt on the next ring successor
+	// when the owner has not answered within this delay; 0 disables
+	// hedging (failover still happens on error).
+	HedgeDelay time.Duration
+	// VirtualNodes is the ring positions per replica (default
+	// DefaultVirtualNodes).
+	VirtualNodes int
+	// MaxServedRoutes bounds the sticky request-ID route cache (default
+	// 65536 entries, FIFO eviction).
+	MaxServedRoutes int
+	// RequestIDPrefix namespaces router-generated request IDs for
+	// clients that did not send one (default "router").
+	RequestIDPrefix string
+	// Now replaces time.Now for breaker clocks in tests.
+	Now func() time.Time
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.BreakerThreshold == 0 {
+		out.BreakerThreshold = 3
+	}
+	if out.BreakerReset == 0 {
+		out.BreakerReset = 2 * time.Second
+	}
+	if out.ProbeTimeout == 0 {
+		out.ProbeTimeout = time.Second
+	}
+	if out.EjectAfter == 0 {
+		out.EjectAfter = 3
+	}
+	if out.MaxServedRoutes == 0 {
+		out.MaxServedRoutes = 65536
+	}
+	if out.RequestIDPrefix == "" {
+		out.RequestIDPrefix = "router"
+	}
+	return out
+}
+
+// Metrics is the router's counter set, mirrored into /metrics.
+type Metrics struct {
+	Requests  atomic.Uint64 // forwards attempted
+	Forwarded atomic.Uint64 // forwards answered successfully
+	Failover  atomic.Uint64 // extra attempts launched because one failed
+	Hedged    atomic.Uint64 // extra attempts launched by the hedge timer
+	NoReplica atomic.Uint64 // forwards rejected: no eligible replica
+	Reloads   atomic.Uint64
+	ReloadErr atomic.Uint64
+}
+
+// Router fronts a replica set: consistent-hash ownership, per-node
+// circuit breakers, hedged failover along ring successors, active
+// health probing, and generation-consistent rule distribution. The
+// exactly-once story rides on the replicas' ledgers: every forward
+// carries the client's X-Request-Id unchanged, and sticky routing pins
+// retransmits of an accepted batch to the replica whose ledger holds
+// the verdict.
+type Router struct {
+	opts    Options
+	metrics Metrics
+
+	// ring is the current consistent-hash ring (copy-on-write; nil never
+	// stored). Readers never lock.
+	ring atomic.Pointer[Ring]
+
+	mu    sync.Mutex
+	nodes map[string]*node // guarded by mu
+	// advertisedGen is the rule generation the router vouches for: every
+	// in-ring replica has confirmed it. Guarded by mu.
+	advertisedGen uint64
+	// targetGen is the highest generation any reload achieved anywhere;
+	// advertisement lags it until the fleet converges. Guarded by mu.
+	targetGen uint64
+	// degradedReason is non-empty while advertisement is rolled back
+	// (partial reload, divergent generations). Guarded by mu.
+	degradedReason string
+	// pendingRules is the last rule set handed to Reload, kept for
+	// reconciling lagging or restarted replicas. Guarded by mu.
+	pendingRules []byte
+
+	routeMu sync.Mutex
+	// routes pins request IDs to the replica that served them, so a
+	// failover retransmit reaches the ledger that already holds the
+	// verdict. Guarded by routeMu.
+	routes map[string]string
+	// routeOrder is the FIFO eviction queue for routes. Guarded by routeMu.
+	routeOrder []string
+
+	drainMu   sync.Mutex
+	drainCond *sync.Cond
+
+	seq       atomic.Uint64
+	probeStop context.CancelFunc
+	probeDone chan struct{}
+}
+
+// NewRouter builds a router over opts.Replicas and runs one synchronous
+// probe round so the initial ring reflects reality; if every reachable
+// replica agrees on a generation it is advertised immediately. When
+// opts.ProbeInterval > 0 a background prober keeps membership current
+// until Close.
+func NewRouter(opts Options) (*Router, error) {
+	o := opts.withDefaults()
+	if len(o.Replicas) == 0 {
+		return nil, fmt.Errorf("cluster: no replicas configured")
+	}
+	rt := &Router{
+		opts:   o,
+		nodes:  make(map[string]*node, len(o.Replicas)),
+		routes: make(map[string]string),
+	}
+	rt.drainCond = sync.NewCond(&rt.drainMu)
+	for _, addr := range o.Replicas {
+		n, err := rt.newNode(addr)
+		if err != nil {
+			return nil, err
+		}
+		if rt.nodes[addr] != nil {
+			return nil, fmt.Errorf("cluster: duplicate replica %q", addr)
+		}
+		rt.nodes[addr] = n
+	}
+	ring, err := NewRing(o.Replicas, o.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	rt.ring.Store(ring)
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.ProbeTimeout*time.Duration(1+len(o.Replicas)))
+	rt.ProbeAll(ctx)
+	cancel()
+
+	if o.ProbeInterval > 0 {
+		probeCtx, stop := context.WithCancel(context.Background())
+		rt.probeStop = stop
+		rt.probeDone = make(chan struct{})
+		go rt.probeLoop(probeCtx)
+	}
+	return rt, nil
+}
+
+func (rt *Router) newNode(addr string) (*node, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("cluster: empty replica address")
+	}
+	br, err := retry.NewBreaker(rt.opts.BreakerThreshold, rt.opts.BreakerReset, rt.opts.Now)
+	if err != nil {
+		return nil, err
+	}
+	return &node{
+		addr: addr,
+		client: &serve.Client{
+			BaseURL:         "http://" + addr,
+			HTTPClient:      rt.opts.HTTPClient,
+			Retry:           rt.opts.Retry,
+			RequestIDPrefix: rt.opts.RequestIDPrefix + "-" + addr,
+		},
+		breaker: br,
+	}, nil
+}
+
+// Close stops the background prober.
+func (rt *Router) Close() {
+	if rt.probeStop != nil {
+		rt.probeStop()
+		<-rt.probeDone
+	}
+}
+
+// NextRequestID mints a router-local request ID for clients that sent
+// none. Retransmit dedup only helps callers who hold an ID across
+// retries, so clients that care supply their own.
+func (rt *Router) NextRequestID() string {
+	return fmt.Sprintf("%s-%06d", rt.opts.RequestIDPrefix, rt.seq.Add(1))
+}
+
+// Metrics exposes the router counter set.
+func (rt *Router) Metrics() *Metrics { return &rt.metrics }
+
+// attemptResult is one replica attempt's outcome on the forward path.
+type attemptResult struct {
+	addr string
+	data []byte
+	err  error
+}
+
+// Forward routes one pre-marshaled /classify body to the replica owning
+// id, failing over along ring successors on error and hedging to the
+// next successor when the owner stalls past HedgeDelay. Healthy nodes
+// are tried first, degraded ones only when no healthy candidate
+// remains; a node whose breaker refuses admission is skipped without an
+// attempt. The first success wins; its replica is pinned in the sticky
+// route cache so retransmits of id reach the same ledger.
+func (rt *Router) Forward(ctx context.Context, id string, body []byte, timeout time.Duration) ([]byte, error) {
+	rt.metrics.Requests.Add(1)
+	candidates := rt.candidatesFor(id)
+	if len(candidates) == 0 {
+		rt.metrics.NoReplica.Add(1)
+		return nil, ErrNoReplica
+	}
+
+	// Buffered to the candidate count: attempt goroutines can always
+	// deliver and exit, even after the caller has returned.
+	resCh := make(chan attemptResult, len(candidates))
+	next := 0
+	outstanding := 0
+	launchNext := func() bool {
+		for next < len(candidates) {
+			n := candidates[next]
+			next++
+			if err := n.breaker.Allow(); err != nil {
+				continue // breaker-open: skip without an attempt
+			}
+			outstanding++
+			n.inflight.Add(1)
+			go rt.attempt(ctx, n, id, body, timeout, resCh)
+			return true
+		}
+		return false
+	}
+	if !launchNext() {
+		rt.metrics.NoReplica.Add(1)
+		return nil, ErrNoReplica
+	}
+
+	var hedgeC <-chan time.Time
+	if rt.opts.HedgeDelay > 0 && next < len(candidates) {
+		t := time.NewTimer(rt.opts.HedgeDelay)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	var firstErr error
+	for outstanding > 0 {
+		select {
+		case res := <-resCh:
+			outstanding--
+			if res.err == nil {
+				rt.metrics.Forwarded.Add(1)
+				rt.recordRoute(id, res.addr)
+				return res.data, nil
+			}
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			if retry.IsPermanent(res.err) {
+				// The replica answered and refused (4xx): another replica
+				// would refuse the same bytes the same way.
+				return nil, res.err
+			}
+			if launchNext() {
+				rt.metrics.Failover.Add(1)
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if launchNext() {
+				rt.metrics.Hedged.Add(1)
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if firstErr == nil {
+		firstErr = ErrNoReplica
+	}
+	return nil, fmt.Errorf("cluster: all replicas failed: %w", firstErr)
+}
+
+// attempt runs one replica attempt. The breaker slot taken by Allow is
+// always resolved here — a lost hedge still Records, or the single-probe
+// half-open admission would wedge.
+func (rt *Router) attempt(ctx context.Context, n *node, id string, body []byte, timeout time.Duration, resCh chan<- attemptResult) {
+	data, err := n.client.ClassifyRaw(ctx, id, body, timeout)
+	switch {
+	case err == nil:
+		n.served.Add(1)
+		n.breaker.Record(nil)
+	case retry.IsPermanent(err):
+		// The replica is healthy enough to reject bad input; only count
+		// availability failures against the breaker.
+		n.breaker.Record(nil)
+	default:
+		n.failed.Add(1)
+		n.breaker.Record(err)
+	}
+	n.inflight.Add(-1)
+	rt.drainCond.Broadcast()
+	resCh <- attemptResult{addr: n.addr, data: data, err: err}
+}
+
+// candidatesFor returns the attempt order for id: sticky replica first
+// (if still usable), then healthy ring successors, then degraded ones
+// as a last resort.
+func (rt *Router) candidatesFor(id string) []*node {
+	ring := rt.ring.Load()
+	succ := ring.Successors(id)
+	sticky, hasSticky := rt.lookupRoute(id)
+
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	healthy := make([]*node, 0, len(succ))
+	degraded := make([]*node, 0, 2)
+	appendNode := func(addr string) {
+		n := rt.nodes[addr]
+		if n == nil {
+			return
+		}
+		switch n.State() {
+		case NodeHealthy:
+			healthy = append(healthy, n)
+		case NodeDegraded:
+			degraded = append(degraded, n)
+		}
+	}
+	if hasSticky {
+		appendNode(sticky)
+	}
+	for _, addr := range succ {
+		if hasSticky && addr == sticky {
+			continue
+		}
+		appendNode(addr)
+	}
+	return append(healthy, degraded...)
+}
+
+// recordRoute pins id to the replica whose ledger now owns its verdict.
+// The cache is bounded: FIFO eviction at MaxServedRoutes.
+func (rt *Router) recordRoute(id, addr string) {
+	rt.routeMu.Lock()
+	defer rt.routeMu.Unlock()
+	if _, ok := rt.routes[id]; !ok {
+		rt.routeOrder = append(rt.routeOrder, id)
+		if len(rt.routeOrder) > rt.opts.MaxServedRoutes {
+			delete(rt.routes, rt.routeOrder[0])
+			rt.routeOrder = rt.routeOrder[1:]
+		}
+	}
+	rt.routes[id] = addr
+}
+
+func (rt *Router) lookupRoute(id string) (string, bool) {
+	rt.routeMu.Lock()
+	defer rt.routeMu.Unlock()
+	addr, ok := rt.routes[id]
+	return addr, ok
+}
+
+// FetchResult resolves GET /result for id across the cluster: the
+// sticky replica first, then every ring successor, returning the first
+// ledger hit. ErrResultPending propagates (the batch is accepted
+// somewhere, still classifying); ErrUnknownRequest only when no replica
+// has seen the ID.
+func (rt *Router) FetchResult(ctx context.Context, id string) ([]byte, error) {
+	var lastErr error = serve.ErrUnknownRequest
+	for _, n := range rt.candidatesFor(id) {
+		data, err := n.client.FetchResult(ctx, id)
+		switch {
+		case err == nil:
+			return data, nil
+		case errors.Is(err, serve.ErrResultPending):
+			return nil, err
+		case errors.Is(err, serve.ErrUnknownRequest):
+			continue
+		default:
+			lastErr = err
+		}
+	}
+	return nil, lastErr
+}

@@ -1,0 +1,543 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/retry"
+	"repro/internal/serve"
+)
+
+// fakeReplica is a minimal stand-in for a longtaild: a dedup ledger
+// keyed on X-Request-Id, a reloadable generation counter, and knobs to
+// fail classification, reject reloads, hang, or go dark.
+type fakeReplica struct {
+	srv *httptest.Server
+
+	mu           sync.Mutex
+	gen          uint64
+	healthy      bool
+	down         bool
+	failClassify int
+	rejectReload bool
+	ledger       map[string]string
+	classified   int
+	hang         chan struct{}
+}
+
+func newFakeReplica(t *testing.T) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{gen: 1, healthy: true, ledger: make(map[string]string)}
+	f.srv = httptest.NewServer(http.HandlerFunc(f.handle))
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *fakeReplica) addr() string { return f.srv.Listener.Addr().String() }
+
+func (f *fakeReplica) handle(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	if f.down {
+		f.mu.Unlock()
+		http.Error(w, "down", http.StatusServiceUnavailable)
+		return
+	}
+	hang := f.hang
+	f.mu.Unlock()
+	switch r.URL.Path {
+	case "/classify":
+		if hang != nil {
+			<-hang
+		}
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.failClassify > 0 {
+			f.failClassify--
+			http.Error(w, "induced failure", http.StatusInternalServerError)
+			return
+		}
+		id := r.Header.Get(serve.RequestIDHeader)
+		if resp, ok := f.ledger[id]; ok {
+			fmt.Fprint(w, resp) // retransmit: answered from the ledger
+			return
+		}
+		f.classified++
+		resp := fmt.Sprintf("verdict:%s:%s", f.addr(), id)
+		f.ledger[id] = resp
+		fmt.Fprint(w, resp)
+	case "/result":
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if resp, ok := f.ledger[r.URL.Query().Get("id")]; ok {
+			fmt.Fprint(w, resp)
+			return
+		}
+		http.Error(w, "unknown request id", http.StatusNotFound)
+	case "/admin/reload":
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.rejectReload {
+			http.Error(w, "induced reload refusal", http.StatusBadRequest)
+			return
+		}
+		f.gen++
+		json.NewEncoder(w).Encode(map[string]any{"generation": f.gen})
+	case "/healthz":
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		status := "ok"
+		if !f.healthy {
+			status = "degraded"
+		}
+		json.NewEncoder(w).Encode(map[string]any{"status": status, "generation": f.gen})
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (f *fakeReplica) set(fn func(*fakeReplica)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fn(f)
+}
+
+func (f *fakeReplica) classifiedCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.classified
+}
+
+// fastPolicy never sleeps, so failure paths resolve instantly.
+var fastPolicy = retry.Policy{
+	MaxAttempts: 2,
+	Sleep:       func(ctx context.Context, _ time.Duration) error { return ctx.Err() },
+}
+
+func newTestRouter(t *testing.T, replicas []*fakeReplica, mutate func(*Options)) *Router {
+	t.Helper()
+	addrs := make([]string, len(replicas))
+	for i, f := range replicas {
+		addrs[i] = f.addr()
+	}
+	opts := Options{
+		Replicas:     addrs,
+		Retry:        fastPolicy,
+		ProbeTimeout: 2 * time.Second,
+		BreakerReset: 50 * time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(&opts)
+	}
+	rt, err := NewRouter(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+func TestRouterForwardStickyDedup(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t), newFakeReplica(t), newFakeReplica(t)}
+	rt := newTestRouter(t, replicas, nil)
+
+	ctx := context.Background()
+	first, err := rt.Forward(ctx, "req-000001", []byte("batch"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A retransmit under the same ID must be answered from the ledger of
+	// the replica that served it: byte-identical, no re-classification.
+	again, err := rt.Forward(ctx, "req-000001", []byte("batch"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(again) {
+		t.Fatalf("retransmit diverged: %q vs %q", first, again)
+	}
+	total := 0
+	for _, f := range replicas {
+		total += f.classifiedCount()
+	}
+	if total != 1 {
+		t.Fatalf("cluster classified %d times, want 1 (dedup)", total)
+	}
+
+	// /result resolves through the cluster too.
+	data, err := rt.FetchResult(ctx, "req-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(first) {
+		t.Fatalf("FetchResult = %q, want %q", data, first)
+	}
+	if _, err := rt.FetchResult(ctx, "req-unseen"); !errors.Is(err, serve.ErrUnknownRequest) {
+		t.Fatalf("FetchResult(unseen) = %v, want ErrUnknownRequest", err)
+	}
+}
+
+func TestRouterFailoverOnError(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t), newFakeReplica(t), newFakeReplica(t)}
+	rt := newTestRouter(t, replicas, nil)
+
+	// Find the owner of this key and make it fail once.
+	id := "req-failover"
+	owner := rt.ring.Load().Owner(id)
+	for _, f := range replicas {
+		if f.addr() == owner {
+			f.set(func(f *fakeReplica) { f.failClassify = 5 })
+		}
+	}
+	data, err := rt.Forward(context.Background(), id, []byte("batch"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), owner) {
+		t.Fatalf("verdict %q came from the failing owner", data)
+	}
+	if got := rt.Metrics().Failover.Load(); got == 0 {
+		t.Error("failover counter did not move")
+	}
+
+	// The sticky route now pins the ID to the successor that answered:
+	// even with the owner healthy again, a retransmit hits the ledger.
+	before := 0
+	for _, f := range replicas {
+		before += f.classifiedCount()
+	}
+	again, err := rt.Forward(context.Background(), id, []byte("batch"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Fatalf("post-failover retransmit diverged: %q vs %q", again, data)
+	}
+	after := 0
+	for _, f := range replicas {
+		after += f.classifiedCount()
+	}
+	if after != before {
+		t.Fatalf("retransmit re-classified (%d -> %d)", before, after)
+	}
+}
+
+func TestRouterBreakerSkipsOpenNode(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t), newFakeReplica(t)}
+	rt := newTestRouter(t, replicas, func(o *Options) {
+		o.BreakerThreshold = 2
+		o.BreakerReset = time.Hour
+	})
+	id := "req-breaker"
+	owner := rt.ring.Load().Owner(id)
+	var bad *fakeReplica
+	for _, f := range replicas {
+		if f.addr() == owner {
+			bad = f
+		}
+	}
+	bad.set(func(f *fakeReplica) { f.failClassify = 1000 })
+
+	// Each request ID has its own ring owner, so derive IDs the bad
+	// replica actually owns — those forwards attempt it first.
+	ownedID := func(tag string, k int) []string {
+		ids := make([]string, 0, k)
+		for i := 0; len(ids) < k; i++ {
+			if cand := fmt.Sprintf("%s-%s-%d", id, tag, i); rt.ring.Load().Owner(cand) == owner {
+				ids = append(ids, cand)
+			}
+		}
+		return ids
+	}
+
+	// Enough traffic to trip the owner's breaker (2 consecutive failures).
+	for _, tid := range ownedID("trip", 4) {
+		if _, err := rt.Forward(context.Background(), tid, []byte("b"), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.mu.Lock()
+	br := rt.nodes[owner].breaker.State()
+	rt.mu.Unlock()
+	if br != retry.BreakerOpen {
+		t.Fatalf("owner breaker = %v, want open", br)
+	}
+	// With the breaker open the owner is skipped without an attempt.
+	bad.set(func(f *fakeReplica) { f.failClassify = 0 })
+	pre := bad.classifiedCount()
+	if _, err := rt.Forward(context.Background(), ownedID("post", 1)[0], []byte("b"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if bad.classifiedCount() != pre {
+		t.Error("breaker-open node still received an attempt")
+	}
+
+	// A successful health probe closes the breaker out of band — the
+	// node must not stay unroutable for the rest of the 1h reset window
+	// once the prober has seen it answer.
+	rt.ProbeAll(context.Background())
+	rt.mu.Lock()
+	br = rt.nodes[owner].breaker.State()
+	rt.mu.Unlock()
+	if br != retry.BreakerClosed {
+		t.Fatalf("owner breaker after successful probe = %v, want closed", br)
+	}
+	pre = bad.classifiedCount()
+	if _, err := rt.Forward(context.Background(), ownedID("fresh", 1)[0], []byte("b"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if bad.classifiedCount() == pre {
+		t.Error("recovered owner received no attempt after its breaker was probe-reset")
+	}
+}
+
+func TestRouterHedgeOnStall(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t), newFakeReplica(t)}
+	hang := make(chan struct{})
+	defer close(hang)
+
+	rt := newTestRouter(t, replicas, func(o *Options) {
+		o.HedgeDelay = 10 * time.Millisecond
+	})
+	id := "req-hedge"
+	owner := rt.ring.Load().Owner(id)
+	for _, f := range replicas {
+		if f.addr() == owner {
+			f.set(func(f *fakeReplica) { f.hang = hang })
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	data, err := rt.Forward(ctx, id, []byte("batch"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), owner) {
+		t.Fatalf("verdict %q came from the stalled owner", data)
+	}
+	if got := rt.Metrics().Hedged.Load(); got != 1 {
+		t.Errorf("hedged counter = %d, want 1", got)
+	}
+}
+
+func TestRouterNoReplica(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t)}
+	rt := newTestRouter(t, replicas, nil)
+	rt.mu.Lock()
+	for _, n := range rt.nodes {
+		n.state.Store(int32(NodeEjected))
+	}
+	rt.rebuildRingLocked()
+	rt.mu.Unlock()
+	if _, err := rt.Forward(context.Background(), "req-x", []byte("b"), 0); !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("Forward = %v, want ErrNoReplica", err)
+	}
+}
+
+func TestRouterGenerationConsistentReload(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t), newFakeReplica(t), newFakeReplica(t)}
+	rt := newTestRouter(t, replicas, nil)
+
+	// Uniform reload advertises the new generation.
+	gen, err := rt.Reload(context.Background(), []byte(`{"rules":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 {
+		t.Fatalf("generation = %d, want 2", gen)
+	}
+	if st := rt.Status(); st.Status != "ok" || st.Generation != 2 {
+		t.Fatalf("status after uniform reload = %+v", st)
+	}
+
+	// One replica refuses: the reload must NOT advance the advertised
+	// generation, the router reports degraded, and the laggard is out of
+	// the healthy tier.
+	lag := replicas[1]
+	lag.set(func(f *fakeReplica) { f.rejectReload = true })
+	if _, err := rt.Reload(context.Background(), []byte(`{"rules":[]}`)); err == nil {
+		t.Fatal("partial reload reported success")
+	}
+	st := rt.Status()
+	if st.Status != "degraded" {
+		t.Fatalf("status after partial reload = %q, want degraded", st.Status)
+	}
+	if st.Generation == st.TargetGeneration {
+		t.Fatalf("advertisement %d not rolled back from target %d", st.Generation, st.TargetGeneration)
+	}
+	rt.mu.Lock()
+	lagState := rt.nodes[lag.addr()].State()
+	rt.mu.Unlock()
+	if lagState != NodeDegraded {
+		t.Fatalf("lagging node state = %v, want degraded", lagState)
+	}
+
+	// Recovery: the replica accepts reloads again; the probe round
+	// reconciles it to the target generation and re-advertises.
+	lag.set(func(f *fakeReplica) { f.rejectReload = false })
+	rt.ProbeAll(context.Background())
+	st = rt.Status()
+	if st.Status != "ok" || st.Generation != st.TargetGeneration {
+		t.Fatalf("status after reconciliation = %+v, want ok at target", st)
+	}
+}
+
+func TestRouterProbeEjectsAndReadmits(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t), newFakeReplica(t)}
+	rt := newTestRouter(t, replicas, func(o *Options) { o.EjectAfter = 2 })
+
+	dead := replicas[0]
+	dead.set(func(f *fakeReplica) { f.down = true })
+	rt.ProbeAll(context.Background())
+	rt.ProbeAll(context.Background())
+	rt.mu.Lock()
+	state := rt.nodes[dead.addr()].State()
+	rt.mu.Unlock()
+	if state != NodeEjected {
+		t.Fatalf("dead node state = %v, want ejected", state)
+	}
+	if got := rt.ring.Load().Len(); got != 1 {
+		t.Fatalf("ring has %d members after ejection, want 1", got)
+	}
+
+	// Recovery: one good probe re-admits on probation, the next promotes.
+	dead.set(func(f *fakeReplica) { f.down = false })
+	rt.ProbeAll(context.Background())
+	rt.ProbeAll(context.Background())
+	rt.mu.Lock()
+	state = rt.nodes[dead.addr()].State()
+	rt.mu.Unlock()
+	if state != NodeHealthy {
+		t.Fatalf("recovered node state = %v, want healthy", state)
+	}
+	if got := rt.ring.Load().Len(); got != 2 {
+		t.Fatalf("ring has %d members after re-admission, want 2", got)
+	}
+}
+
+func TestRouterJoinLeaveDrain(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t), newFakeReplica(t)}
+	rt := newTestRouter(t, []*fakeReplica{replicas[0]}, nil)
+
+	if err := rt.Join(replicas[1].addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Join(replicas[1].addr()); err == nil {
+		t.Fatal("double join accepted")
+	}
+	rt.ProbeAll(context.Background())
+	if got := rt.ring.Load().Len(); got != 2 {
+		t.Fatalf("ring has %d members after join, want 2", got)
+	}
+
+	// A leave with traffic in flight drains before forgetting the node.
+	hang := make(chan struct{})
+	replicas[0].set(func(f *fakeReplica) { f.hang = hang })
+	id := ""
+	for i := 0; ; i++ {
+		id = fmt.Sprintf("req-drain-%d", i)
+		if rt.ring.Load().Owner(id) == replicas[0].addr() {
+			break
+		}
+	}
+	fwdDone := make(chan error, 1)
+	go func() {
+		_, err := rt.Forward(context.Background(), id, []byte("b"), 0)
+		fwdDone <- err
+	}()
+	// Wait for the forward to be in flight on the hanging replica.
+	for {
+		rt.mu.Lock()
+		inflight := rt.nodes[replicas[0].addr()].inflight.Load()
+		rt.mu.Unlock()
+		if inflight > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	leaveDone := make(chan error, 1)
+	go func() { leaveDone <- rt.Leave(context.Background(), replicas[0].addr()) }()
+	select {
+	case err := <-leaveDone:
+		t.Fatalf("Leave returned %v before the in-flight forward drained", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	close(hang)
+	if err := <-leaveDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-fwdDone; err != nil {
+		t.Fatalf("in-flight forward failed during drain: %v", err)
+	}
+	if got := rt.ring.Load().Len(); got != 1 {
+		t.Fatalf("ring has %d members after leave, want 1", got)
+	}
+	if err := rt.Leave(context.Background(), replicas[0].addr()); err == nil {
+		t.Fatal("leave of a non-member accepted")
+	}
+}
+
+func TestRouterHandlerWireProtocol(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t), newFakeReplica(t)}
+	rt := newTestRouter(t, replicas, nil)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	// A serve.Client pointed at the router speaks the same protocol it
+	// speaks to a single replica.
+	req, err := http.NewRequest(http.MethodPost, front.URL+"/classify", strings.NewReader("batch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(serve.RequestIDHeader, "req-wire-1")
+	resp, err := front.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 256)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /classify = %s", resp.Status)
+	}
+	if !strings.HasPrefix(string(body[:n]), "verdict:") {
+		t.Fatalf("unexpected body %q", body[:n])
+	}
+
+	hresp, err := front.Client().Get(front.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(hresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if len(st.Nodes) != 2 || st.Status != "ok" {
+		t.Fatalf("healthz = %+v", st)
+	}
+
+	mresp, err := front.Client().Get(front.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(raw)
+	for _, want := range []string{"longtail_node_state{", "longtail_failover_total", "longtail_hedged_total", "longtail_probe_total{", "longtail_breaker_state{"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}

@@ -47,6 +47,7 @@ var All = []Experiment{
 	{ID: "chains", Name: "Extension: malicious download-chain depths", Run: Chains},
 	{ID: "chaos", Name: "Robustness: fault-injected pipeline vs fault-free baseline", Run: Chaos},
 	{ID: "chaos-serve", Name: "Robustness: serving-layer kill -9 + journal recovery under transport faults", Run: ChaosServe},
+	{ID: "chaos-cluster", Name: "Robustness: 3-replica cluster under link faults, kill -9, partition, and degraded reload", Run: ChaosCluster},
 }
 
 // ByID returns the experiment with the given ID.

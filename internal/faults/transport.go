@@ -1,0 +1,183 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// DefaultIDHeader is the request header the Transport keys its
+// per-request fault schedule on. It matches serve.RequestIDHeader
+// (spelled out here so faults does not depend on the serving layer).
+const DefaultIDHeader = "X-Request-Id"
+
+// TransportStats counts what a Transport did to the traffic through it.
+type TransportStats struct {
+	// Requests counts RoundTrip calls (attempts, including faulted ones).
+	Requests int64
+	// Dropped counts requests lost before delivery (the sender sees an
+	// error; the server never saw the request).
+	Dropped int64
+	// ResponsesLost counts requests that were delivered and processed but
+	// whose response was discarded — the failure mode that forces the
+	// receiver's retransmit-dedup machinery to prove itself.
+	ResponsesLost int64
+	// PartitionRefusals counts requests refused because their link was
+	// partitioned at the time.
+	PartitionRefusals int64
+	// FaultedKeys is how many distinct (link, request) keys hit at least
+	// one injected fault or partition refusal.
+	FaultedKeys int
+	// SimulatedLatency accumulates injected per-attempt latency, in
+	// nanoseconds (accounted, not slept, so chaos runs stay fast).
+	SimulatedLatencyNS int64
+}
+
+// Transport is an http.RoundTripper decorated with deterministic link
+// faults: per-link request drops and response losses driven by an
+// Injector, plus operator-controlled partitions that fail every request
+// to a host until healed. It is the inter-node decoration point of the
+// cluster layer — wrap the router's shared transport with it and the
+// per-node retry/breaker/failover machinery absorbs the injected
+// failures exactly as the serving client absorbs single-node faults.
+//
+// Fault decisions key on (host, request ID, attempt), so every
+// router→replica link gets an independent, reproducible schedule, and
+// retransmissions of one batch see a bounded failure streak
+// (Injector.FailuresBefore). Requests without an ID header (health
+// probes, reload fan-outs) pass through un-dropped — partitions still
+// apply to them, which is what lets probes detect a cut link.
+type Transport struct {
+	inj  *Injector
+	base http.RoundTripper
+	// IDHeader names the request-ID header the fault schedule keys on;
+	// empty selects DefaultIDHeader. Set before first use.
+	IDHeader string
+
+	mu       sync.Mutex
+	attempts map[string]int  // guarded by mu
+	faulted  map[string]bool // guarded by mu
+	// partitioned marks hosts whose link is down; guarded by mu.
+	partitioned map[string]bool
+	stats       TransportStats // guarded by mu
+}
+
+// NewTransport wraps base (nil selects http.DefaultTransport) with the
+// injector's deterministic link-fault schedule.
+func NewTransport(inj *Injector, base http.RoundTripper) (*Transport, error) {
+	if inj == nil {
+		return nil, fmt.Errorf("faults: nil injector")
+	}
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &Transport{
+		inj:         inj,
+		base:        base,
+		attempts:    make(map[string]int),
+		faulted:     make(map[string]bool),
+		partitioned: make(map[string]bool),
+	}, nil
+}
+
+// Partition cuts the link to host (as it appears in request URLs, e.g.
+// "127.0.0.1:8787"): every subsequent request to it fails until Heal.
+func (t *Transport) Partition(host string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.partitioned[host] = true
+}
+
+// Heal restores the link to host.
+func (t *Transport) Heal(host string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.partitioned, host)
+}
+
+// Partitioned reports whether the link to host is currently cut.
+func (t *Transport) Partitioned(host string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.partitioned[host]
+}
+
+// RoundTrip applies the link's fault schedule to one attempt.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	hdr := t.IDHeader
+	if hdr == "" {
+		hdr = DefaultIDHeader
+	}
+	id := req.Header.Get(hdr)
+	key := host + "|" + id
+
+	t.mu.Lock()
+	t.stats.Requests++
+	if t.partitioned[host] {
+		t.stats.PartitionRefusals++
+		t.markFaultedLocked(key)
+		t.mu.Unlock()
+		return nil, fmt.Errorf("%s: link to %s partitioned: %w", req.URL.Path, host, ErrInjected)
+	}
+	if id == "" || !strings.HasPrefix(req.URL.Path, "/classify") && !strings.HasPrefix(req.URL.Path, "/result") {
+		// Control-plane traffic (probes, reloads) rides the link without
+		// injected drops; partitions above are the only way it fails.
+		t.mu.Unlock()
+		return t.base.RoundTrip(req)
+	}
+	attempt := t.attempts[key]
+	t.attempts[key] = attempt + 1
+	t.stats.SimulatedLatencyNS += int64(t.inj.Latency(key))
+	if attempt < t.inj.FailuresBefore(key) {
+		t.markFaultedLocked(key)
+		ackLost := t.inj.AckLost(fmt.Sprintf("%s|a%d", key, attempt))
+		if ackLost {
+			t.stats.ResponsesLost++
+		} else {
+			t.stats.Dropped++
+		}
+		t.mu.Unlock()
+		if ackLost {
+			// Deliver the request, then lose the response: the replica
+			// classified and journaled, but the router never hears — the
+			// retransmit must be answered from the replica's ledger.
+			resp, err := t.base.RoundTrip(req)
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			return nil, fmt.Errorf("link %s attempt %d: response lost: %w", key, attempt, ErrInjected)
+		}
+		return nil, fmt.Errorf("link %s attempt %d: %w", key, attempt, ErrInjected)
+	}
+	t.mu.Unlock()
+	return t.base.RoundTrip(req)
+}
+
+// markFaultedLocked records that key hit at least one fault. Callers
+// hold t.mu.
+func (t *Transport) markFaultedLocked(key string) {
+	if !t.faulted[key] {
+		t.faulted[key] = true
+		t.stats.FaultedKeys++
+	}
+}
+
+// Counts returns (distinct request keys seen, keys that hit >= 1
+// injected fault), mirroring the accounting the chaos harnesses assert
+// their >= 10%-faulted floor against.
+func (t *Transport) Counts() (keys, faulted int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.attempts), len(t.faulted)
+}
+
+// Stats returns a snapshot of the transport counters.
+func (t *Transport) Stats() TransportStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}

@@ -38,7 +38,11 @@ func (s BreakerState) String() string {
 // Breaker is a simple consecutive-failure circuit breaker. After
 // Threshold consecutive failures it opens and rejects calls for
 // ResetTimeout; the first call allowed afterwards probes half-open, and
-// its outcome closes or re-opens the circuit. The zero value is not
+// its outcome closes or re-opens the circuit. Half-open admits exactly
+// one probe: concurrent Allow callers racing for the slot lose with
+// ErrOpen until the winner's Record resolves the probe — without the
+// single-slot rule, a thundering herd of callers would all pile onto a
+// service that just proved itself unhealthy. The zero value is not
 // valid; use NewBreaker.
 type Breaker struct {
 	mu        sync.Mutex
@@ -48,6 +52,10 @@ type Breaker struct {
 	threshold int
 	reset     time.Duration
 	now       func() time.Time
+
+	// probing marks the half-open probe slot as taken: one Allow winner
+	// holds it until its Record lands. Guarded by mu.
+	probing bool
 
 	trips int64 // closed->open transitions, for observability
 }
@@ -70,26 +78,37 @@ func NewBreaker(threshold int, reset time.Duration, now func() time.Time) (*Brea
 
 // Allow reports whether a call may proceed. It returns ErrOpen while the
 // circuit is open; when the reset timeout has elapsed it transitions to
-// half-open and admits a single probe.
+// half-open and admits exactly one probe — concurrent callers racing
+// for the slot get ErrOpen until the probe's Record resolves it.
 func (b *Breaker) Allow() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
-	case BreakerClosed, BreakerHalfOpen:
+	case BreakerClosed:
+		return nil
+	case BreakerHalfOpen:
+		if b.probing {
+			return ErrOpen
+		}
+		b.probing = true
 		return nil
 	default: // open
 		if b.now().Sub(b.openedAt) < b.reset {
 			return ErrOpen
 		}
 		b.state = BreakerHalfOpen
+		b.probing = true
 		return nil
 	}
 }
 
-// Record feeds one call outcome into the breaker.
+// Record feeds one call outcome into the breaker. It also releases the
+// half-open probe slot, so every Allow that returned nil must be paired
+// with exactly one Record.
 func (b *Breaker) Record(err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.probing = false
 	if err == nil {
 		b.state = BreakerClosed
 		b.failures = 0
@@ -104,6 +123,22 @@ func (b *Breaker) Record(err error) {
 		b.openedAt = b.now()
 		b.failures = 0
 	}
+}
+
+// Reset closes the circuit immediately, clearing the failure history
+// and any half-open probe slot. It is the out-of-band recovery path:
+// a caller with independent evidence the service is healthy again — an
+// active health prober that just completed a successful probe — may
+// close the circuit without waiting out the reset timeout. An in-flight
+// half-open probe whose Record lands after Reset cannot re-open the
+// circuit on its own: its failure starts a fresh consecutive count
+// against the threshold.
+func (b *Breaker) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
 }
 
 // State returns the current state, resolving an elapsed open period to

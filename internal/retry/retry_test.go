@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -234,6 +236,126 @@ func TestBreakerSuccessResetsFailureCount(t *testing.T) {
 	b.Record(boom)
 	if b.State() != BreakerClosed {
 		t.Error("interleaved success did not reset the failure count")
+	}
+}
+
+// TestBreakerReset pins the out-of-band recovery path: Reset closes an
+// open circuit immediately (no reset-timeout wait), releases a held
+// half-open probe slot, and a stale in-flight probe failure recorded
+// after Reset cannot re-open the circuit on its own.
+func TestBreakerReset(t *testing.T) {
+	clock := time.Unix(0, 0)
+	b, err := NewBreaker(3, 10*time.Second, func() time.Time { return clock })
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	b.Record(boom)
+	b.Record(boom)
+	b.Record(boom)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	// No clock advance: Reset closes what Allow would still refuse.
+	b.Reset()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after Reset = %v, want closed", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow after Reset = %v, want nil", err)
+	}
+	b.Record(nil)
+
+	// Reset while a half-open probe is in flight: the slot is released,
+	// and the probe's late failure starts a fresh count instead of
+	// re-opening the circuit.
+	b.Record(boom)
+	b.Record(boom)
+	b.Record(boom)
+	clock = clock.Add(11 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatal(err) // probe slot taken
+	}
+	b.Reset()
+	b.Record(boom) // the stale probe outcome lands after Reset
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after stale probe failure = %v, want closed (fresh count)", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow = %v, want nil", err)
+	}
+	b.Record(nil)
+}
+
+// TestBreakerHalfOpenSingleProbe pins the half-open admission contract
+// under concurrency: when the reset timeout elapses, exactly one of N
+// racing Allow callers wins the probe slot; every loser gets ErrOpen.
+// Run under -race, this also proves the slot handoff is properly
+// synchronized.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	var clockNS atomic.Int64
+	b, err := NewBreaker(1, time.Second, func() time.Time {
+		return time.Unix(0, clockNS.Load())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	b.Record(boom) // trip it
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow while open = %v, want ErrOpen", err)
+	}
+	clockNS.Store(int64(2 * time.Second)) // reset timeout elapsed
+
+	const callers = 64
+	var admitted, rejected atomic.Int64
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			defer done.Done()
+			start.Wait()
+			switch err := b.Allow(); {
+			case err == nil:
+				admitted.Add(1)
+			case errors.Is(err, ErrOpen):
+				rejected.Add(1)
+			default:
+				t.Errorf("Allow = %v, want nil or ErrOpen", err)
+			}
+		}()
+	}
+	start.Done()
+	done.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want exactly 1", got)
+	}
+	if got := rejected.Load(); got != callers-1 {
+		t.Fatalf("%d callers rejected, want %d", got, callers-1)
+	}
+
+	// The winner's Record resolves the probe: a success closes the
+	// breaker and lifts the single-slot restriction for everyone.
+	b.Record(nil)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	for i := 0; i < 4; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("Allow after close = %v", err)
+		}
+	}
+
+	// And a failed probe slams it shut again for a full reset period.
+	b.Record(boom)
+	clockNS.Store(int64(4 * time.Second))
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe after second reset = %v", err)
+	}
+	b.Record(boom)
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow after failed probe = %v, want ErrOpen", err)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -252,6 +253,86 @@ func (c *Client) pollResult(ctx context.Context, id string) ([]byte, error) {
 		}
 	})
 	return out, err
+}
+
+// Sentinel results of FetchResult, matched with errors.Is.
+var (
+	// ErrResultPending means the batch is journaled but not yet
+	// classified; poll again.
+	ErrResultPending = errors.New("serve: result still pending")
+	// ErrUnknownRequest means this replica's ledger has never seen the
+	// request ID — a failover caller should try the next candidate.
+	ErrUnknownRequest = errors.New("serve: unknown request id")
+)
+
+// ClassifyRaw forwards a pre-marshaled line-JSON event body under a
+// caller-chosen request ID in exactly one attempt — the cluster
+// router's building block, where retries, circuit breakers, and
+// failover to ring successors live above this call rather than inside
+// it. timeout, when positive, rides the deadline header so the replica
+// can shed work the original caller has given up on. A 202
+// journal-and-defer response is resolved here by polling /result: once
+// a replica has accepted the batch, its ledger owns the verdict, so
+// there is nothing to fail over.
+func (c *Client) ClassifyRaw(ctx context.Context, id string, body []byte, timeout time.Duration) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/classify", bytes.NewReader(body))
+	if err != nil {
+		return nil, retry.Permanent(err)
+	}
+	req.Header.Set(RequestIDHeader, id)
+	if timeout > 0 {
+		req.Header.Set(TimeoutHeader, fmt.Sprintf("%d", timeout.Milliseconds()))
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return data, nil
+	case resp.StatusCode == http.StatusAccepted:
+		c.Deferred.Add(1)
+		return c.pollResult(ctx, id)
+	case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+		return nil, fmt.Errorf("serve: /classify: %s", resp.Status)
+	default:
+		return nil, retry.Permanent(fmt.Errorf("serve: /classify: %s: %s", resp.Status, bytes.TrimSpace(data)))
+	}
+}
+
+// FetchResult asks this replica's ledger for the verdicts of id in a
+// single shot: the body on a hit, ErrResultPending while journaled but
+// unclassified, ErrUnknownRequest when the ledger has never seen the
+// ID.
+func (c *Client) FetchResult(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/result?id="+id, nil)
+	if err != nil {
+		return nil, retry.Permanent(err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return data, nil
+	case http.StatusNoContent:
+		return nil, ErrResultPending
+	case http.StatusNotFound:
+		return nil, ErrUnknownRequest
+	default:
+		return nil, fmt.Errorf("serve: /result: %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
 }
 
 // Reload posts a rulemine-format JSON rule set to /admin/reload and
