@@ -10,9 +10,9 @@ LONGTAILVET ?= bin/longtailvet
 
 .PHONY: verify verify-fast build vet test fmtcheck lint longtailvet \
 	staticcheck govulncheck bench bench-json chaos-serve chaos-cluster \
-	fuzz-smoke
+	chaos-lifecycle fuzz-smoke
 
-verify: verify-fast fuzz-smoke chaos-cluster
+verify: verify-fast fuzz-smoke chaos-cluster chaos-lifecycle
 
 verify-fast: build vet test fmtcheck lint
 
@@ -81,20 +81,38 @@ chaos-serve:
 chaos-cluster:
 	$(GO) test -race -run TestChaosCluster -count=1 -v ./internal/experiments/
 
+# Lifecycle chaos harness under the race detector: champion/challenger
+# shadow evaluation against a live 3-replica cluster — an over-broad
+# challenger the FP gate must reject without serving, a garbage reload
+# degrading one replica, and a retrained challenger whose promotion
+# must converge the fleet through the router's generation-consistent
+# fan-out with zero lost batches, zero wrong-generation verdicts and
+# zero dropped shadow batches. The shadow-evaluation disagreement
+# report lands in LIFECYCLE_shadow.json for CI to archive.
+chaos-lifecycle:
+	LIFECYCLE_REPORT=$(CURDIR)/LIFECYCLE_shadow.json \
+		$(GO) test -race -run TestChaosLifecycle -count=1 -v ./internal/experiments/
+
 # Full benchmark harness (one benchmark per paper table/figure plus the
 # ablations and the serving-throughput benches).
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
-# Serving hot-path benchmarks (rule-index match + the two end-to-end
-# throughput benches) rendered to a machine-readable artifact. The text
-# output lands in BENCH_serve.txt first so a bench failure fails the
-# target before benchjson runs; benchjson itself refuses to emit an
-# empty document.
+# Serving hot-path benchmarks (rule-index match + the three end-to-end
+# throughput benches, including the shadow-evaluation variant) rendered
+# to a machine-readable artifact. The text output lands in
+# BENCH_serve.txt first so a bench failure fails the target before
+# benchjson runs; benchjson itself refuses to emit an empty document.
+# Each run is also appended to BENCH_history.json keyed by the current
+# commit and UTC timestamp (benchjson never reads the clock itself).
 bench-json:
 	$(GO) test -run '^$$' \
-		-bench '^Benchmark(RuleMatch|ServeThroughput|ServeThroughputJournaled)$$' \
+		-bench '^Benchmark(RuleMatch|ServeThroughput|ServeThroughputJournaled|ServeThroughputShadow)$$' \
 		-benchmem . > BENCH_serve.txt
 	cat BENCH_serve.txt
-	$(GO) run ./cmd/benchjson -o BENCH_serve.json BENCH_serve.txt
-	@echo "wrote BENCH_serve.json"
+	$(GO) run ./cmd/benchjson -o BENCH_serve.json \
+		-history BENCH_history.json \
+		-sha "$$(git -C $(CURDIR) rev-parse HEAD)" \
+		-stamp "$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+		BENCH_serve.txt
+	@echo "wrote BENCH_serve.json and appended BENCH_history.json"

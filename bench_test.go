@@ -27,6 +27,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/features"
 	"repro/internal/journal"
+	"repro/internal/lifecycle"
 	"repro/internal/part"
 	"repro/internal/serve"
 	"repro/internal/synth"
@@ -641,6 +642,81 @@ func BenchmarkServeThroughputJournaled(b *testing.B) {
 	js := ledger.Stats()
 	b.ReportMetric(float64(js.Syncs), "fsyncs")
 	b.ReportMetric(float64(js.Compactions), "compactions")
+}
+
+// BenchmarkServeThroughputShadow is BenchmarkServeThroughput with the
+// lifecycle shadow evaluator tapped into the engine and a challenger
+// shadowing every batch: each verdict batch is copied onto the
+// evaluator's bounded queue and re-classified by the challenger off
+// the hot path. The events/sec metric against the unshadowed benchmark
+// is the shadowing tax; the acceptance bar is a regression <= 5%.
+func BenchmarkServeThroughputShadow(b *testing.B) {
+	p := sharedPipeline(b)
+	months := p.Store.Months()
+	ex, err := features.NewExtractor(p.Store, p.Result.Oracle)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, err := ex.Instances(p.Store.EventIndexesInMonth(months[0]))
+	if err != nil {
+		b.Fatal(err)
+	}
+	clf, err := classify.Train(train, 0.001, classify.Reject)
+	if err != nil {
+		b.Fatal(err)
+	}
+	challenger, err := classify.Train(train, 0.005, classify.Reject)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := serve.NewEngine(ex, clf, serve.EngineConfig{
+		Shards: runtime.GOMAXPROCS(0), QueueSize: 8192,
+	}, &serve.Metrics{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer engine.Close()
+	truth := func(file dataset.FileHash) (bool, bool) {
+		switch p.Store.Label(file) {
+		case dataset.LabelMalicious:
+			return true, true
+		case dataset.LabelBenign:
+			return false, true
+		}
+		return false, false
+	}
+	eval, err := lifecycle.NewEvaluator(ex, truth, lifecycle.EvaluatorConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eval.Close()
+	eval.SetChallenger(challenger, "bench-challenger")
+	engine.SetBatchTap(eval.Tap())
+	srv, err := serve.NewServer(engine, classify.Reject)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	events := p.Store.Events()
+	var replay []dataset.DownloadEvent
+	for _, idx := range p.Store.EventIndexesInMonth(months[1]) {
+		replay = append(replay, events[idx])
+	}
+	const batch = 256
+	if len(replay) < batch {
+		b.Fatalf("only %d replay events; need %d", len(replay), batch)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	sent := driveServeBench(b, ts.URL, replay, batch)
+	b.StopTimer()
+	b.ReportMetric(float64(sent)/b.Elapsed().Seconds(), "events/sec")
+	eval.Flush()
+	st := eval.Snapshot()
+	b.ReportMetric(float64(st.Samples), "shadow-samples")
+	b.ReportMetric(float64(st.Dropped), "shadow-dropped")
 }
 
 // BenchmarkPrevalenceIndex measures the store freeze/indexing cost.

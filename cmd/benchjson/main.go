@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchjson [-o out.json] [bench-output.txt]
+//	benchjson [-o out.json] [-history hist.json -sha SHA -stamp STAMP] [bench-output.txt]
 //
 // With no file argument it reads stdin. The input is the standard
 // testing-package benchmark format:
@@ -20,6 +20,12 @@
 // externally if a run date matters), and the tool exits nonzero when no
 // benchmark lines parse, so a silently-empty bench run fails the make
 // target instead of archiving an empty artifact.
+//
+// With -history the run is additionally appended to a cumulative JSON
+// array, each entry keyed by the git SHA and timestamp the CALLER
+// passes in via -sha and -stamp — the tool itself never consults the
+// clock or the repository, so the same input always produces the same
+// entry and the history stays trustworthy across environments.
 package main
 
 import (
@@ -98,21 +104,62 @@ func parse(r io.Reader) (*Report, error) {
 	return rep, nil
 }
 
-func run(in io.Reader, out io.Writer) error {
+// HistoryEntry is one archived bench run in the -history file.
+type HistoryEntry struct {
+	// SHA is the git commit the run measured, passed in by the caller.
+	SHA string `json:"sha"`
+	// Stamp is the run time, passed in by the caller (the tool never
+	// reads the clock, keeping its output deterministic per input).
+	Stamp  string  `json:"stamp"`
+	Report *Report `json:"report"`
+}
+
+func run(in io.Reader, out io.Writer) (*Report, error) {
 	rep, err := parse(in)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if len(rep.Benchmarks) == 0 {
-		return fmt.Errorf("benchjson: no benchmark result lines in input")
+		return nil, fmt.Errorf("benchjson: no benchmark result lines in input")
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
+	return rep, enc.Encode(rep)
+}
+
+// appendHistory appends one keyed run to the cumulative history array
+// at path, creating the file on first use. A malformed existing file is
+// an error, not something to silently overwrite — the history is an
+// append-only record.
+func appendHistory(path, sha, stamp string, rep *Report) error {
+	if sha == "" || stamp == "" {
+		return fmt.Errorf("benchjson: -history requires both -sha and -stamp")
+	}
+	var hist []HistoryEntry
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(data, &hist); err != nil {
+			return fmt.Errorf("benchjson: existing history %s is not a JSON array of runs: %w", path, err)
+		}
+	case os.IsNotExist(err):
+		// First run: start the array.
+	default:
+		return err
+	}
+	hist = append(hist, HistoryEntry{SHA: sha, Stamp: stamp, Report: rep})
+	out, err := json.MarshalIndent(hist, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 func main() {
 	outPath := flag.String("o", "", "write JSON here instead of stdout")
+	historyPath := flag.String("history", "", "append this run to a cumulative history JSON array at this path")
+	sha := flag.String("sha", "", "git commit SHA keying the -history entry (required with -history)")
+	stamp := flag.String("stamp", "", "timestamp keying the -history entry, e.g. date -u +%Y-%m-%dT%H:%M:%SZ (required with -history)")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -135,8 +182,15 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	if err := run(in, out); err != nil {
+	rep, err := run(in, out)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *historyPath != "" {
+		if err := appendHistory(*historyPath, *sha, *stamp, rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -44,7 +46,7 @@ func TestParse(t *testing.T) {
 
 func TestRunRoundTrips(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader(sample), &out); err != nil {
+	if _, err := run(strings.NewReader(sample), &out); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -58,7 +60,66 @@ func TestRunRoundTrips(t *testing.T) {
 
 func TestRunRejectsEmpty(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader("PASS\nok x 1s\n"), &out); err == nil {
+	if _, err := run(strings.NewReader("PASS\nok x 1s\n"), &out); err == nil {
 		t.Fatal("want error on input with no benchmark lines")
+	}
+}
+
+func TestAppendHistory(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "hist.json")
+
+	// First append creates the file; subsequent appends grow the array
+	// in order, keyed by the caller-supplied SHA and stamp.
+	if err := appendHistory(path, "sha-1", "2026-08-07T00:00:00Z", rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendHistory(path, "sha-2", "2026-08-07T01:00:00Z", rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist []HistoryEntry
+	if err := json.Unmarshal(data, &hist); err != nil {
+		t.Fatalf("history is not a JSON array: %v\n%s", err, data)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("history has %d entries, want 2", len(hist))
+	}
+	if hist[0].SHA != "sha-1" || hist[1].SHA != "sha-2" {
+		t.Fatalf("history order/keys wrong: %+v", hist)
+	}
+	if hist[1].Stamp != "2026-08-07T01:00:00Z" {
+		t.Fatalf("stamp not preserved: %+v", hist[1])
+	}
+	if len(hist[0].Report.Benchmarks) != 3 {
+		t.Fatalf("embedded report lost benchmarks: %+v", hist[0].Report)
+	}
+}
+
+func TestAppendHistoryRequiresKeys(t *testing.T) {
+	rep := &Report{Benchmarks: []Result{{Name: "BenchmarkX", Iterations: 1}}}
+	path := filepath.Join(t.TempDir(), "hist.json")
+	if err := appendHistory(path, "", "2026-08-07T00:00:00Z", rep); err == nil {
+		t.Fatal("missing -sha accepted")
+	}
+	if err := appendHistory(path, "sha", "", rep); err == nil {
+		t.Fatal("missing -stamp accepted")
+	}
+}
+
+func TestAppendHistoryRefusesMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := &Report{Benchmarks: []Result{{Name: "BenchmarkX", Iterations: 1}}}
+	if err := appendHistory(path, "sha", "stamp", rep); err == nil {
+		t.Fatal("malformed history silently overwritten")
 	}
 }

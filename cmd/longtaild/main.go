@@ -48,6 +48,7 @@ import (
 	"repro/internal/export"
 	"repro/internal/features"
 	"repro/internal/journal"
+	"repro/internal/lifecycle"
 	"repro/internal/reputation"
 	"repro/internal/serve"
 	"repro/internal/synth"
@@ -110,6 +111,10 @@ func run() error {
 	shards := flag.Int("shards", 4, "worker shards")
 	queue := flag.Int("queue", 1024, "bounded ingest queue size (events)")
 	journalDir := flag.String("journal-dir", "", "write-ahead journal directory (empty: serve stateless)")
+	lifecycleOn := flag.Bool("lifecycle", false, "enable champion/challenger lifecycle (/admin/lifecycle, shadow evaluation, gated self-promotion)")
+	fpBudget := flag.Float64("lifecycle-fp-budget", 0.001, "max challenger FP rate over known-benign shadow traffic (paper's 0.1%)")
+	minShadow := flag.Int("lifecycle-min-samples", 200, "shadow-classified events required before the promotion gate decides")
+	lifecycleInterval := flag.Duration("lifecycle-interval", 250*time.Millisecond, "promotion-gate evaluation period")
 	retention := flag.Int("result-retention", 0, "completed batches kept for retransmit dedup (0: default 65536, negative: unbounded)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty: off)")
@@ -145,11 +150,26 @@ func run() error {
 		return err
 	}
 
+	// Lifecycle sidecar: shadow evaluation taps every successfully served
+	// batch off the hot path; the evaluator's scoreboard joins /metrics
+	// and the manager gates self-promotion through the node's own
+	// zero-downtime reload endpoint.
+	var srvOpts []serve.ServerOption
+	var eval *lifecycle.Evaluator
+	if *lifecycleOn {
+		eval, err = lifecycle.NewEvaluator(ex, storeTruth(store), lifecycle.EvaluatorConfig{})
+		if err != nil {
+			return err
+		}
+		defer eval.Close()
+		engine.SetBatchTap(eval.Tap())
+		srvOpts = append(srvOpts, serve.WithMetricsAppender(eval.WriteMetrics))
+	}
+
 	// Crash recovery: reopen the journal, replay any batches the previous
 	// process accepted but never answered, and only then start listening —
 	// a client retransmitting into the new process hits the recovered
 	// ledger, never a second classification.
-	var srvOpts []serve.ServerOption
 	var ledger *serve.Ledger
 	if *journalDir != "" {
 		var rec *serve.LedgerRecovery
@@ -175,10 +195,29 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	handler := srv.Handler()
+	if *lifecycleOn {
+		mgr, err := lifecycle.NewManager(lifecycle.Config{
+			FPBudget:         *fpBudget,
+			MinShadowSamples: *minShadow,
+			Interval:         *lifecycleInterval,
+		}, lifecycle.ReloadPromoter{
+			Client: &serve.Client{BaseURL: loopbackURL(*addr)},
+		}, eval)
+		if err != nil {
+			return err
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/admin/lifecycle", lifecycleHandler(ctx, mgr, classify.Reject))
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("longtaild: lifecycle enabled (FP budget %.4f, min shadow samples %d)", *fpBudget, *minShadow)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("longtaild: serving on %s (%d rules, generation %d, %d shards, queue %d)",

@@ -1,0 +1,122 @@
+package avsim
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// Scheduler queues delayed re-scans — the paper's t₀+2y protocol, where
+// every file seen in live traffic is re-submitted to the scan service
+// long after its download so signature development has had time to
+// catch up (see Engine.detectionDelayDays). The scheduler is
+// deterministic and clock-free: callers decide when "now" is and drain
+// whatever came due, so the same schedule replays identically in tests,
+// chaos harnesses and the daemon alike.
+type Scheduler struct {
+	svc *Service
+
+	mu sync.Mutex
+	// q is a min-heap ordered by (due, hash); guarded by mu. The hash
+	// tiebreak makes Due's pop order a pure function of the schedule.
+	q rescanHeap
+	// scheduled dedups by hash: one pending re-scan per sample; guarded
+	// by mu.
+	scheduled map[dataset.FileHash]bool
+}
+
+// NewScheduler builds a scheduler over the scan service.
+func NewScheduler(svc *Service) *Scheduler {
+	return &Scheduler{svc: svc, scheduled: make(map[dataset.FileHash]bool)}
+}
+
+// Schedule queues sample for a re-scan at due. A sample with a re-scan
+// already pending is not queued again (the earlier due time wins);
+// scheduling the same sample after its re-scan fired queues a fresh
+// one. Nil samples are ignored.
+func (s *Scheduler) Schedule(sample *Sample, due time.Time) {
+	if sample == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.scheduled[sample.Hash] {
+		return
+	}
+	s.scheduled[sample.Hash] = true
+	heap.Push(&s.q, rescanEntry{sample: sample, due: due})
+}
+
+// Len returns the number of pending re-scans.
+func (s *Scheduler) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.q.Len()
+}
+
+// Rescan is one completed re-scan: the sample, when it was due, and the
+// scan report (nil when the corpus has no record of the sample — never
+// submitted, the real-world "file not found").
+type Rescan struct {
+	Sample *Sample
+	Due    time.Time
+	Report *Report
+}
+
+// Due pops every re-scan whose due time is at or before now, scans each
+// sample at its own due time (not at now: a re-scan drained late still
+// sees the signature coverage of its scheduled date, keeping replays
+// independent of drain cadence), and returns them in deterministic
+// (due, hash) order.
+func (s *Scheduler) Due(now time.Time) []*Rescan {
+	s.mu.Lock()
+	var popped []rescanEntry
+	for s.q.Len() > 0 && !s.q[0].due.After(now) {
+		e := heap.Pop(&s.q).(rescanEntry)
+		delete(s.scheduled, e.sample.Hash)
+		popped = append(popped, e)
+	}
+	s.mu.Unlock()
+	if len(popped) == 0 {
+		return nil
+	}
+	// Scanning outside the lock: Service.Scan is pure and Schedule may
+	// be called concurrently from an observer.
+	out := make([]*Rescan, 0, len(popped))
+	for _, e := range popped {
+		out = append(out, &Rescan{
+			Sample: e.sample,
+			Due:    e.due,
+			Report: s.svc.Scan(e.sample, e.due),
+		})
+	}
+	return out
+}
+
+// rescanEntry is one queued re-scan.
+type rescanEntry struct {
+	sample *Sample
+	due    time.Time
+}
+
+// rescanHeap is a min-heap of entries by (due, hash).
+type rescanHeap []rescanEntry
+
+func (h rescanHeap) Len() int { return len(h) }
+func (h rescanHeap) Less(i, j int) bool {
+	if !h[i].due.Equal(h[j].due) {
+		return h[i].due.Before(h[j].due)
+	}
+	return h[i].sample.Hash < h[j].sample.Hash
+}
+func (h rescanHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *rescanHeap) Push(x any)   { *h = append(*h, x.(rescanEntry)) }
+func (h *rescanHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

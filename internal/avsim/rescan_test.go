@@ -1,0 +1,105 @@
+package avsim
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestSchedulerDueOrderAndDedup(t *testing.T) {
+	svc := NewDefaultService()
+	sched := NewScheduler(svc)
+
+	a := malSample("aaaa", dataset.TypeTrojan, "zeus")
+	b := malSample("bbbb", dataset.TypeAdware, "dealply")
+	c := malSample("cccc", dataset.TypeTrojan, "")
+
+	sched.Schedule(b, t2y)
+	sched.Schedule(a, t2y) // same due: hash tiebreak orders a first
+	sched.Schedule(c, t2y.AddDate(0, 1, 0))
+	sched.Schedule(a, t0)   // duplicate while pending: ignored
+	sched.Schedule(nil, t0) // nil: ignored
+	if got := sched.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+
+	// Nothing due before t2y.
+	if due := sched.Due(t2y.AddDate(0, 0, -1)); due != nil {
+		t.Fatalf("early drain returned %d rescans, want none", len(due))
+	}
+
+	due := sched.Due(t2y)
+	if len(due) != 2 {
+		t.Fatalf("drain at t2y returned %d rescans, want 2", len(due))
+	}
+	if due[0].Sample.Hash != a.Hash || due[1].Sample.Hash != b.Hash {
+		t.Fatalf("drain order = %s, %s; want aaaa, bbbb", due[0].Sample.Hash, due[1].Sample.Hash)
+	}
+	for _, r := range due {
+		if r.Report == nil {
+			t.Fatalf("in-corpus sample %s drained with nil report", r.Sample.Hash)
+		}
+		if !r.Report.ScanTime.Equal(t2y) {
+			t.Errorf("rescan of %s ran at %v, want scheduled due %v", r.Sample.Hash, r.Report.ScanTime, t2y)
+		}
+	}
+
+	// a's rescan fired; it may be scheduled again.
+	sched.Schedule(a, t2y.AddDate(1, 0, 0))
+	if got := sched.Len(); got != 2 {
+		t.Fatalf("Len after reschedule = %d, want 2", got)
+	}
+
+	// Draining far in the future empties the queue; a late drain still
+	// scans each sample at its own due time.
+	due = sched.Due(t2y.AddDate(10, 0, 0))
+	if len(due) != 2 {
+		t.Fatalf("final drain returned %d rescans, want 2", len(due))
+	}
+	if !due[0].Report.ScanTime.Equal(due[0].Due) {
+		t.Errorf("late drain scanned at %v, want due time %v", due[0].Report.ScanTime, due[0].Due)
+	}
+	if sched.Len() != 0 {
+		t.Fatalf("queue not empty after full drain")
+	}
+}
+
+// TestSchedulerDelayedDetection pins the property the lifecycle loop
+// depends on: a hard sample invisible at its first scan is detected by
+// the t₀+2y re-scan, because engine signatures develop over time.
+func TestSchedulerDelayedDetection(t *testing.T) {
+	svc := NewDefaultService()
+	sched := NewScheduler(svc)
+
+	// Scan a batch of hard samples immediately and at t+2y; the rescan
+	// must strictly grow total detections.
+	early, late := 0, 0
+	for i := 0; i < 32; i++ {
+		s := malSample(string(rune('a'+i%26))+"hard", dataset.TypeTrojan, "zeus")
+		s.Hash = dataset.FileHash(s.Hash) + dataset.FileHash(rune('0'+i%10))
+		s.Difficulty = 0.85
+		if rep := svc.Scan(s, t0); rep != nil {
+			early += len(rep.Detections())
+		}
+		sched.Schedule(s, t2y)
+	}
+	for _, r := range sched.Due(t2y) {
+		late += len(r.Report.Detections())
+	}
+	if late <= early {
+		t.Fatalf("t+2y rescan detections = %d, not above first-scan %d; signature development broken", late, early)
+	}
+}
+
+func TestSchedulerNotInCorpus(t *testing.T) {
+	sched := NewScheduler(NewDefaultService())
+	s := &Sample{Hash: "ghost", InCorpus: false}
+	sched.Schedule(s, t2y)
+	due := sched.Due(t2y)
+	if len(due) != 1 {
+		t.Fatalf("drain returned %d, want 1", len(due))
+	}
+	if due[0].Report != nil {
+		t.Fatalf("out-of-corpus sample produced a report")
+	}
+}

@@ -1,0 +1,95 @@
+package classify
+
+import (
+	"fmt"
+
+	"repro/internal/features"
+	"repro/internal/part"
+)
+
+// Retrain learns a challenger classifier warm-started from the
+// champion's rules — the classify-level face of part.LearnIncremental
+// and the retraining step of the champion/challenger lifecycle. train
+// is the combined evidence: the champion's original window plus the
+// ground truth harvested since (ledger traffic labeled by delayed
+// re-scans). Champion rules that survive on the combined set keep
+// their identity and order; residual instances grow new rules; and the
+// whole list then goes through exactly the selection pipeline Train
+// uses — standalone re-scoring on the full set, the tau error filter,
+// the per-class support floors, and simplification — so a challenger
+// is held to the same bar as a from-scratch model.
+//
+// A nil champion retrains from scratch (identical to Train).
+func Retrain(champion *Classifier, train []features.Instance, tau float64, policy ConflictPolicy) (*Classifier, error) {
+	if len(train) == 0 {
+		return nil, fmt.Errorf("classify: no training instances")
+	}
+	attrs, classes := Schema()
+	ds, err := part.NewDataset(attrs, classes)
+	if err != nil {
+		return nil, err
+	}
+	for i := range train {
+		if err := ds.Add(toPartInstance(&train[i])); err != nil {
+			return nil, err
+		}
+	}
+	var prior []part.Rule
+	if champion != nil {
+		prior = champion.AllRules
+	}
+	rules, err := (&part.Learner{}).LearnIncremental(prior, ds, tau)
+	if err != nil {
+		return nil, fmt.Errorf("classify: retrain: %w", err)
+	}
+	var conditioned []part.Rule
+	for _, r := range rules {
+		if len(r.Conditions) > 0 {
+			conditioned = append(conditioned, r)
+		}
+	}
+	if len(conditioned) == 0 {
+		return nil, fmt.Errorf("classify: retrain produced no conditioned rules")
+	}
+	// Same standalone re-score as Train: residual-pass statistics are
+	// honest only against the residual, and this classifier applies
+	// rules as an unordered set.
+	pinsts := make([]part.Instance, len(train))
+	for i := range train {
+		pinsts[i] = toPartInstance(&train[i])
+	}
+	for i := range conditioned {
+		r := &conditioned[i]
+		r.Covered, r.Errors = 0, 0
+		for j := range pinsts {
+			if r.Matches(&pinsts[j]) {
+				r.Covered++
+				if pinsts[j].Class != r.Class {
+					r.Errors++
+				}
+			}
+		}
+	}
+	selected := part.FilterByErrorRate(conditioned, tau)
+	var supported []part.Rule
+	for _, r := range selected {
+		min := MinRuleCoverage
+		if r.Class == ClassBenign {
+			min = MinBenignRuleCoverage
+		}
+		if r.Covered >= min {
+			supported = append(supported, r)
+		}
+	}
+	if len(supported) == 0 {
+		return nil, fmt.Errorf("classify: retrain selected no rules (tau %v, support floors %d/%d)", tau, MinRuleCoverage, MinBenignRuleCoverage)
+	}
+	selectedRules := part.SimplifyAll(supported)
+	return &Classifier{
+		AllRules: conditioned,
+		Rules:    selectedRules,
+		Tau:      tau,
+		Policy:   policy,
+		index:    buildIndex(selectedRules),
+	}, nil
+}

@@ -1,0 +1,93 @@
+package classify
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/features"
+)
+
+func TestRetrainFromScratchMatchesTrain(t *testing.T) {
+	train := trainingSet()
+	fresh, err := Train(train, 0.001, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	retrained, err := Retrain(nil, train, 0.001, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh.Rules) != len(retrained.Rules) {
+		t.Fatalf("nil-champion Retrain selected %d rules, Train selected %d", len(retrained.Rules), len(fresh.Rules))
+	}
+	for i := range fresh.Rules {
+		if fresh.Rules[i].String() != retrained.Rules[i].String() {
+			t.Fatalf("rule %d diverged:\n  train:   %s\n  retrain: %s", i, fresh.Rules[i].String(), retrained.Rules[i].String())
+		}
+	}
+}
+
+func TestRetrainLearnsEmergedPattern(t *testing.T) {
+	base := trainingSet()
+	champion, err := Train(base, 0.001, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The champion has never seen NewThreat and abstains on it.
+	probe := mkInst("probe", "NewThreat Ltd", false)
+	if v, _ := champion.ClassifyOne(&probe); v != VerdictNone {
+		t.Fatalf("champion verdict on unseen signer = %v, want none", v)
+	}
+
+	// Harvested ground truth: a new malicious signer emerged in live
+	// traffic and the delayed re-scans labeled it.
+	harvested := append([]features.Instance(nil), base...)
+	for i := 0; i < 12; i++ {
+		harvested = append(harvested, mkInst(fmt.Sprintf("n%d", i), "NewThreat Ltd", true))
+	}
+	challenger, err := Retrain(champion, harvested, 0.001, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := challenger.ClassifyOne(&probe); v != VerdictMalicious {
+		t.Fatalf("challenger verdict on NewThreat = %v, want malicious", v)
+	}
+	// The champion's old knowledge survives.
+	old := mkInst("old", "EvilCo", false)
+	if v, _ := challenger.ClassifyOne(&old); v != VerdictMalicious {
+		t.Fatalf("challenger verdict on EvilCo = %v, want malicious (veteran rule lost)", v)
+	}
+	good := mkInst("good", "GoodCo", false)
+	if v, _ := challenger.ClassifyOne(&good); v != VerdictBenign {
+		t.Fatalf("challenger verdict on GoodCo = %v, want benign", v)
+	}
+}
+
+func TestRetrainDropsDecayedRule(t *testing.T) {
+	base := trainingSet()
+	champion, err := Train(base, 0.001, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EvilCo rehabilitated: the combined evidence now shows its files
+	// overwhelmingly benign, so the champion's EvilCo=malicious rule
+	// must not survive retraining.
+	harvested := append([]features.Instance(nil), base...)
+	for i := 0; i < 200; i++ {
+		harvested = append(harvested, mkInst(fmt.Sprintf("r%d", i), "EvilCo", false))
+	}
+	challenger, err := Retrain(champion, harvested, 0.001, Reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := mkInst("probe2", "EvilCo", false)
+	if v, _ := challenger.ClassifyOne(&probe); v == VerdictMalicious {
+		t.Fatalf("challenger still calls rehabilitated EvilCo malicious; decayed rule retained")
+	}
+}
+
+func TestRetrainValidation(t *testing.T) {
+	if _, err := Retrain(nil, nil, 0.001, Reject); err == nil {
+		t.Error("empty training set accepted")
+	}
+}

@@ -24,6 +24,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/result", rt.handleResult)
 	mux.HandleFunc("/admin/reload", rt.handleReload)
 	mux.HandleFunc("/admin/join", rt.handleJoin)
+	mux.HandleFunc("/admin/lifecycle", rt.handleLifecycle)
 	mux.HandleFunc("/admin/leave", rt.handleLeave)
 	mux.HandleFunc("/healthz", rt.handleHealthz)
 	mux.HandleFunc("/metrics", rt.handleMetrics)
@@ -157,6 +158,45 @@ func (rt *Router) handleLeave(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	json.NewEncoder(w).Encode(map[string]any{"left": addr})
+}
+
+// handleLifecycle aggregates the replicas' /admin/lifecycle status
+// documents into one cluster view, alongside the router's own
+// generation convergence — the operator's single read on "where is the
+// challenger, fleet-wide". Promotion itself does not route through
+// here: a cluster-scoped lifecycle manager promotes via the router's
+// /admin/reload, whose generation-consistent fan-out is the only write
+// path into serving.
+func (rt *Router) handleLifecycle(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	st := rt.Status()
+	rt.mu.Lock()
+	nodes := make([]*node, 0, len(rt.nodes))
+	for _, n := range rt.nodes {
+		nodes = append(nodes, n)
+	}
+	rt.mu.Unlock()
+	perNode := make(map[string]any, len(nodes))
+	for _, n := range nodes {
+		status, err := n.client.Lifecycle(r.Context())
+		if err != nil {
+			// A replica without -lifecycle (404) or unreachable: report the
+			// error in place so the aggregate stays total over membership.
+			perNode[n.addr] = map[string]any{"error": err.Error()}
+			continue
+		}
+		perNode[n.addr] = status
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"generation":       st.Generation,
+		"targetGeneration": st.TargetGeneration,
+		"status":           st.Status,
+		"nodes":            perNode,
+	})
 }
 
 func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {

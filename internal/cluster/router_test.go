@@ -29,9 +29,12 @@ type fakeReplica struct {
 	down         bool
 	failClassify int
 	rejectReload bool
-	ledger       map[string]string
-	classified   int
-	hang         chan struct{}
+	// lifecycleState, when non-empty, answers /admin/lifecycle like a
+	// replica running with -lifecycle; empty replies 404 like one without.
+	lifecycleState string
+	ledger         map[string]string
+	classified     int
+	hang           chan struct{}
 }
 
 func newFakeReplica(t *testing.T) *fakeReplica {
@@ -91,6 +94,14 @@ func (f *fakeReplica) handle(w http.ResponseWriter, r *http.Request) {
 		}
 		f.gen++
 		json.NewEncoder(w).Encode(map[string]any{"generation": f.gen})
+	case "/admin/lifecycle":
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.lifecycleState == "" {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{"state": f.lifecycleState})
 	case "/healthz":
 		f.mu.Lock()
 		defer f.mu.Unlock()
@@ -538,6 +549,59 @@ func TestRouterHandlerWireProtocol(t *testing.T) {
 	for _, want := range []string{"longtail_node_state{", "longtail_failover_total", "longtail_hedged_total", "longtail_probe_total{", "longtail_breaker_state{"} {
 		if !strings.Contains(metrics, want) {
 			t.Errorf("metrics missing %s", want)
+		}
+	}
+}
+
+func TestRouterLifecycleAggregation(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t), newFakeReplica(t), newFakeReplica(t)}
+	replicas[0].set(func(f *fakeReplica) { f.lifecycleState = "shadowing" })
+	replicas[1].set(func(f *fakeReplica) { f.lifecycleState = "idle" })
+	// replicas[2] runs without -lifecycle: its slot must carry the error
+	// rather than vanish from the aggregate.
+	rt := newTestRouter(t, replicas, nil)
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+
+	resp, err := front.Client().Get(front.URL + "/admin/lifecycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /admin/lifecycle = %s", resp.Status)
+	}
+	var doc struct {
+		Generation       uint64                    `json:"generation"`
+		TargetGeneration uint64                    `json:"targetGeneration"`
+		Status           string                    `json:"status"`
+		Nodes            map[string]map[string]any `json:"nodes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Nodes) != 3 {
+		t.Fatalf("aggregate covers %d nodes, want 3", len(doc.Nodes))
+	}
+	if got := doc.Nodes[replicas[0].addr()]["state"]; got != "shadowing" {
+		t.Fatalf("node 0 state = %v, want shadowing", got)
+	}
+	if got := doc.Nodes[replicas[1].addr()]["state"]; got != "idle" {
+		t.Fatalf("node 1 state = %v, want idle", got)
+	}
+	if _, ok := doc.Nodes[replicas[2].addr()]["error"]; !ok {
+		t.Fatalf("node 2 (no lifecycle) = %v, want error entry", doc.Nodes[replicas[2].addr()])
+	}
+	if doc.Generation != 1 || doc.Status != "ok" {
+		t.Fatalf("aggregate generation/status = %d/%s, want 1/ok", doc.Generation, doc.Status)
+	}
+
+	if presp, err := http.Post(front.URL+"/admin/lifecycle", "application/json", strings.NewReader("{}")); err != nil {
+		t.Fatal(err)
+	} else {
+		presp.Body.Close()
+		if presp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST /admin/lifecycle = %s, want 405", presp.Status)
 		}
 	}
 }

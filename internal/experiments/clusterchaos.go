@@ -140,8 +140,9 @@ type chaosNode struct {
 // concrete addr rebinds a restarted replica where the ring expects it.
 // openFile, when non-nil, routes journal I/O through a CrashFS. The
 // recovery report and replay count cover whatever the journal dir
-// already holds.
-func startChaosNode(addr, dir string, ex *features.Extractor, clf *classify.Classifier, openFile func(string) (journal.File, error)) (*chaosNode, *serve.LedgerRecovery, int, error) {
+// already holds. Extra srvOpts decorate the server (the lifecycle
+// harness appends its shadow-metrics exposition here).
+func startChaosNode(addr, dir string, ex *features.Extractor, clf *classify.Classifier, openFile func(string) (journal.File, error), srvOpts ...serve.ServerOption) (*chaosNode, *serve.LedgerRecovery, int, error) {
 	engine, err := serve.NewEngine(ex, clf, serve.EngineConfig{}, &serve.Metrics{})
 	if err != nil {
 		return nil, nil, 0, err
@@ -159,7 +160,7 @@ func startChaosNode(addr, dir string, ex *features.Extractor, clf *classify.Clas
 		engine.Close()
 		return nil, nil, 0, err
 	}
-	srv, err := serve.NewServer(engine, classify.Reject, serve.WithLedger(ledger))
+	srv, err := serve.NewServer(engine, classify.Reject, append([]serve.ServerOption{serve.WithLedger(ledger)}, srvOpts...)...)
 	if err != nil {
 		engine.Close()
 		return nil, nil, 0, err

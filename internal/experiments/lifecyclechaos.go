@@ -1,0 +1,573 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/avsim"
+	"repro/internal/classify"
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/labeling"
+	"repro/internal/lifecycle"
+	"repro/internal/part"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+// ChaosLifecycleConfig parameterizes the lifecycle chaos harness: a
+// 3-replica cluster behind the router serving a month of traffic while
+// the champion/challenger machinery shadows it — first with a
+// deliberately over-broad challenger that must be rejected at the FP
+// gate, then with a properly retrained one that must promote
+// cluster-wide through the router's generation-consistent reload.
+type ChaosLifecycleConfig struct {
+	// Synth generates the dataset every replica serves.
+	Synth synth.Config
+	// Dir is the root directory; each replica journals into a subdir.
+	Dir string
+	// Replicas is the cluster size.
+	Replicas int
+	// Batch is events per /classify request.
+	Batch int
+	// Tau is the rule-selection threshold for champion and retrain.
+	Tau float64
+	// FPBudget is the promotion gate: max challenger FP rate over
+	// known-benign shadow traffic (the paper's 0.1% operating point).
+	FPBudget float64
+	// MinShadowSamples gates the promotion decision on evidence volume.
+	MinShadowSamples int
+	// ReportPath, when non-empty, receives the shadow-evaluation
+	// disagreement report as JSON (the CI artifact).
+	ReportPath string
+}
+
+// DefaultChaosLifecycleConfig returns the standard scenario: three
+// replicas, the paper's 0.1% FP budget, and a bad challenger crafted to
+// blow through it.
+func DefaultChaosLifecycleConfig(seed int64, dir string) ChaosLifecycleConfig {
+	return ChaosLifecycleConfig{
+		Synth:            synth.DefaultConfig(seed, 0.004),
+		Dir:              dir,
+		Replicas:         3,
+		Batch:            32,
+		Tau:              0.001,
+		FPBudget:         0.001,
+		MinShadowSamples: 200,
+	}
+}
+
+// ChaosLifecycleReport is the outcome of one lifecycle chaos run.
+type ChaosLifecycleReport struct {
+	Replicas int
+	Batches  int
+	Events   int
+
+	// Ground-truth harvest (delayed t₀+2y re-scans over served files).
+	Harvested      int
+	DiscardedWeak  int
+	ServedFiles    int
+	KnownBenign    uint64
+	KnownMalicious uint64
+
+	// Bad-challenger phase: must be rejected, never served.
+	BadFPRate        float64
+	BadRejected      bool
+	BadReason        string
+	BadDisagreements int
+
+	// Degraded fold-in: a garbage reload against replica 0 raises
+	// longtail_degraded; the later promotion must clear it.
+	DegradedAfterBadReload bool
+	DegradedCleared        bool
+
+	// Good-challenger phase: retrained on harvested truth, must promote.
+	GoodFPRate         float64
+	GoodPromoted       bool
+	PromotedGeneration uint64
+	RouterConverged    bool
+
+	// Shadow accounting and the serving invariants.
+	ShadowSamples    uint64
+	ShadowDropped    uint64
+	RuleMetricsSeen  bool
+	DecayMetricsSeen bool
+
+	WrongGenVerdicts   int
+	LostBatches        int
+	MismatchedVerdicts int
+}
+
+// lifecycleShadowReport is the JSON artifact written to ReportPath: the
+// full scoreboard and retained disagreement examples for both shadow
+// runs.
+type lifecycleShadowReport struct {
+	Bad  lifecycleShadowRun `json:"badChallenger"`
+	Good lifecycleShadowRun `json:"goodChallenger"`
+}
+
+type lifecycleShadowRun struct {
+	State         string                   `json:"state"`
+	Reason        string                   `json:"reason,omitempty"`
+	Generation    uint64                   `json:"generation,omitempty"`
+	Stats         lifecycle.Stats          `json:"stats"`
+	Disagreements []lifecycle.Disagreement `json:"disagreements"`
+}
+
+// overbroadChallenger builds the champion's malicious rules plus one
+// crafted rule matching the most common (attribute, value) among
+// known-benign replay traffic — guaranteed FP bleed over any reasonable
+// budget, and deterministic for a given corpus.
+func overbroadChallenger(ex *features.Extractor, champion *classify.Classifier, replay []dataset.DownloadEvent, truth lifecycle.TruthFunc) (*classify.Classifier, error) {
+	type av struct {
+		attr int
+		val  string
+	}
+	counts := make(map[av]int)
+	for i := range replay {
+		mal, known := truth(replay[i].File)
+		if !known || mal {
+			continue
+		}
+		vec, err := ex.Vector(&replay[i])
+		if err != nil {
+			continue
+		}
+		for a := 0; a < features.NumNominal; a++ {
+			if v := vec.Nominal(a); v != features.None {
+				counts[av{a, v}]++
+			}
+		}
+	}
+	var best av
+	bestN := 0
+	for k, n := range counts {
+		if n > bestN || (n == bestN && (k.attr < best.attr || (k.attr == best.attr && k.val < best.val))) {
+			best, bestN = k, n
+		}
+	}
+	if bestN == 0 {
+		return nil, fmt.Errorf("experiments: chaos-lifecycle: no common benign nominal value to craft the bad challenger from")
+	}
+	var rules []part.Rule
+	for _, r := range champion.Rules {
+		if r.Class == classify.ClassMalicious {
+			rules = append(rules, r)
+		}
+	}
+	rules = append(rules, part.Rule{
+		Conditions: []part.Condition{{
+			AttrIndex: best.attr,
+			AttrName:  features.AttributeNames[best.attr],
+			Op:        part.OpEquals,
+			Value:     best.val,
+		}},
+		Class: classify.ClassMalicious, ClassName: "malicious",
+		Covered: bestN,
+	})
+	return classify.NewFromRules(rules, classify.Reject)
+}
+
+// RunChaosLifecycle drives the champion/challenger lifecycle against a
+// live 3-replica cluster:
+//
+//  1. harvest ground truth for the replay window the paper's way —
+//     schedule every served file's AV re-scan at t₀+2y (virtual clock)
+//     and keep only confident labels;
+//  2. shadow an over-broad challenger on live router traffic; the FP
+//     gate must reject it, the cluster must keep serving generation 1,
+//     and the challenger's verdicts must never surface;
+//  3. break replica 0 with a garbage /admin/reload (longtail_degraded
+//     raised, node demoted);
+//  4. shadow a challenger retrained (warm-start) on the champion's
+//     window plus the harvest; the gate must promote it through the
+//     router's generation-consistent fan-out — converging every
+//     replica to generation 2, clearing the degraded node — with zero
+//     lost batches, zero wrong-generation verdicts, and zero dropped
+//     shadow batches.
+func RunChaosLifecycle(cfg ChaosLifecycleConfig) (*ChaosLifecycleReport, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("experiments: chaos-lifecycle: empty dir")
+	}
+	if cfg.Replicas < 3 {
+		return nil, fmt.Errorf("experiments: chaos-lifecycle: need >= 3 replicas, have %d", cfg.Replicas)
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 32
+	}
+
+	// The deterministic world: a labeled corpus, a champion trained on
+	// month 0, and month 1 as the live traffic the lifecycle rides.
+	p, err := Run(cfg.Synth)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: chaos-lifecycle: pipeline: %w", err)
+	}
+	ex, err := features.NewExtractor(p.Store, p.Result.Oracle)
+	if err != nil {
+		return nil, err
+	}
+	months := p.Store.Months()
+	if len(months) < 2 {
+		return nil, fmt.Errorf("experiments: chaos-lifecycle: need >= 2 months")
+	}
+	train, err := ex.Instances(p.Store.EventIndexesInMonth(months[0]))
+	if err != nil {
+		return nil, err
+	}
+	champion, err := classify.Train(train, cfg.Tau, classify.Reject)
+	if err != nil {
+		return nil, err
+	}
+	all := p.Store.Events()
+	var replay []dataset.DownloadEvent
+	for _, idx := range p.Store.EventIndexesInMonth(months[1]) {
+		replay = append(replay, all[idx])
+	}
+	nBatches := (len(replay) + cfg.Batch - 1) / cfg.Batch
+	if nBatches < 8 {
+		return nil, fmt.Errorf("experiments: chaos-lifecycle: %d batches too few to stage the scenario (need >= 8)", nBatches)
+	}
+	batchOf := func(b int) []dataset.DownloadEvent {
+		lo, hi := b*cfg.Batch, (b+1)*cfg.Batch
+		if hi > len(replay) {
+			hi = len(replay)
+		}
+		return replay[lo:hi]
+	}
+	rep := &ChaosLifecycleReport{Replicas: cfg.Replicas, Batches: nBatches, Events: len(replay)}
+	ctx := context.Background()
+
+	// ---- Harvest ground truth up front, the paper's protocol: every
+	// file in the window gets its re-scan at download time + 2 years;
+	// the virtual clock jumps past the last due date. A daemon would do
+	// this continuously on wall clock; the harness owns the clock.
+	harv, err := lifecycle.NewHarvester(avsim.NewDefaultService(), ex, p.Result.Samples, 0)
+	if err != nil {
+		return nil, err
+	}
+	harv.Observe(replay)
+	var lastSeen time.Time
+	for i := range replay {
+		if replay[i].Time.After(lastSeen) {
+			lastSeen = replay[i].Time
+		}
+	}
+	harv.Advance(lastSeen.Add(labeling.DefaultRescanDelay).AddDate(0, 1, 0))
+	truth := harv.Truth()
+	hstats := harv.Stats()
+	rep.Harvested = hstats.Harvested
+	rep.DiscardedWeak = hstats.Discarded
+	if rep.Harvested == 0 {
+		return nil, fmt.Errorf("experiments: chaos-lifecycle: harvest produced no labeled instances")
+	}
+
+	// ---- Boot the cluster: every replica journals, taps its engine
+	// into a shadow evaluator, and exposes the evaluator on /metrics.
+	evals := make([]*lifecycle.Evaluator, cfg.Replicas)
+	nodes := make([]*chaosNode, cfg.Replicas)
+	for i := range nodes {
+		e, err := lifecycle.NewEvaluator(ex, truth, lifecycle.EvaluatorConfig{})
+		if err != nil {
+			return nil, err
+		}
+		defer e.Close()
+		evals[i] = e
+		n, _, _, err := startChaosNode("", filepath.Join(cfg.Dir, fmt.Sprintf("replica-%d", i)), ex, champion, nil,
+			serve.WithMetricsAppender(e.WriteMetrics))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: chaos-lifecycle: replica %d: %w", i, err)
+		}
+		defer n.stop()
+		n.engine.SetBatchTap(e.Tap())
+		nodes[i] = n
+	}
+	addrs := make([]string, len(nodes))
+	for i, n := range nodes {
+		addrs[i] = n.addr
+	}
+	rt, err := cluster.NewRouter(cluster.Options{
+		Replicas:      addrs,
+		ProbeInterval: 0, // probes driven manually for determinism
+		ProbeTimeout:  time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	front := httptest.NewServer(rt.Handler())
+	defer front.Close()
+	client := &serve.Client{BaseURL: front.URL}
+	probeRounds := func(k int) {
+		for i := 0; i < k; i++ {
+			rt.ProbeAll(ctx)
+		}
+	}
+
+	offline := func(ev *dataset.DownloadEvent, clf *classify.Classifier) (string, error) {
+		vec, err := ex.Vector(ev)
+		if err != nil {
+			return "", err
+		}
+		v, matched := clf.ClassifyFile([]features.Instance{{Vector: vec, File: ev.File}})
+		return fmt.Sprintf("%s %s %v", ev.File, v, matched), nil
+	}
+	flushAll := func() {
+		for _, e := range evals {
+			e.Flush()
+		}
+	}
+	// sendBatch replays one batch through the router and holds every
+	// verdict to the serving contract: present, generation wantGen, and
+	// byte-identical to offline classification with clf (the champion
+	// before promotion, the promoted challenger after).
+	sendBatch := func(b int, clf *classify.Classifier, wantGen uint64) error {
+		events := batchOf(b)
+		verdicts, err := client.ClassifyWithID(ctx, fmt.Sprintf("lc-%04d", b), events)
+		if err != nil || len(verdicts) != len(events) {
+			rep.LostBatches++
+			return nil
+		}
+		for i := range events {
+			want, err := offline(&events[i], clf)
+			if err != nil {
+				return err
+			}
+			if verdicts[i].Key() != want {
+				rep.MismatchedVerdicts++
+			}
+			if verdicts[i].Generation != wantGen {
+				rep.WrongGenVerdicts++
+			}
+		}
+		if b%4 == 3 {
+			flushAll() // keep the bounded shadow queues from overflowing
+		}
+		return nil
+	}
+
+	badEnd := nBatches / 2
+	goodEnd := 3 * nBatches / 4
+
+	// ---- Phase A: the over-broad challenger shadows live traffic. The
+	// gate must reject it; generation 1 keeps serving throughout.
+	mgr, err := lifecycle.NewManager(lifecycle.Config{
+		FPBudget:         cfg.FPBudget,
+		MinShadowSamples: cfg.MinShadowSamples,
+	}, lifecycle.ReloadPromoter{Client: client}, evals...)
+	if err != nil {
+		return nil, err
+	}
+	bad, err := overbroadChallenger(ex, champion, replay, truth)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := mgr.BeginShadow(bad); err != nil {
+		return nil, err
+	}
+	for b := 0; b < badEnd; b++ {
+		if err := sendBatch(b, champion, 1); err != nil {
+			return nil, err
+		}
+	}
+	flushAll()
+
+	// Mid-shadow, /metrics on the replicas must expose per-rule hit/FP
+	// counters for BOTH generations — the rule-efficacy surface.
+	var combined strings.Builder
+	for _, n := range nodes {
+		m, err := (&serve.Client{BaseURL: "http://" + n.addr}).Metrics(ctx)
+		if err != nil {
+			return nil, err
+		}
+		combined.WriteString(m)
+	}
+	rep.RuleMetricsSeen = strings.Contains(combined.String(), `longtail_rule_hits_total{role="champion",gen="1"`) &&
+		strings.Contains(combined.String(), `longtail_rule_hits_total{role="challenger"`)
+
+	badAgg := mgr.Aggregate()
+	badDisagreements := mgr.Disagreements()
+	rep.BadFPRate = badAgg.ChallengerFPRate()
+	rep.BadDisagreements = len(badDisagreements)
+	st, err := mgr.Tick(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rep.BadRejected = st == lifecycle.StateRejected
+	badStatus := mgr.Status()
+	rep.BadReason, _ = badStatus["reason"].(string)
+	if !rep.BadRejected {
+		return nil, fmt.Errorf("experiments: chaos-lifecycle: bad challenger resolved %s, want rejected (FP rate %.4f, stats %+v)", st, rep.BadFPRate, badAgg)
+	}
+	if rtStatus := rt.Status(); rtStatus.Generation != 1 {
+		return nil, fmt.Errorf("experiments: chaos-lifecycle: cluster generation moved to %d during a rejected shadow run", rtStatus.Generation)
+	}
+
+	// ---- Degraded fold-in: a garbage reload breaks replica 0. The
+	// node serves its old generation in degraded mode until the
+	// lifecycle promotion — riding the same reload path — heals it.
+	resp, err := http.Post("http://"+nodes[0].addr+"/admin/reload", "application/json", strings.NewReader("not rules"))
+	if err != nil {
+		return nil, err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		return nil, fmt.Errorf("experiments: chaos-lifecycle: garbage reload = %d, want 400", resp.StatusCode)
+	}
+	m0, err := (&serve.Client{BaseURL: "http://" + nodes[0].addr}).Metrics(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rep.DegradedAfterBadReload = strings.Contains(m0, "longtail_degraded 1")
+	if !rep.DegradedAfterBadReload {
+		return nil, fmt.Errorf("experiments: chaos-lifecycle: longtail_degraded not raised after failed reload")
+	}
+	probeRounds(1) // the router demotes the degraded replica out of the healthy tier
+
+	// ---- Phase B: the real challenger — warm-started from the
+	// champion's rules over its window plus the harvest — shadows the
+	// next traffic slice and must promote within the FP budget.
+	good, err := classify.Retrain(champion, harv.Training(train), cfg.Tau, classify.Reject)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := mgr.BeginShadow(good); err != nil {
+		return nil, err
+	}
+	for b := badEnd; b < goodEnd; b++ {
+		if err := sendBatch(b, champion, 1); err != nil {
+			return nil, err
+		}
+	}
+	flushAll()
+	for _, n := range nodes {
+		harv.DrainLedger(n.ledger)
+	}
+	rep.ServedFiles = harv.Stats().ServedFiles
+
+	goodAgg := mgr.Aggregate()
+	goodDisagreements := mgr.Disagreements()
+	rep.GoodFPRate = goodAgg.ChallengerFPRate()
+	rep.ShadowSamples = badAgg.Samples + goodAgg.Samples
+	rep.KnownBenign = badAgg.KnownBenign + goodAgg.KnownBenign
+	rep.KnownMalicious = badAgg.KnownMalicious + goodAgg.KnownMalicious
+	st, err = mgr.Tick(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: chaos-lifecycle: promotion tick: %w", err)
+	}
+	rep.GoodPromoted = st == lifecycle.StatePromoted
+	rep.PromotedGeneration = mgr.PromotedGeneration()
+	if !rep.GoodPromoted {
+		return nil, fmt.Errorf("experiments: chaos-lifecycle: good challenger resolved %s, want promoted (FP rate %.4f over %d known benign)", st, rep.GoodFPRate, goodAgg.KnownBenign)
+	}
+
+	// Promotion converged the fleet: advertised == target == 2, the
+	// degraded replica healed (same reload path), probes restore it to
+	// the healthy tier.
+	probeRounds(2)
+	rtStatus := rt.Status()
+	rep.RouterConverged = rtStatus.Status == "ok" && rtStatus.Generation == rtStatus.TargetGeneration && rtStatus.Generation == rep.PromotedGeneration
+	if !rep.RouterConverged {
+		return nil, fmt.Errorf("experiments: chaos-lifecycle: router did not converge after promotion (status %+v)", rtStatus)
+	}
+	m0, err = (&serve.Client{BaseURL: "http://" + nodes[0].addr}).Metrics(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rep.DegradedCleared = strings.Contains(m0, "longtail_degraded 0")
+
+	// ---- Phase C: the promoted generation serves the rest of the
+	// window; every verdict must carry generation 2 and match the
+	// challenger's offline classification.
+	for b := goodEnd; b < nBatches; b++ {
+		if err := sendBatch(b, good, rep.PromotedGeneration); err != nil {
+			return nil, err
+		}
+	}
+	flushAll()
+
+	// Post-promotion, the champion counters accumulate under gen="2" —
+	// the per-rule decay trend across generations on one surface.
+	combined.Reset()
+	for _, n := range nodes {
+		m, err := (&serve.Client{BaseURL: "http://" + n.addr}).Metrics(ctx)
+		if err != nil {
+			return nil, err
+		}
+		combined.WriteString(m)
+	}
+	rep.DecayMetricsSeen = strings.Contains(combined.String(), fmt.Sprintf(`longtail_rule_hits_total{role="champion",gen="%d"`, rep.PromotedGeneration))
+
+	var dropped uint64
+	for _, e := range evals {
+		dropped += e.Snapshot().Dropped
+	}
+	rep.ShadowDropped = dropped
+
+	if cfg.ReportPath != "" {
+		doc := lifecycleShadowReport{
+			Bad: lifecycleShadowRun{
+				State: lifecycle.StateRejected.String(), Reason: rep.BadReason,
+				Stats: badAgg, Disagreements: badDisagreements,
+			},
+			Good: lifecycleShadowRun{
+				State: lifecycle.StatePromoted.String(), Generation: rep.PromotedGeneration,
+				Stats: goodAgg, Disagreements: goodDisagreements,
+			},
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(cfg.ReportPath, append(data, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("experiments: chaos-lifecycle: write report: %w", err)
+		}
+	}
+	return rep, nil
+}
+
+// ChaosLifecycle is the registry adapter: run the default scenario in a
+// temporary directory (report path from LIFECYCLE_REPORT when set) and
+// render the outcome.
+func ChaosLifecycle(p *Pipeline, w io.Writer) error {
+	dir, err := os.MkdirTemp("", "chaos-lifecycle-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg := DefaultChaosLifecycleConfig(p.Config.Seed, dir)
+	cfg.ReportPath = os.Getenv("LIFECYCLE_REPORT")
+	rep, err := RunChaosLifecycle(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Chaos-lifecycle run: %d replicas, champion/challenger over live router traffic\n\n", rep.Replicas)
+	fmt.Fprintf(w, "workload                  %6d batches, %d events\n", rep.Batches, rep.Events)
+	fmt.Fprintf(w, "harvested ground truth    %6d instances (%d weak labels discarded, %d served files drained)\n",
+		rep.Harvested, rep.DiscardedWeak, rep.ServedFiles)
+	fmt.Fprintf(w, "shadow samples            %6d (known benign %d, known malicious %d, dropped %d)\n",
+		rep.ShadowSamples, rep.KnownBenign, rep.KnownMalicious, rep.ShadowDropped)
+	fmt.Fprintf(w, "bad challenger            FP rate %.4f -> %s (%d disagreements retained)\n",
+		rep.BadFPRate, map[bool]string{true: "rejected", false: "NOT REJECTED"}[rep.BadRejected], rep.BadDisagreements)
+	fmt.Fprintf(w, "good challenger           FP rate %.4f -> promoted generation %d (router converged: %v)\n",
+		rep.GoodFPRate, rep.PromotedGeneration, rep.RouterConverged)
+	fmt.Fprintf(w, "degraded recovery         raised: %v, cleared by promotion: %v\n",
+		rep.DegradedAfterBadReload, rep.DegradedCleared)
+	fmt.Fprintf(w, "per-rule metrics          shadowing: %v, post-promotion decay: %v\n", rep.RuleMetricsSeen, rep.DecayMetricsSeen)
+	fmt.Fprintf(w, "\nwrong-generation verdicts %6d\nlost batches              %6d\nmismatched verdicts       %6d\n",
+		rep.WrongGenVerdicts, rep.LostBatches, rep.MismatchedVerdicts)
+	if rep.LostBatches > 0 || rep.MismatchedVerdicts > 0 || rep.WrongGenVerdicts > 0 ||
+		rep.ShadowDropped > 0 || !rep.DegradedCleared || !rep.RuleMetricsSeen {
+		return fmt.Errorf("experiments: chaos-lifecycle: %d lost, %d mismatched, %d wrong-gen, %d shadow-dropped, degraded cleared %v, rule metrics %v",
+			rep.LostBatches, rep.MismatchedVerdicts, rep.WrongGenVerdicts, rep.ShadowDropped, rep.DegradedCleared, rep.RuleMetricsSeen)
+	}
+	return nil
+}

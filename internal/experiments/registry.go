@@ -48,6 +48,7 @@ var All = []Experiment{
 	{ID: "chaos", Name: "Robustness: fault-injected pipeline vs fault-free baseline", Run: Chaos},
 	{ID: "chaos-serve", Name: "Robustness: serving-layer kill -9 + journal recovery under transport faults", Run: ChaosServe},
 	{ID: "chaos-cluster", Name: "Robustness: 3-replica cluster under link faults, kill -9, partition, and degraded reload", Run: ChaosCluster},
+	{ID: "chaos-lifecycle", Name: "Lifecycle: champion/challenger shadow evaluation, FP-gated promotion, cluster-wide reload convergence", Run: ChaosLifecycle},
 }
 
 // ByID returns the experiment with the given ID.

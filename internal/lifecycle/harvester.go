@@ -1,0 +1,250 @@
+package lifecycle
+
+import (
+	"fmt"
+	"time"
+
+	"sync"
+
+	"repro/internal/avsim"
+	"repro/internal/dataset"
+	"repro/internal/features"
+	"repro/internal/labeling"
+	"repro/internal/serve"
+)
+
+// Harvester turns served traffic into labeled training instances — the
+// ground-truth supply line of the lifecycle. Two sources feed it:
+//
+//   - Observe (wired to the engine's batch tap, or called by a replay
+//     harness) registers each newly seen file and schedules its delayed
+//     AV re-scan at downloadTime + delay, the paper's t₀+2y protocol;
+//   - DrainLedger walks the verdict ledger's completed batches and
+//     records the verdict actually served per file, so harvested truth
+//     also scores the champion's live answers.
+//
+// Advance(now) — the caller owns the clock — drains every re-scan that
+// has come due, derives a label with the same thresholds the offline
+// labeler uses (trusted detections ⇒ malicious; clean with ≥14 days of
+// scan history ⇒ benign; anything weaker is discarded rather than
+// trained on), and appends a training instance. Training() then returns
+// the base window plus everything harvested — classify.Retrain's input.
+type Harvester struct {
+	sched   *avsim.Scheduler
+	ex      *features.Extractor
+	samples labeling.Samples
+	delay   time.Duration
+
+	mu   sync.Mutex
+	rep  map[dataset.FileHash]dataset.DownloadEvent // first event per file
+	seen map[dataset.FileHash]bool                  // scheduled (or profile-less)
+	// served is the champion's live verdict per file, from the ledger.
+	served  map[dataset.FileHash]string
+	drained map[string]bool // ledger request IDs already drained
+	// truth is the harvested label per file; harvested are the derived
+	// training instances, in drain order.
+	truth     map[dataset.FileHash]bool
+	harvested []features.Instance
+	// discarded counts due re-scans that yielded no confident label
+	// (unknown, likely benign, likely malicious); liveFP / liveDetected
+	// score the champion's served verdicts against harvested truth.
+	discarded    int
+	liveFP       int
+	liveDetected int
+}
+
+// NewHarvester builds a harvester over the scan service the labels come
+// from. samples maps file hashes to their scan-service profiles (the
+// same map the offline labeler uses); delay defaults to the paper's
+// two-year re-scan window.
+func NewHarvester(svc *avsim.Service, ex *features.Extractor, samples labeling.Samples, delay time.Duration) (*Harvester, error) {
+	if svc == nil {
+		return nil, fmt.Errorf("lifecycle: nil scan service")
+	}
+	if ex == nil {
+		return nil, fmt.Errorf("lifecycle: nil extractor")
+	}
+	if delay <= 0 {
+		delay = labeling.DefaultRescanDelay
+	}
+	return &Harvester{
+		sched:   avsim.NewScheduler(svc),
+		ex:      ex,
+		samples: samples,
+		delay:   delay,
+		rep:     make(map[dataset.FileHash]dataset.DownloadEvent),
+		seen:    make(map[dataset.FileHash]bool),
+		served:  make(map[dataset.FileHash]string),
+		drained: make(map[string]bool),
+		truth:   make(map[dataset.FileHash]bool),
+	}, nil
+}
+
+// Observe registers a batch of served events: the first event of each
+// file is kept as its feature-extraction representative and the file's
+// re-scan is scheduled at event time + delay. Files without a scan
+// profile can never produce ground truth and are skipped. Cheap enough
+// to call from a batch tap (map inserts plus a heap push per new file).
+func (h *Harvester) Observe(events []dataset.DownloadEvent) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range events {
+		ev := &events[i]
+		if h.seen[ev.File] {
+			continue
+		}
+		h.seen[ev.File] = true
+		s := h.samples[ev.File]
+		if s == nil {
+			continue
+		}
+		h.rep[ev.File] = *ev
+		h.sched.Schedule(s, ev.Time.Add(h.delay))
+	}
+}
+
+// DrainLedger records the served verdict per file from every completed
+// batch not yet drained, returning how many new batches it consumed.
+// The first verdict served for a file wins (retransmits are
+// byte-identical anyway).
+func (h *Harvester) DrainLedger(l *serve.Ledger) int {
+	if l == nil {
+		return 0
+	}
+	ids := l.CompletedIDs()
+	n := 0
+	for _, id := range ids {
+		h.mu.Lock()
+		done := h.drained[id]
+		h.mu.Unlock()
+		if done {
+			continue
+		}
+		verdicts, ok := l.LookupVerdicts(id)
+		if !ok {
+			continue
+		}
+		h.mu.Lock()
+		h.drained[id] = true
+		for i := range verdicts {
+			f := dataset.FileHash(verdicts[i].File)
+			if _, dup := h.served[f]; !dup {
+				h.served[f] = verdicts[i].Verdict
+			}
+		}
+		h.mu.Unlock()
+		n++
+	}
+	return n
+}
+
+// Advance drains every re-scan due by now, derives labels, and returns
+// how many new training instances were harvested. The caller supplies
+// the clock: wall time in a daemon, virtual time in a replay harness.
+func (h *Harvester) Advance(now time.Time) int {
+	due := h.sched.Due(now)
+	if len(due) == 0 {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, r := range due {
+		mal, ok := labelFromReport(r.Report)
+		if !ok {
+			h.discarded++
+			continue
+		}
+		ev, okRep := h.rep[r.Sample.Hash]
+		if !okRep {
+			h.discarded++
+			continue
+		}
+		vec, err := h.ex.Vector(&ev)
+		if err != nil {
+			h.discarded++
+			continue
+		}
+		h.truth[r.Sample.Hash] = mal
+		h.harvested = append(h.harvested, features.Instance{
+			Vector:    vec,
+			File:      r.Sample.Hash,
+			Malicious: mal,
+		})
+		if h.served[r.Sample.Hash] == maliciousVerdict {
+			if mal {
+				h.liveDetected++
+			} else {
+				h.liveFP++
+			}
+		}
+		n++
+	}
+	return n
+}
+
+// labelFromReport maps a due re-scan report to a confident training
+// label, mirroring the offline labeler's thresholds. Weak labels
+// (unknown, likely benign, likely malicious) return ok=false — the
+// lifecycle trains only on ground truth it would also gate on.
+func labelFromReport(rep *avsim.Report) (malicious, ok bool) {
+	if rep == nil {
+		return false, false
+	}
+	det := rep.Detections()
+	if len(det) == 0 {
+		if rep.LastScan.Sub(rep.FirstScan) < labeling.MinBenignScanSpread {
+			return false, false // likely benign: spread too short
+		}
+		return false, true
+	}
+	if len(rep.TrustedDetections()) == 0 {
+		return false, false // likely malicious: untrusted engines only
+	}
+	return true, true
+}
+
+// Truth returns the TruthFunc view of harvested labels, the evaluator's
+// FP reference.
+func (h *Harvester) Truth() TruthFunc {
+	return func(file dataset.FileHash) (bool, bool) {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		mal, ok := h.truth[file]
+		return mal, ok
+	}
+}
+
+// Training returns base plus every harvested instance — the combined
+// evidence classify.Retrain consumes.
+func (h *Harvester) Training(base []features.Instance) []features.Instance {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]features.Instance, 0, len(base)+len(h.harvested))
+	out = append(out, base...)
+	return append(out, h.harvested...)
+}
+
+// HarvestStats is the harvester's scoreboard for status endpoints.
+type HarvestStats struct {
+	Harvested    int `json:"harvested"`
+	PendingScans int `json:"pendingScans"`
+	Discarded    int `json:"discarded"`
+	ServedFiles  int `json:"servedFiles"`
+	LiveFP       int `json:"liveFP"`
+	LiveDetected int `json:"liveDetected"`
+}
+
+// Stats snapshots the harvester's counters.
+func (h *Harvester) Stats() HarvestStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HarvestStats{
+		Harvested:    len(h.harvested),
+		PendingScans: h.sched.Len(),
+		Discarded:    h.discarded,
+		ServedFiles:  len(h.served),
+		LiveFP:       h.liveFP,
+		LiveDetected: h.liveDetected,
+	}
+}

@@ -1,0 +1,301 @@
+package lifecycle
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/classify"
+	"repro/internal/retry"
+	"repro/internal/serve"
+)
+
+// State is the challenger's position in the lifecycle state machine:
+//
+//	Idle ──BeginShadow──▶ Shadowing ──Tick──▶ Promoted
+//	                          │
+//	                          └────Tick────▶ Rejected
+//
+// Promoted and Rejected are terminal for that challenger; BeginShadow
+// starts the next one.
+type State int
+
+const (
+	StateIdle State = iota
+	StateShadowing
+	StatePromoted
+	StateRejected
+)
+
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateShadowing:
+		return "shadowing"
+	case StatePromoted:
+		return "promoted"
+	case StateRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Promoter installs a gated rule set into serving. Implementations
+// promote through the existing zero-downtime reload path: a serve.Client
+// pointed at one daemon promotes that node; pointed at the cluster
+// router it promotes every replica through the generation-consistent
+// fan-out (advertised only when all replicas confirm).
+type Promoter interface {
+	Promote(ctx context.Context, rulesJSON []byte) (uint64, error)
+}
+
+// ReloadPromoter promotes via POST /admin/reload on Client's base URL.
+type ReloadPromoter struct {
+	Client *serve.Client
+}
+
+// Promote implements Promoter.
+func (p ReloadPromoter) Promote(ctx context.Context, rulesJSON []byte) (uint64, error) {
+	return p.Client.Reload(ctx, rulesJSON)
+}
+
+// Config tunes the promotion gate and Run pacing. The zero value
+// selects the paper's defaults.
+type Config struct {
+	// FPBudget is the maximum tolerated challenger false-positive rate
+	// over known-benign shadow traffic — the paper's 0.1% operating
+	// point (Section VI-C). Default 0.001.
+	FPBudget float64
+	// MinShadowSamples is the minimum number of shadow-classified events
+	// before the gate may decide either way. Default 200.
+	MinShadowSamples int
+	// Interval paces Run's gate evaluation. Default 250ms.
+	Interval time.Duration
+}
+
+func (c Config) fpBudget() float64 {
+	if c.FPBudget > 0 {
+		return c.FPBudget
+	}
+	return 0.001
+}
+
+func (c Config) minSamples() int {
+	if c.MinShadowSamples > 0 {
+		return c.MinShadowSamples
+	}
+	return 200
+}
+
+func (c Config) interval() time.Duration {
+	if c.Interval > 0 {
+		return c.Interval
+	}
+	return 250 * time.Millisecond
+}
+
+// Manager drives one challenger at a time through the lifecycle: it
+// installs the challenger into the evaluators for shadowing, reads the
+// aggregated scoreboard, and either rejects (FP rate over budget) or
+// promotes through the Promoter. The challenger's verdicts are never
+// served before promotion — the only write path into serving is the
+// promoted reload.
+type Manager struct {
+	cfg      Config
+	promoter Promoter
+	evals    []*Evaluator
+
+	mu         sync.Mutex
+	state      State
+	challenger *classify.Classifier
+	label      string
+	reason     string
+	promoted   uint64
+	runs       int
+}
+
+// NewManager wires the gate over one or more evaluators (one per local
+// engine; a multi-replica harness passes all of them).
+func NewManager(cfg Config, promoter Promoter, evals ...*Evaluator) (*Manager, error) {
+	if promoter == nil {
+		return nil, fmt.Errorf("lifecycle: nil promoter")
+	}
+	if len(evals) == 0 {
+		return nil, fmt.Errorf("lifecycle: no evaluators")
+	}
+	return &Manager{cfg: cfg, promoter: promoter, evals: evals}, nil
+}
+
+// BeginShadow starts shadow-evaluating clf as the next challenger and
+// returns its generation label. Fails while another challenger is still
+// shadowing.
+func (m *Manager) BeginShadow(clf *classify.Classifier) (string, error) {
+	if clf == nil {
+		return "", fmt.Errorf("lifecycle: nil challenger")
+	}
+	m.mu.Lock()
+	if m.state == StateShadowing {
+		m.mu.Unlock()
+		return "", fmt.Errorf("lifecycle: challenger %s still shadowing", m.label)
+	}
+	m.runs++
+	m.state = StateShadowing
+	m.challenger = clf
+	m.label = fmt.Sprintf("challenger-%d", m.runs)
+	m.reason = ""
+	label := m.label
+	m.mu.Unlock()
+	for _, e := range m.evals {
+		e.SetChallenger(clf, label)
+	}
+	return label, nil
+}
+
+// Aggregate sums the evaluators' scoreboards.
+func (m *Manager) Aggregate() Stats {
+	var s Stats
+	for _, e := range m.evals {
+		s.add(e.Snapshot())
+	}
+	return s
+}
+
+// Disagreements concatenates the evaluators' retained disagreement
+// examples — the shadow-evaluation report body.
+func (m *Manager) Disagreements() []Disagreement {
+	var out []Disagreement
+	for _, e := range m.evals {
+		out = append(out, e.Disagreements()...)
+	}
+	return out
+}
+
+// Tick evaluates the promotion gate once. While shadowing it returns
+// StateShadowing until the evidence suffices (MinShadowSamples shadowed
+// AND some known-benign truth to measure FP against); then it either
+// rejects the challenger — FP rate over budget, challenger uninstalled,
+// nothing ever served — or exports its rules and promotes them through
+// the Promoter. A failed promotion keeps the state Shadowing and
+// returns the error, so a paced Run retries it.
+func (m *Manager) Tick(ctx context.Context) (State, error) {
+	m.mu.Lock()
+	st, clf := m.state, m.challenger
+	m.mu.Unlock()
+	if st != StateShadowing {
+		return st, nil
+	}
+	agg := m.Aggregate()
+	if agg.Samples < uint64(m.cfg.minSamples()) || agg.KnownBenign == 0 {
+		return StateShadowing, nil
+	}
+	if rate := agg.ChallengerFPRate(); rate > m.cfg.fpBudget() {
+		for _, e := range m.evals {
+			e.ClearChallenger()
+		}
+		m.mu.Lock()
+		m.state = StateRejected
+		m.challenger = nil
+		m.reason = fmt.Sprintf("FP rate %.4f over budget %.4f (%d FP / %d known benign, %d shadowed)",
+			rate, m.cfg.fpBudget(), agg.ChallengerFP, agg.KnownBenign, agg.Samples)
+		m.mu.Unlock()
+		return StateRejected, nil
+	}
+	var buf bytes.Buffer
+	if err := serve.ExportRules(&buf, clf); err != nil {
+		return StateShadowing, fmt.Errorf("lifecycle: export challenger: %w", err)
+	}
+	gen, err := m.promoter.Promote(ctx, buf.Bytes())
+	if err != nil {
+		return StateShadowing, fmt.Errorf("lifecycle: promote: %w", err)
+	}
+	for _, e := range m.evals {
+		e.ClearChallenger()
+	}
+	m.mu.Lock()
+	m.state = StatePromoted
+	m.challenger = nil
+	m.promoted = gen
+	m.reason = fmt.Sprintf("promoted to generation %d (FP rate %.4f within budget %.4f, %d shadowed)",
+		gen, agg.ChallengerFPRate(), m.cfg.fpBudget(), agg.Samples)
+	m.mu.Unlock()
+	return StatePromoted, nil
+}
+
+// errShadowing is Run's internal "not decided yet" signal: returning it
+// from the retried op makes retry.Do sleep one interval and tick again
+// — the sanctioned pacing mechanism, no bare sleep loops.
+var errShadowing = errors.New("lifecycle: still shadowing")
+
+// Run drives Tick until the current challenger resolves (Promoted or
+// Rejected) or ctx is canceled. Pacing and transient-promotion retries
+// both run through internal/retry with the configured interval.
+func (m *Manager) Run(ctx context.Context) (State, error) {
+	iv := m.cfg.interval()
+	final := StateIdle
+	err := retry.Do(ctx, retry.Policy{
+		MaxAttempts:    -1,
+		InitialBackoff: iv,
+		MaxBackoff:     iv,
+	}, func(ctx context.Context) error {
+		st, err := m.Tick(ctx)
+		if err != nil {
+			return err // transient (e.g. promotion fan-out): back off, retry
+		}
+		switch st {
+		case StatePromoted, StateRejected:
+			final = st
+			return nil
+		default:
+			return errShadowing
+		}
+	})
+	if err != nil {
+		return m.StateNow(), err
+	}
+	return final, nil
+}
+
+// StateNow returns the current state without ticking.
+func (m *Manager) StateNow() State {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.state
+}
+
+// PromotedGeneration returns the generation the last promotion
+// produced (0 if none yet).
+func (m *Manager) PromotedGeneration() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.promoted
+}
+
+// Status renders the lifecycle state for /admin/lifecycle.
+func (m *Manager) Status() map[string]any {
+	agg := m.Aggregate()
+	m.mu.Lock()
+	out := map[string]any{
+		"state":              m.state.String(),
+		"challenger":         m.label,
+		"reason":             m.reason,
+		"promotedGeneration": m.promoted,
+		"fpBudget":           m.cfg.fpBudget(),
+		"minShadowSamples":   m.cfg.minSamples(),
+	}
+	m.mu.Unlock()
+	out["shadowSamples"] = agg.Samples
+	out["shadowAgree"] = agg.Agree
+	out["shadowDisagree"] = agg.Disagree
+	out["shadowDropped"] = agg.Dropped
+	out["knownBenign"] = agg.KnownBenign
+	out["knownMalicious"] = agg.KnownMalicious
+	out["challengerFP"] = agg.ChallengerFP
+	out["challengerFPRate"] = agg.ChallengerFPRate()
+	out["championFP"] = agg.ChampionFP
+	return out
+}

@@ -10,9 +10,10 @@ import (
 
 // Determinism enforces the reproduction's core property: every stage of
 // the offline pipeline is a pure function of its seed. Inside the
-// deterministic core (synth, export, faults, experiments, and the
-// classifier/rule-induction packages classify and part by default)
-// it flags:
+// deterministic core (synth, export, faults, experiments, the
+// classifier/rule-induction packages classify and part, and the
+// champion/challenger lifecycle — whose clocks are injected by callers
+// — by default) it flags:
 //
 //   - time.Now — wall-clock reads make two runs with the same seed
 //     diverge; derive timestamps from the synthetic trace clock.
@@ -33,7 +34,7 @@ var Determinism = &lintkit.Analyzer{
 	Name: "determinism",
 	Doc:  "flag wall-clock, global PRNG and unsorted map-iteration output in the deterministic pipeline core",
 	Flags: []*lintkit.Flag{
-		{Name: "determinism.pkgs", Usage: "comma-separated package base names under the determinism invariant", Value: "synth,export,faults,experiments,classify,part"},
+		{Name: "determinism.pkgs", Usage: "comma-separated package base names under the determinism invariant", Value: "synth,export,faults,experiments,classify,part,lifecycle"},
 		{Name: "determinism.allow", Usage: "comma-separated fully qualified functions (pkgpath.Func) exempt from the determinism check", Value: ""},
 	},
 	Run: runDeterminism,

@@ -19,6 +19,13 @@ func TestDeterminismOutOfScope(t *testing.T) {
 	lintkittest.Run(t, "testdata/src/determinism/clean", Determinism)
 }
 
+// TestDeterminismLifecycle pins the widened default scope: the
+// champion/challenger lifecycle (caller-injected clocks) is inside the
+// deterministic core.
+func TestDeterminismLifecycle(t *testing.T) {
+	lintkittest.Run(t, "testdata/src/determinism/lifecycle", Determinism)
+}
+
 func TestLockguard(t *testing.T) {
 	lintkittest.Run(t, "testdata/src/lockguard/serve", Lockguard)
 }
@@ -46,6 +53,13 @@ func TestRetryPolicy(t *testing.T) {
 
 func TestRetryPolicyExemptPackage(t *testing.T) {
 	lintkittest.Run(t, "testdata/src/retrypolicy/retry", RetryPolicy)
+}
+
+// TestRetryPolicyLifecycle pins that the lifecycle's re-scan scheduler
+// is NOT exempt: its pacing must go through internal/retry, and a bare
+// sleep-poll loop is flagged.
+func TestRetryPolicyLifecycle(t *testing.T) {
+	lintkittest.Run(t, "testdata/src/retrypolicy/lifecycle", RetryPolicy)
 }
 
 func TestErrWrap(t *testing.T) {

@@ -1,0 +1,41 @@
+// Package lifecycle is a determinism-analyzer fixture: the
+// champion/challenger lifecycle is inside the deterministic core —
+// its clocks are injected by callers (the harvester's Advance, the
+// manager's paced Tick) — so wall-clock reads must be flagged.
+package lifecycle
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad: a re-scan scheduler that stamps due times off the wall clock
+// diverges between two runs with the same seed.
+func scheduleRescan(delay time.Duration) time.Time {
+	return time.Now().Add(delay) // want `time.Now breaks seed-determinism`
+}
+
+// Bad: sampling shadow traffic through the global PRNG shares mutable
+// process state across evaluators.
+func sampleBatch(n int) int {
+	return rand.Intn(n) // want `global math/rand.Intn uses shared process state`
+}
+
+// Fine: the sanctioned pattern — the caller owns the clock and passes
+// `now` in, so the harvester advances only when the test (or daemon)
+// says so.
+func dueRescans(now time.Time, due []time.Time) int {
+	ready := 0
+	for _, d := range due {
+		if !d.After(now) {
+			ready++
+		}
+	}
+	return ready
+}
+
+// Fine: a seeded source threaded explicitly stays reproducible.
+func seededSample(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}

@@ -1,0 +1,30 @@
+// Package lifecycle is a retrypolicy fixture: the lifecycle package is
+// NOT in the exempt list, so its re-scan scheduler and shadow pacing
+// must go through internal/retry's Policy/Do — a hand-rolled
+// sleep-poll loop is exactly the shape the analyzer exists to catch.
+package lifecycle
+
+import "time"
+
+// Bad: the re-scan scheduler polling for due work with a bare sleep
+// loop instead of retry.Do with a fixed-interval Policy.
+func pollRescans(due func() bool) {
+	for !due() {
+		time.Sleep(250 * time.Millisecond) // want `time.Sleep inside a loop is a hand-rolled retry/poll loop`
+	}
+}
+
+// Bad: pacing the shadow-evaluation drain by sleeping in a loop.
+func drainShadow(tick func() (done bool)) {
+	for {
+		if tick() {
+			return
+		}
+		time.Sleep(time.Second) // want `time.Sleep inside a loop is a hand-rolled retry/poll loop`
+	}
+}
+
+// Fine: a one-shot settle delay outside any loop.
+func settle() {
+	time.Sleep(10 * time.Millisecond)
+}

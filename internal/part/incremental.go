@@ -1,0 +1,197 @@
+package part
+
+import "fmt"
+
+// LearnIncremental warm-starts rule induction from a prior generation's
+// rule list instead of learning from scratch — the retraining entry
+// point of the champion/challenger lifecycle. The combined dataset
+// (original training window plus newly harvested ground truth) is
+// usually dominated by instances the prior rules already explain, so a
+// full PART pass would re-derive most of the champion at full cost
+// while renumbering every rule; the warm start instead:
+//
+//  1. re-scores every prior rule standalone against d (fresh
+//     Covered/Errors — a rule's support and error rate under the NEW
+//     evidence, which is exactly the efficacy-decay signal the
+//     lifecycle surfaces per rule);
+//  2. retains the prior rules still accurate on d (error rate <= tau
+//     with nonzero coverage), preserving their relative order so
+//     analysts track a rule across generations;
+//  3. runs the PART loop only on the residual — instances no retained
+//     rule covers — and appends whatever new rules it grows.
+//
+// The result is a full decision list over d: retained veterans first,
+// new rules after. Callers apply their own selection filters on top
+// (tau re-filtering is already done for veterans; new rules carry
+// honest Covered/Errors from the residual pass and are re-scored by
+// classify.Retrain the same way Train re-scores).
+func (l *Learner) LearnIncremental(prior []Rule, d *Dataset, tau float64) ([]Rule, error) {
+	if d == nil || d.Len() == 0 {
+		return nil, fmt.Errorf("part: empty dataset")
+	}
+	if tau < 0 {
+		return nil, fmt.Errorf("part: negative tau %v", tau)
+	}
+	if len(prior) == 0 {
+		// No prior generation: incremental learning degenerates to a
+		// fresh PART pass, bit-identical to Learn.
+		return l.Learn(d)
+	}
+	// Re-score the prior generation against the new evidence.
+	retained := make([]Rule, 0, len(prior))
+	for _, r := range prior {
+		if len(r.Conditions) == 0 {
+			continue // the unconditioned default rule never carries over
+		}
+		r.Covered, r.Errors = 0, 0
+		for i := range d.Instances {
+			if r.Matches(&d.Instances[i]) {
+				r.Covered++
+				if d.Instances[i].Class != r.Class {
+					r.Errors++
+				}
+			}
+		}
+		if r.Covered > 0 && r.ErrorRate() <= tau+1e-12 {
+			retained = append(retained, r)
+		}
+	}
+
+	// Collect the residual: instances no retained rule explains.
+	var residual Dataset
+	residual.Attrs, residual.ClassNames = d.Attrs, d.ClassNames
+	for i := range d.Instances {
+		matched := false
+		for ri := range retained {
+			if retained[ri].Matches(&d.Instances[i]) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			residual.Instances = append(residual.Instances, d.Instances[i])
+		}
+	}
+	if residual.Len() == 0 {
+		return retained, nil
+	}
+	if l.MaxRules > 0 && len(retained) >= l.MaxRules {
+		return retained, nil
+	}
+	grower := &Learner{MaxRules: l.MaxRules}
+	if grower.MaxRules > 0 {
+		grower.MaxRules -= len(retained)
+	}
+	grown, err := grower.Learn(&residual)
+	if err != nil {
+		return nil, fmt.Errorf("part: incremental residual pass: %w", err)
+	}
+	// PART never conditions the LAST class standing: once the remaining
+	// instances are pure, the tree is a bare leaf and everything left
+	// falls to the unconditioned default rule, which downstream
+	// selection drops. From scratch that tail is just low-support noise,
+	// but in a warm start the veterans soak up the bulk of the data and
+	// an EMERGED pattern (the very thing retraining exists to learn) can
+	// be the pure tail. Describe such a tail with a characteristic rule
+	// — the conjunction of nominal values all tail instances share that
+	// at least one other instance in d does not — held to the same tau
+	// bar as the veterans.
+	if tail, class, pure := pureTail(&residual, grown); pure {
+		if r, ok := characteristicRule(d, tail, class, tau); ok {
+			grown = append(grown, r)
+		}
+	}
+	// The residual pass can re-derive a veteran verbatim; keep the first
+	// occurrence of each identical rule.
+	seen := make(map[string]bool, len(retained)+len(grown))
+	out := make([]Rule, 0, len(retained)+len(grown))
+	for _, r := range append(retained, grown...) {
+		key := r.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// pureTail returns the residual instances not covered by any conditioned
+// grown rule, if they are all of one class.
+func pureTail(residual *Dataset, grown []Rule) ([]Instance, int, bool) {
+	var tail []Instance
+	for i := range residual.Instances {
+		matched := false
+		for ri := range grown {
+			if len(grown[ri].Conditions) > 0 && grown[ri].Matches(&residual.Instances[i]) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			tail = append(tail, residual.Instances[i])
+		}
+	}
+	if len(tail) == 0 {
+		return nil, 0, false
+	}
+	c := tail[0].Class
+	for i := range tail {
+		if tail[i].Class != c {
+			return nil, 0, false
+		}
+	}
+	return tail, c, true
+}
+
+// characteristicRule conjoins, over the nominal attributes, the values
+// every tail instance shares and at least one other instance of d does
+// not — the most specific equality description of the tail that still
+// discriminates. The rule is re-scored against all of d and returned
+// only if it clears the tau error bar with nonzero coverage.
+func characteristicRule(d *Dataset, tail []Instance, class int, tau float64) (Rule, bool) {
+	r := Rule{Class: class, ClassName: d.ClassNames[class]}
+	for ai := range d.Attrs {
+		if d.Attrs[ai].Numeric {
+			continue
+		}
+		v := tail[0].Values[ai].S
+		shared := true
+		for i := 1; i < len(tail); i++ {
+			if tail[i].Values[ai].S != v {
+				shared = false
+				break
+			}
+		}
+		if !shared {
+			continue
+		}
+		discriminates := false
+		for i := range d.Instances {
+			if d.Instances[i].Class != class && d.Instances[i].Values[ai].S != v {
+				discriminates = true
+				break
+			}
+		}
+		if discriminates {
+			r.Conditions = append(r.Conditions, Condition{
+				AttrIndex: ai, AttrName: d.Attrs[ai].Name, Op: OpEquals, Value: v,
+			})
+		}
+	}
+	if len(r.Conditions) == 0 {
+		return Rule{}, false
+	}
+	for i := range d.Instances {
+		if r.Matches(&d.Instances[i]) {
+			r.Covered++
+			if d.Instances[i].Class != class {
+				r.Errors++
+			}
+		}
+	}
+	if r.Covered == 0 || r.ErrorRate() > tau+1e-12 {
+		return Rule{}, false
+	}
+	return r, true
+}

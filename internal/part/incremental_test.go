@@ -1,0 +1,119 @@
+package part
+
+import "testing"
+
+// incrDataset builds a one-nominal-attribute dataset from (value, class)
+// pairs.
+func incrDataset(t *testing.T, pairs [][2]any) *Dataset {
+	t.Helper()
+	d, err := NewDataset([]Attribute{{Name: "color"}}, []string{"benign", "malicious"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if err := d.Add(Instance{Values: []Value{{S: p[0].(string)}}, Class: p[1].(int)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d
+}
+
+func colorRule(value string, class int, className string) Rule {
+	return Rule{
+		Conditions: []Condition{{AttrIndex: 0, AttrName: "color", Op: OpEquals, Value: value}},
+		Class:      class,
+		ClassName:  className,
+	}
+}
+
+func TestLearnIncrementalRetainsAndGrows(t *testing.T) {
+	// Prior generation knows red=malicious. New evidence: red is still
+	// malicious, and a new blue=malicious pattern emerged.
+	var pairs [][2]any
+	for i := 0; i < 10; i++ {
+		pairs = append(pairs, [2]any{"red", 1}, [2]any{"green", 0})
+	}
+	for i := 0; i < 6; i++ {
+		pairs = append(pairs, [2]any{"blue", 1})
+	}
+	d := incrDataset(t, pairs)
+	prior := []Rule{colorRule("red", 1, "malicious")}
+
+	rules, err := (&Learner{}).LearnIncremental(prior, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) < 2 {
+		t.Fatalf("got %d rules, want the retained veteran plus grown rules: %v", len(rules), rules)
+	}
+	// The veteran survives in first position with re-scored stats.
+	if rules[0].Conditions[0].Value != "red" || rules[0].Class != 1 {
+		t.Fatalf("rule 0 = %s, want retained red=malicious", rules[0].String())
+	}
+	if rules[0].Covered != 10 || rules[0].Errors != 0 {
+		t.Fatalf("veteran re-scored to covered=%d errors=%d, want 10/0", rules[0].Covered, rules[0].Errors)
+	}
+	// The residual pass must explain blue.
+	blue := Instance{Values: []Value{{S: "blue"}}, Class: 1}
+	if cls, ok := DecisionList(rules, &blue); !ok || cls != 1 {
+		t.Fatalf("blue classified (%d, %v), want (1, true)", cls, ok)
+	}
+}
+
+func TestLearnIncrementalDropsDecayedRule(t *testing.T) {
+	// The prior red=malicious rule decayed: red is now mostly benign.
+	var pairs [][2]any
+	for i := 0; i < 10; i++ {
+		pairs = append(pairs, [2]any{"red", 0})
+	}
+	pairs = append(pairs, [2]any{"red", 1}) // 1/11 error if kept as malicious
+	for i := 0; i < 5; i++ {
+		pairs = append(pairs, [2]any{"black", 1})
+	}
+	d := incrDataset(t, pairs)
+	prior := []Rule{colorRule("red", 1, "malicious")}
+
+	rules, err := (&Learner{}).LearnIncremental(prior, d, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rules {
+		if r.Class == 1 && len(r.Conditions) == 1 && r.Conditions[0].Value == "red" {
+			t.Fatalf("decayed red=malicious rule retained: %s (covered %d, errors %d)", r.String(), r.Covered, r.Errors)
+		}
+	}
+}
+
+func TestLearnIncrementalEmptyPriorEqualsLearn(t *testing.T) {
+	var pairs [][2]any
+	for i := 0; i < 8; i++ {
+		pairs = append(pairs, [2]any{"red", 1}, [2]any{"green", 0})
+	}
+	d := incrDataset(t, pairs)
+	fresh, err := (&Learner{}).Learn(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, err := (&Learner{}).LearnIncremental(nil, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fresh) != len(incr) {
+		t.Fatalf("incremental with no prior produced %d rules, fresh Learn produced %d", len(incr), len(fresh))
+	}
+	for i := range fresh {
+		if fresh[i].String() != incr[i].String() {
+			t.Fatalf("rule %d diverged: %s vs %s", i, fresh[i].String(), incr[i].String())
+		}
+	}
+}
+
+func TestLearnIncrementalValidation(t *testing.T) {
+	if _, err := (&Learner{}).LearnIncremental(nil, nil, 0); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	d := incrDataset(t, [][2]any{{"red", 1}})
+	if _, err := (&Learner{}).LearnIncremental(nil, d, -1); err == nil {
+		t.Error("negative tau accepted")
+	}
+}

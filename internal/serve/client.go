@@ -370,6 +370,29 @@ func (c *Client) Health(ctx context.Context) (map[string]any, error) {
 	return out, nil
 }
 
+// Lifecycle fetches /admin/lifecycle — the champion/challenger state a
+// lifecycle-enabled daemon (or, aggregated, the cluster router) exposes.
+func (c *Client) Lifecycle(ctx context.Context) (map[string]any, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/admin/lifecycle", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("serve: /admin/lifecycle: %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Metrics fetches the raw /metrics exposition text.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)

@@ -166,6 +166,10 @@ type Engine struct {
 	swapMu sync.Mutex
 	rules  atomic.Pointer[ruleGen]
 
+	// tap, when set, observes every fully classified batch off the
+	// response path (one atomic load per batch when unset).
+	tap atomic.Pointer[BatchTap]
+
 	// degraded holds the reason the last rule update was refused (nil =
 	// healthy); the old generation keeps serving throughout.
 	degraded atomic.Pointer[string]
@@ -254,6 +258,24 @@ func (e *Engine) Swap(clf *classify.Classifier) (uint64, error) {
 	e.metrics.Reloads.Add(1)
 	e.metrics.Generation.Store(next.gen)
 	return next.gen, nil
+}
+
+// BatchTap observes a fully classified batch after its verdicts are
+// complete and before ClassifyBatch returns them. The slices belong to
+// the caller of ClassifyBatch: a tap must copy anything it keeps and
+// must not block — shadow evaluation hangs work off a bounded queue and
+// drops on overflow rather than stalling the serving path.
+type BatchTap func(events []dataset.DownloadEvent, verdicts []VerdictRecord)
+
+// SetBatchTap installs (or, with nil, removes) the engine's batch tap.
+// The tap sees only batches in which every event was classified —
+// shed or partially shed batches are not observable ground truth.
+func (e *Engine) SetBatchTap(t BatchTap) {
+	if t == nil {
+		e.tap.Store(nil)
+		return
+	}
+	e.tap.Store(&t)
 }
 
 // shardOf routes a file hash to a shard: FNV-1a over the digest's tail.
@@ -345,6 +367,9 @@ func (e *Engine) ClassifyBatch(ctx context.Context, events []dataset.DownloadEve
 	done.Wait()
 	if shed.Load() > 0 {
 		return results, ErrDeadlineExceeded
+	}
+	if t := e.tap.Load(); t != nil {
+		(*t)(events, results)
 	}
 	return results, nil
 }

@@ -449,6 +449,20 @@ func (l *Ledger) PendingIDs() []string {
 	return ids
 }
 
+// CompletedIDs returns the request IDs with journaled results, in
+// sorted order — the lifecycle harvester's entry point for draining
+// served ground truth deterministically.
+func (l *Ledger) CompletedIDs() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ids := make([]string, 0, len(l.results))
+	for id := range l.results {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
 // Counts returns (pending, completed) batch counts.
 func (l *Ledger) Counts() (pending, completed int) {
 	l.mu.Lock()

@@ -63,6 +63,10 @@ type Server struct {
 	deferCtx  context.Context
 	deferStop context.CancelFunc
 	deferDone chan struct{}
+
+	// metricsAppenders extend GET /metrics with additional exposition
+	// blocks (e.g. the lifecycle's per-rule efficacy counters).
+	metricsAppenders []func(io.Writer)
 }
 
 // ServerOption customizes NewServer.
@@ -79,6 +83,18 @@ func WithLedger(l *Ledger) ServerOption {
 // identified batch (useful in tests); default 0.75.
 func WithDeferHighWater(f float64) ServerOption {
 	return func(s *Server) { s.deferHighWater = f }
+}
+
+// WithMetricsAppender registers a function that appends extra
+// Prometheus-style exposition lines to GET /metrics after the engine's
+// own block. Appenders run in registration order on the request path,
+// so they must be fast and internally synchronized.
+func WithMetricsAppender(f func(io.Writer)) ServerOption {
+	return func(s *Server) {
+		if f != nil {
+			s.metricsAppenders = append(s.metricsAppenders, f)
+		}
+	}
 }
 
 // NewServer wraps an engine; reloaded rule sets use the given conflict
@@ -499,4 +515,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		js = &st
 	}
 	s.engine.Metrics().WriteTo(w, s.engine.QueueDepth(), s.engine.DegradedReason() != "", js)
+	for _, f := range s.metricsAppenders {
+		f(w)
+	}
 }
