@@ -10,9 +10,9 @@ LONGTAILVET ?= bin/longtailvet
 
 .PHONY: verify verify-fast build vet test fmtcheck lint longtailvet \
 	staticcheck govulncheck bench bench-json chaos-serve chaos-cluster \
-	chaos-lifecycle fuzz-smoke
+	chaos-lifecycle chaos-churn fuzz-smoke
 
-verify: verify-fast fuzz-smoke chaos-cluster chaos-lifecycle
+verify: verify-fast fuzz-smoke chaos-cluster chaos-lifecycle chaos-churn
 
 verify-fast: build vet test fmtcheck lint
 
@@ -92,6 +92,19 @@ chaos-cluster:
 chaos-lifecycle:
 	LIFECYCLE_REPORT=$(CURDIR)/LIFECYCLE_shadow.json \
 		$(GO) test -race -run TestChaosLifecycle -count=1 -v ./internal/experiments/
+
+# Membership-churn chaos harness under the race detector: a 3-replica
+# journaled cluster under >= 10% link faults driven through the ledger
+# handoff lifecycle — a planned leave draining its dedup history to the
+# new ring owners, a kill -9 mid-handoff (import target partitioned,
+# torn journal tail at the crash), and a restart whose probation
+# readmit reconciles the trapped ranges — closed by a retransmit storm
+# of every served ID asserting zero re-classifications, zero lost
+# batches, byte-identical bodies. The churn report lands in
+# CHURN_report.json for CI to archive.
+chaos-churn:
+	CHURN_REPORT=$(CURDIR)/CHURN_report.json \
+		$(GO) test -race -run TestChaosChurn -count=1 -v ./internal/experiments/
 
 # Full benchmark harness (one benchmark per paper table/figure plus the
 # ablations and the serving-throughput benches).

@@ -140,7 +140,16 @@ func (rt *Router) handleJoin(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
-	json.NewEncoder(w).Encode(map[string]any{"joined": addr})
+	// The grown ring remaps key ranges to the joiner the moment Join
+	// rebuilds it; pull their ledger history over before answering so a
+	// retransmit of a remapped ID finds its verdict on the new owner.
+	// Best-effort: a failed rebalance leaves incumbents authoritative
+	// (sticky pins unchanged) and a non-zero pending gauge.
+	rebalanced := true
+	if err := rt.Rebalance(r.Context(), addr); err != nil {
+		rebalanced = false
+	}
+	json.NewEncoder(w).Encode(map[string]any{"joined": addr, "rebalanced": rebalanced})
 }
 
 func (rt *Router) handleLeave(w http.ResponseWriter, r *http.Request) {
@@ -230,6 +239,10 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		degraded = 1
 	}
 	fmt.Fprintf(w, "longtail_router_degraded %d\n", degraded)
+	fmt.Fprintf(w, "longtail_handoff_chunks_total %d\n", m.HandoffChunks.Load())
+	fmt.Fprintf(w, "longtail_handoff_entries_total %d\n", m.HandoffEntries.Load())
+	fmt.Fprintf(w, "longtail_handoff_replayed_total %d\n", m.HandoffReplayed.Load())
+	fmt.Fprintf(w, "longtail_handoff_failures_total %d\n", m.HandoffFails.Load())
 	for _, n := range st.Nodes {
 		for _, s := range nodeStates {
 			v := 0
@@ -252,5 +265,6 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "longtail_breaker_state{node=%q,state=%q} %d\n", n.Addr, s, v)
 		}
 		fmt.Fprintf(w, "longtail_breaker_trips_total{node=%q} %d\n", n.Addr, n.BreakerTrips)
+		fmt.Fprintf(w, "longtail_handoff_pending{node=%q} %d\n", n.Addr, n.HandoffPending)
 	}
 }

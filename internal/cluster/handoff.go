@@ -1,0 +1,303 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/journal"
+	"repro/internal/retry"
+	"repro/internal/serve"
+)
+
+// Handoff orchestration: moving ledger history to the replicas that the
+// ring says now own it, so membership churn never turns a retransmit
+// into a re-classification. Three flows share the machinery here:
+//
+//   - planned leave: Leave drains the leaver's ledger to the new ring
+//     owners (handoffFrom) before the node is forgotten;
+//   - crash return: a node ejected with undrained state is flagged
+//     needsReconcile, and its first probation readmit triggers
+//     reconcileNode — recovery replay on the node's side already
+//     rebuilt its ledger from the journal, this side exports the ranges
+//     it no longer owns to their current owners;
+//   - join: Rebalance pulls, from every incumbent, the history for key
+//     ranges the grown ring assigns to the joiner.
+//
+// Authority rule, same in all three: the SOURCE stays authoritative for
+// an ID until an importer's durable ack (the importer fsyncs before
+// answering), after which both hold byte-identical records, so there is
+// never a moment where nobody can answer and never a moment where two
+// owners would answer differently. A push that exhausts its retries
+// leaves the range pinned to the source — visible as a non-zero
+// longtail_handoff_pending gauge — rather than splitting authority.
+
+// handoffEntry is one ledger record in flight between replicas: the
+// request ID it concerns plus the record's full journal payload, ready
+// to be re-framed for the importer.
+type handoffEntry struct {
+	kind byte
+	id   string
+	data []byte
+}
+
+// decodeHandoffEntries parses an export stream (concatenated CRC
+// frames) into routable entries. Any framing damage rejects the whole
+// stream: the source still holds everything, re-pulling is cheap, and
+// importing a prefix of a damaged stream would hide the damage.
+func decodeHandoffEntries(stream []byte) ([]handoffEntry, error) {
+	recs, tail := journal.DecodeFrames(stream)
+	if tail != 0 {
+		return nil, fmt.Errorf("cluster: handoff stream: %d trailing bytes fail CRC framing", tail)
+	}
+	out := make([]handoffEntry, 0, len(recs))
+	for _, r := range recs {
+		idx := bytes.IndexByte(r.Data, '\n')
+		if idx <= 0 {
+			return nil, fmt.Errorf("cluster: handoff record without id line")
+		}
+		out = append(out, handoffEntry{kind: r.Kind, id: string(r.Data[:idx]), data: r.Data})
+	}
+	return out, nil
+}
+
+// chunkEntries re-frames entries into import-sized chunks, preserving
+// order. Each chunk is independently importable and idempotent, so a
+// retransmitted or reordered chunk converges on the importer.
+func chunkEntries(entries []handoffEntry, maxBytes int) (chunks [][]byte, counts []int) {
+	var cur []byte
+	n := 0
+	for _, e := range entries {
+		if n > 0 && len(cur)+len(e.data) > maxBytes {
+			chunks = append(chunks, cur)
+			counts = append(counts, n)
+			cur, n = nil, 0
+		}
+		cur = journal.AppendFrame(cur, e.kind, e.data)
+		n++
+	}
+	if n > 0 {
+		chunks = append(chunks, cur)
+		counts = append(counts, n)
+	}
+	return chunks, counts
+}
+
+// pullExport fetches a replica's full ledger export, retrying per the
+// router policy. No breaker gating: exports are pulled from nodes that
+// are leaving or freshly returned, exactly the nodes whose breakers may
+// still be settling.
+func (rt *Router) pullExport(ctx context.Context, n *node) ([]byte, error) {
+	var stream []byte
+	err := retry.Do(ctx, rt.opts.Retry, func(ctx context.Context) error {
+		var err error
+		stream, err = n.client.HandoffExport(ctx)
+		return err
+	})
+	return stream, err
+}
+
+// pushChunk ships one chunk to target with backoff and breaker gating:
+// a breaker-open target fails the attempt without a network call, and
+// availability errors feed the breaker exactly like forward attempts.
+// nil error means the target journaled and fsynced the chunk — the
+// durable ack that releases the source's authority for those IDs.
+func (rt *Router) pushChunk(ctx context.Context, target *node, chunk []byte) error {
+	return retry.Do(ctx, rt.opts.Retry, func(ctx context.Context) error {
+		if err := target.breaker.Allow(); err != nil {
+			return err
+		}
+		_, err := target.client.HandoffImport(ctx, chunk)
+		if err == nil || retry.IsPermanent(err) {
+			// A permanent refusal means the target answered; only
+			// availability failures count against the breaker.
+			target.breaker.Record(nil)
+		} else {
+			target.breaker.Record(err)
+		}
+		return err
+	})
+}
+
+// routeEntries groups entries by their current ring owner. Entries the
+// ring maps back to source (reconciliation of a node that still owns
+// part of its old range) need no transfer — the caller just re-pins
+// them.
+func (rt *Router) routeEntries(entries []handoffEntry, source string) (groups map[string][]handoffEntry, keep []handoffEntry) {
+	ring := rt.ring.Load()
+	groups = make(map[string][]handoffEntry)
+	for _, e := range entries {
+		owner := ring.Owner(e.id)
+		if owner == "" || owner == source {
+			keep = append(keep, e)
+			continue
+		}
+		groups[owner] = append(groups[owner], e)
+	}
+	return groups, keep
+}
+
+// pushGroups transfers each owner's group and re-pins sticky routes as
+// chunks ack. source.handoffPending tracks the not-yet-acked entry
+// count throughout, so a partial transfer is observable the moment it
+// stalls. Returns the first push error; entries already acked stay
+// transferred (idempotent on retry), entries not yet acked remain the
+// source's.
+func (rt *Router) pushGroups(ctx context.Context, source *node, groups map[string][]handoffEntry) error {
+	owners := make([]string, 0, len(groups))
+	total := 0
+	for addr, g := range groups {
+		owners = append(owners, addr)
+		total += len(g)
+	}
+	sort.Strings(owners)
+	source.handoffPending.Store(int64(total))
+	for _, addr := range owners {
+		rt.mu.Lock()
+		target := rt.nodes[addr]
+		rt.mu.Unlock()
+		if target == nil {
+			rt.metrics.HandoffFails.Add(1)
+			return fmt.Errorf("cluster: handoff target %s is not a member", addr)
+		}
+		entries := groups[addr]
+		chunks, counts := chunkEntries(entries, serve.DefaultHandoffChunkBytes)
+		sent := 0
+		for i, chunk := range chunks {
+			if err := rt.pushChunk(ctx, target, chunk); err != nil {
+				rt.metrics.HandoffFails.Add(1)
+				return fmt.Errorf("cluster: handoff push to %s: %w", addr, err)
+			}
+			rt.metrics.HandoffChunks.Add(1)
+			rt.metrics.HandoffEntries.Add(uint64(counts[i]))
+			source.handoffPending.Add(-int64(counts[i]))
+			for _, e := range entries[sent : sent+counts[i]] {
+				rt.repinRoute(e.id, addr)
+			}
+			sent += counts[i]
+		}
+	}
+	return nil
+}
+
+// handoffFrom drains source's entire ledger to the current ring owners
+// of its keys. The caller has already taken source out of the ring (or
+// left it in, for reconciliation — self-owned entries are kept, not
+// shipped).
+func (rt *Router) handoffFrom(ctx context.Context, source *node) error {
+	stream, err := rt.pullExport(ctx, source)
+	if err != nil {
+		rt.metrics.HandoffFails.Add(1)
+		return fmt.Errorf("cluster: handoff export from %s: %w", source.addr, err)
+	}
+	entries, err := decodeHandoffEntries(stream)
+	if err != nil {
+		rt.metrics.HandoffFails.Add(1)
+		return err
+	}
+	groups, keep := rt.routeEntries(entries, source.addr)
+	for _, e := range keep {
+		rt.repinRoute(e.id, source.addr)
+	}
+	return rt.pushGroups(ctx, source, groups)
+}
+
+// reconcileNode runs the background half of the reconciliation window:
+// a node that crashed out of the ring has returned on probation, its
+// own recovery replay has rebuilt its ledger from whatever the journal
+// preserved, and this pull exports the ranges it no longer owns to
+// their current owners. Entries the shrunken-then-regrown ring still
+// assigns to the node are simply re-pinned. On success the node's
+// pending gauge and reconcile flag clear; on failure both persist and
+// the next probe round retries — sticky entries for the node stay in
+// the reconciling state, so retransmits keep consulting current owners
+// rather than trusting a pin that predates the crash.
+func (rt *Router) reconcileNode(ctx context.Context, n *node) error {
+	stream, err := rt.pullExport(ctx, n)
+	if err != nil {
+		rt.metrics.HandoffFails.Add(1)
+		return fmt.Errorf("cluster: reconcile export from %s: %w", n.addr, err)
+	}
+	entries, err := decodeHandoffEntries(stream)
+	if err != nil {
+		rt.metrics.HandoffFails.Add(1)
+		return err
+	}
+	groups, keep := rt.routeEntries(entries, n.addr)
+	for _, e := range keep {
+		rt.repinRoute(e.id, n.addr)
+	}
+	shipped := 0
+	for _, g := range groups {
+		shipped += len(g)
+	}
+	if err := rt.pushGroups(ctx, n, groups); err != nil {
+		return err
+	}
+	rt.metrics.HandoffReplayed.Add(uint64(shipped))
+	n.handoffPending.Store(0)
+	n.needsReconcile.Store(false)
+	return nil
+}
+
+// Rebalance hands the replica at addr the ledger history for key ranges
+// the current ring assigns to it, pulled from every other in-rotation
+// member. Run it after Join: the ring remaps keys to the joiner
+// immediately, and without the transfer a retransmit of a remapped ID
+// would reach a joiner that never saw it. Incumbents stay authoritative
+// for everything until the joiner's acks land, so a mid-rebalance
+// failure leaves a working (if unevenly pinned) cluster.
+func (rt *Router) Rebalance(ctx context.Context, addr string) error {
+	rt.mu.Lock()
+	target := rt.nodes[addr]
+	sources := make([]*node, 0, len(rt.nodes))
+	for a, n := range rt.nodes {
+		if a == addr {
+			continue
+		}
+		if st := n.State(); st != NodeEjected && st != NodeLeaving {
+			sources = append(sources, n)
+		}
+	}
+	rt.mu.Unlock()
+	if target == nil {
+		return fmt.Errorf("cluster: %s is not a member", addr)
+	}
+	sort.Slice(sources, func(i, j int) bool { return sources[i].addr < sources[j].addr })
+	ring := rt.ring.Load()
+	var firstErr error
+	for _, src := range sources {
+		stream, err := rt.pullExport(ctx, src)
+		if err != nil {
+			rt.metrics.HandoffFails.Add(1)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: rebalance export from %s: %w", src.addr, err)
+			}
+			continue
+		}
+		entries, err := decodeHandoffEntries(stream)
+		if err != nil {
+			rt.metrics.HandoffFails.Add(1)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		migrating := entries[:0]
+		for _, e := range entries {
+			if ring.Owner(e.id) == addr {
+				migrating = append(migrating, e)
+			}
+		}
+		if len(migrating) == 0 {
+			continue
+		}
+		if err := rt.pushGroups(ctx, src, map[string][]handoffEntry{addr: migrating}); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,323 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// serveBatches forwards n distinct IDs through the router and returns
+// the response body each one got — the byte-identity reference for
+// retransmit checks.
+func serveBatches(t *testing.T, rt *Router, n int) map[string][]byte {
+	t.Helper()
+	bodies := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("req-%03d", i)
+		data, err := rt.Forward(context.Background(), id, []byte("batch-"+id), 0)
+		if err != nil {
+			t.Fatalf("forward %s: %v", id, err)
+		}
+		bodies[id] = data
+	}
+	return bodies
+}
+
+// retransmitAll replays every served ID and asserts byte-identical
+// answers with zero new classifications anywhere in the fleet.
+func retransmitAll(t *testing.T, rt *Router, replicas []*fakeReplica, bodies map[string][]byte) {
+	t.Helper()
+	before := 0
+	for _, f := range replicas {
+		before += f.classifiedCount()
+	}
+	for id, want := range bodies {
+		got, err := rt.Forward(context.Background(), id, []byte("batch-"+id), 0)
+		if err != nil {
+			t.Fatalf("retransmit %s: %v", id, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("retransmit %s diverged:\n got %q\nwant %q", id, got, want)
+		}
+	}
+	after := 0
+	for _, f := range replicas {
+		after += f.classifiedCount()
+	}
+	if after != before {
+		t.Fatalf("retransmit storm re-classified %d batches", after-before)
+	}
+}
+
+// TestLeaveHandsOffLedger: a planned leave drains the leaver's dedup
+// history to the new ring owners before the node is forgotten, so a
+// full retransmit storm afterwards re-classifies nothing.
+func TestLeaveHandsOffLedger(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t), newFakeReplica(t), newFakeReplica(t)}
+	rt := newTestRouter(t, replicas, nil)
+	bodies := serveBatches(t, rt, 30)
+
+	leaver := replicas[0]
+	if err := rt.Leave(context.Background(), leaver.addr()); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Metrics().HandoffChunks.Load(); got == 0 {
+		t.Error("leave moved no handoff chunks")
+	}
+	if got := rt.Metrics().HandoffEntries.Load(); got == 0 {
+		t.Error("leave moved no handoff entries")
+	}
+	// Everything the leaver served must now answer from a survivor's
+	// ledger, byte-identical, without a single re-classification.
+	retransmitAll(t, rt, replicas, bodies)
+	// The leaver is gone and owes nothing.
+	for _, n := range rt.Status().Nodes {
+		if n.Addr == leaver.addr() {
+			t.Fatal("leaver still in membership after Leave")
+		}
+		if n.HandoffPending != 0 {
+			t.Fatalf("%s has handoffPending %d after clean leave", n.Addr, n.HandoffPending)
+		}
+	}
+}
+
+// TestLeavePartialHandoffKeepsSource: when the transfer cannot
+// complete, authority must not split — the leaver returns to rotation
+// still answering for its history, with the stall visible on the
+// pending gauge.
+func TestLeavePartialHandoffKeepsSource(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t), newFakeReplica(t), newFakeReplica(t)}
+	rt := newTestRouter(t, replicas, nil)
+	bodies := serveBatches(t, rt, 30)
+
+	leaver := replicas[0]
+	// Every import target refuses to journal: the push exhausts its
+	// retries on the first chunk.
+	for _, f := range replicas[1:] {
+		f.set(func(f *fakeReplica) { f.failImport = 1 << 20 })
+	}
+	if err := rt.Leave(context.Background(), leaver.addr()); err == nil {
+		t.Fatal("Leave succeeded with every import target failing")
+	}
+	if got := rt.Metrics().HandoffFails.Load(); got == 0 {
+		t.Error("failed handoff did not count on HandoffFails")
+	}
+
+	// The leaver must be back in rotation (degraded, in the ring) and
+	// its unacked entries visible on the gauge.
+	st := rt.Status()
+	found := false
+	for _, n := range st.Nodes {
+		if n.Addr != leaver.addr() {
+			continue
+		}
+		found = true
+		if n.State != "degraded" {
+			t.Fatalf("leaver state after failed handoff = %s, want degraded", n.State)
+		}
+		if n.HandoffPending == 0 {
+			t.Error("failed handoff left handoffPending at 0")
+		}
+	}
+	if !found {
+		t.Fatal("leaver forgotten despite failed handoff")
+	}
+	inRing := false
+	for _, addr := range rt.ring.Load().Successors("req-000") {
+		if addr == leaver.addr() {
+			inRing = true
+		}
+	}
+	if !inRing {
+		t.Fatal("leaver not restored to the ring after failed handoff")
+	}
+
+	// Let imports succeed again and heal the targets' breakers (opened
+	// by the forced failures) so the storm routes normally.
+	for _, f := range replicas[1:] {
+		f.set(func(f *fakeReplica) { f.failImport = 0 })
+	}
+	rt.ProbeAll(context.Background())
+	// The source is still authoritative: every ID answers byte-identical.
+	retransmitAll(t, rt, replicas, bodies)
+
+	// A retried Leave now completes and clears the debt.
+	if err := rt.Leave(context.Background(), leaver.addr()); err != nil {
+		t.Fatalf("retried Leave: %v", err)
+	}
+	retransmitAll(t, rt, replicas, bodies)
+}
+
+// TestEjectFlipsStickyRoutes is the sticky-cache staleness regression:
+// entries pinned to a node must enter the reconciliation state the
+// moment it is ejected, not linger until capacity eviction steers
+// retransmits at a corpse.
+func TestEjectFlipsStickyRoutes(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t), newFakeReplica(t), newFakeReplica(t)}
+	rt := newTestRouter(t, replicas, func(o *Options) { o.EjectAfter = 1 })
+	bodies := serveBatches(t, rt, 30)
+
+	victim := replicas[0]
+	pinned := make([]string, 0)
+	for id := range bodies {
+		if r, ok := rt.lookupRoute(id); ok && r.addr == victim.addr() {
+			pinned = append(pinned, id)
+		}
+	}
+	if len(pinned) == 0 {
+		t.Fatal("no IDs pinned to the victim; test is vacuous")
+	}
+
+	victim.set(func(f *fakeReplica) { f.down = true })
+	rt.ProbeAll(context.Background())
+	if st := nodeStateOf(t, rt, victim.addr()); st != "ejected" {
+		t.Fatalf("victim state = %s, want ejected", st)
+	}
+
+	for _, id := range pinned {
+		r, ok := rt.lookupRoute(id)
+		if !ok {
+			t.Fatalf("route for %s vanished on eject", id)
+		}
+		if !r.reconciling {
+			t.Fatalf("route for %s still pinned to ejected node without reconciling flag", id)
+		}
+	}
+	// candidatesFor must not lead with the corpse: the ring successor
+	// answers first.
+	for _, id := range pinned {
+		cands := rt.candidatesFor(id)
+		if len(cands) == 0 {
+			t.Fatalf("no candidates for %s", id)
+		}
+		if cands[0].addr == victim.addr() {
+			t.Fatalf("candidates for %s still lead with the ejected node", id)
+		}
+	}
+	// A fresh answer by a live node resolves the window for that ID.
+	id := pinned[0]
+	if _, err := rt.Forward(context.Background(), id, []byte("batch-"+id), 0); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := rt.lookupRoute(id); r.reconciling {
+		t.Fatal("reconciling flag survived a successful re-answer")
+	}
+}
+
+func nodeStateOf(t *testing.T, rt *Router, addr string) string {
+	t.Helper()
+	for _, n := range rt.Status().Nodes {
+		if n.Addr == addr {
+			return n.State
+		}
+	}
+	t.Fatalf("%s not in status", addr)
+	return ""
+}
+
+// TestCrashReturnReconciles: a node dies with undrained history, is
+// ejected, and later returns on probation. Its readmit must trigger the
+// background reconciler — the returned node's journal contents are
+// pulled and re-homed to the current ring owners — after which a full
+// retransmit storm re-classifies nothing.
+func TestCrashReturnReconciles(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t), newFakeReplica(t), newFakeReplica(t)}
+	rt := newTestRouter(t, replicas, func(o *Options) { o.EjectAfter = 1 })
+	bodies := serveBatches(t, rt, 30)
+
+	victim := replicas[0]
+	victim.set(func(f *fakeReplica) { f.down = true })
+	rt.ProbeAll(context.Background())
+	if st := nodeStateOf(t, rt, victim.addr()); st != "ejected" {
+		t.Fatalf("victim state = %s, want ejected", st)
+	}
+	if pending := nodePending(t, rt, victim.addr()); pending == 0 {
+		t.Error("eject left handoffPending at 0; the debt is invisible")
+	}
+
+	// Membership changes while the victim is dead: a new replica joins
+	// and takes over part of the key space — including ranges whose
+	// history is trapped on the victim's disk. (Rebalance can only pull
+	// from live members, so those stay missing until reconciliation.)
+	joiner := newFakeReplica(t)
+	if err := rt.Join(joiner.addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Rebalance(context.Background(), joiner.addr()); err != nil {
+		t.Fatal(err)
+	}
+	replicas = append(replicas, joiner)
+
+	// The victim returns (its ledger intact — the fake's map stands in
+	// for recovery replay from the journal). The readmitting probe round
+	// must reconcile: pull its export and re-home the entries the
+	// four-node ring no longer assigns to it.
+	victim.set(func(f *fakeReplica) { f.down = false })
+	rt.ProbeAll(context.Background())
+	if st := nodeStateOf(t, rt, victim.addr()); st == "ejected" {
+		t.Fatal("victim not readmitted")
+	}
+	ring := rt.ring.Load()
+	lost := 0
+	for id := range bodies {
+		if owner := ring.Owner(id); owner != victim.addr() {
+			lost++
+		}
+	}
+	if lost > 0 && rt.Metrics().HandoffReplayed.Load() == 0 {
+		t.Error("victim lost ranges but reconciliation replayed no entries")
+	}
+	if pending := nodePending(t, rt, victim.addr()); pending != 0 {
+		t.Fatalf("handoffPending still %d after reconcile", pending)
+	}
+	// One more probe round heals breakers/promotions, then the storm.
+	rt.ProbeAll(context.Background())
+	retransmitAll(t, rt, replicas, bodies)
+}
+
+func nodePending(t *testing.T, rt *Router, addr string) int64 {
+	t.Helper()
+	for _, n := range rt.Status().Nodes {
+		if n.Addr == addr {
+			return n.HandoffPending
+		}
+	}
+	t.Fatalf("%s not in status", addr)
+	return 0
+}
+
+// TestJoinRebalances: a joiner takes over key ranges the moment the
+// ring grows, so Rebalance must hand it the history for those ranges —
+// otherwise a retransmit of a remapped ID reaches a joiner that never
+// saw it.
+func TestJoinRebalances(t *testing.T) {
+	replicas := []*fakeReplica{newFakeReplica(t), newFakeReplica(t)}
+	rt := newTestRouter(t, replicas, nil)
+	bodies := serveBatches(t, rt, 30)
+
+	joiner := newFakeReplica(t)
+	if err := rt.Join(joiner.addr()); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Rebalance(context.Background(), joiner.addr()); err != nil {
+		t.Fatal(err)
+	}
+	replicas = append(replicas, joiner)
+
+	// The joiner owns some of the served keys now; it must hold their
+	// verdicts without ever having classified them.
+	ring := rt.ring.Load()
+	owned := 0
+	for id := range bodies {
+		if ring.Owner(id) == joiner.addr() {
+			owned++
+		}
+	}
+	if owned == 0 {
+		t.Skip("ring remapped nothing to the joiner; nothing to assert")
+	}
+	if joiner.classifiedCount() != 0 {
+		t.Fatal("joiner classified during rebalance")
+	}
+	retransmitAll(t, rt, replicas, bodies)
+}

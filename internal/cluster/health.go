@@ -75,6 +75,14 @@ func (rt *Router) probeNode(ctx context.Context, n *node) {
 			if int(fails) >= rt.opts.EjectAfter {
 				n.state.Store(int32(NodeEjected))
 				rt.rebuildRingLocked()
+				// The node died holding ledger history nobody drained:
+				// open the reconciliation window. Sticky entries pinned to
+				// it flip immediately — retransmits consult the new ring
+				// owners instead of a corpse — and the reconcile flag makes
+				// its first probation readmit export the ranges it lost.
+				n.needsReconcile.Store(true)
+				n.handoffPending.Store(1)
+				rt.invalidateRoutes(n.addr)
 			} else {
 				n.state.Store(int32(NodeDegraded))
 			}
@@ -109,16 +117,18 @@ func (rt *Router) probeNode(ctx context.Context, n *node) {
 	}
 
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	atTarget := rt.targetGen == 0 || n.gen.Load() >= rt.targetGen
+	readmitted := false
 	switch n.State() {
 	case NodeLeaving:
+		rt.mu.Unlock()
 		return
 	case NodeEjected:
 		// Probation: back into the ring, but behind the healthy tier
 		// until the next probe confirms it again.
 		n.state.Store(int32(NodeDegraded))
 		rt.rebuildRingLocked()
+		readmitted = true
 	case NodeDegraded:
 		if status == "ok" && atTarget {
 			n.state.Store(int32(NodeHealthy))
@@ -129,6 +139,17 @@ func (rt *Router) probeNode(ctx context.Context, n *node) {
 		}
 	}
 	rt.maybeAdvertiseLocked()
+	rt.mu.Unlock()
+
+	// A crashed node returning with undrained ledger state reconciles
+	// outside rt.mu (it is network I/O against several replicas): its
+	// recovery replay already rebuilt the on-disk history, this pull
+	// ships the ranges it no longer owns to their current owners. Kept
+	// best-effort — a failed reconcile leaves needsReconcile set and the
+	// next readmit or probe retries.
+	if (readmitted || n.State() != NodeEjected) && n.needsReconcile.Load() {
+		_ = rt.reconcileNode(ctx, n) // flag persists on failure; next round retries
+	}
 }
 
 // rebuildRingLocked recomputes the ring from nodes whose state keeps
@@ -283,9 +304,19 @@ func (rt *Router) Join(addr string) error {
 }
 
 // Leave removes a replica gracefully: it is taken out of the ring
-// immediately (new traffic reroutes to ring successors), in-flight
-// forwards drain, and only then is the node forgotten. ctx bounds the
-// drain.
+// immediately (new traffic reroutes to ring successors), its ledger is
+// handed off to the new ring owners of its keys, in-flight forwards
+// drain, and only then is the node forgotten. ctx bounds both the
+// handoff and the drain.
+//
+// The handoff must complete before the node is forgotten or its dedup
+// history dies with it — a client retransmit of an ID it served would
+// be silently re-classified elsewhere. If the handoff fails partway
+// (targets down, ctx expired), authority must not split: the node
+// returns to rotation as degraded, still answering for everything not
+// yet acked by an importer, with the remainder visible as its
+// longtail_handoff_pending gauge. The operator retries Leave once the
+// targets recover.
 func (rt *Router) Leave(ctx context.Context, addr string) error {
 	rt.mu.Lock()
 	n := rt.nodes[addr]
@@ -296,6 +327,18 @@ func (rt *Router) Leave(ctx context.Context, addr string) error {
 	n.state.Store(int32(NodeLeaving))
 	rt.rebuildRingLocked()
 	rt.mu.Unlock()
+
+	if err := rt.handoffFrom(ctx, n); err != nil {
+		rt.mu.Lock()
+		n.state.Store(int32(NodeDegraded))
+		rt.rebuildRingLocked()
+		rt.mu.Unlock()
+		return fmt.Errorf("cluster: leave %s: %w", addr, err)
+	}
+	// Every exported ID was re-pinned to its importer as chunks acked;
+	// flip whatever still points at the leaver (IDs its ledger had
+	// already evicted) so no retransmit chases a forgotten node.
+	rt.invalidateRoutes(addr)
 
 	stop := context.AfterFunc(ctx, rt.drainCond.Broadcast)
 	defer stop()
@@ -327,6 +370,9 @@ type NodeStatus struct {
 	ProbeOK       uint64 `json:"probeOk"`
 	ProbeErr      uint64 `json:"probeErr"`
 	BreakerTrips  int64  `json:"breakerTrips"`
+	// HandoffPending counts ledger entries (or, after a crash, the
+	// sentinel 1 for "unknown amount") this node still owes a handoff.
+	HandoffPending int64 `json:"handoffPending"`
 }
 
 // Status is the router's /healthz payload.
@@ -359,17 +405,18 @@ func (rt *Router) Status() Status {
 			healthy++
 		}
 		out.Nodes = append(out.Nodes, NodeStatus{
-			Addr:          n.addr,
-			State:         st.String(),
-			Breaker:       n.breaker.State().String(),
-			Generation:    n.gen.Load(),
-			ProbeFailures: n.probeFails.Load(),
-			Inflight:      n.inflight.Load(),
-			Served:        n.served.Load(),
-			Failed:        n.failed.Load(),
-			ProbeOK:       n.probeOK.Load(),
-			ProbeErr:      n.probeErr.Load(),
-			BreakerTrips:  n.breaker.Trips(),
+			Addr:           n.addr,
+			State:          st.String(),
+			Breaker:        n.breaker.State().String(),
+			Generation:     n.gen.Load(),
+			ProbeFailures:  n.probeFails.Load(),
+			Inflight:       n.inflight.Load(),
+			Served:         n.served.Load(),
+			Failed:         n.failed.Load(),
+			ProbeOK:        n.probeOK.Load(),
+			ProbeErr:       n.probeErr.Load(),
+			BreakerTrips:   n.breaker.Trips(),
+			HandoffPending: n.handoffPending.Load(),
 		})
 	}
 	sort.Slice(out.Nodes, func(i, j int) bool { return out.Nodes[i].Addr < out.Nodes[j].Addr })

@@ -63,6 +63,16 @@ type node struct {
 	failed   atomic.Uint64 // forward attempts that errored on this node
 	probeOK  atomic.Uint64
 	probeErr atomic.Uint64
+
+	// handoffPending counts migrating ranges this node still owes (or is
+	// owed): non-zero after a partial drain or while an ejected node's
+	// on-disk ledger awaits reconciliation. Exposed as the
+	// longtail_handoff_pending gauge.
+	handoffPending atomic.Int64
+	// needsReconcile marks a node that died (ejected) with undrained
+	// ledger state; the first probation readmit triggers a reconcile pull
+	// before the flag clears.
+	needsReconcile atomic.Bool
 }
 
 func (n *node) State() NodeState { return NodeState(n.state.Load()) }
@@ -144,6 +154,14 @@ type Metrics struct {
 	NoReplica atomic.Uint64 // forwards rejected: no eligible replica
 	Reloads   atomic.Uint64
 	ReloadErr atomic.Uint64
+
+	// Handoff counters: chunks/entries durably acked by importers,
+	// entries replayed out of a returned node's journal during
+	// reconciliation, and handoff pushes that exhausted their retries.
+	HandoffChunks   atomic.Uint64
+	HandoffEntries  atomic.Uint64
+	HandoffReplayed atomic.Uint64
+	HandoffFails    atomic.Uint64
 }
 
 // Router fronts a replica set: consistent-hash ownership, per-node
@@ -180,7 +198,7 @@ type Router struct {
 	// routes pins request IDs to the replica that served them, so a
 	// failover retransmit reaches the ledger that already holds the
 	// verdict. Guarded by routeMu.
-	routes map[string]string
+	routes map[string]stickyRoute
 	// routeOrder is the FIFO eviction queue for routes. Guarded by routeMu.
 	routeOrder []string
 
@@ -205,7 +223,7 @@ func NewRouter(opts Options) (*Router, error) {
 	rt := &Router{
 		opts:   o,
 		nodes:  make(map[string]*node, len(o.Replicas)),
-		routes: make(map[string]string),
+		routes: make(map[string]stickyRoute),
 	}
 	rt.drainCond = sync.NewCond(&rt.drainMu)
 	for _, addr := range o.Replicas {
@@ -296,6 +314,15 @@ func (rt *Router) Forward(ctx context.Context, id string, body []byte, timeout t
 		rt.metrics.NoReplica.Add(1)
 		return nil, ErrNoReplica
 	}
+	// A usable pin marks the one replica whose ledger holds id's
+	// verdict. Its attempt retries transient failures in place (see
+	// attempt) instead of failing over: rerouting a pinned ID forfeits
+	// the ledger hit and has another replica classify the retransmit
+	// fresh — duplicated work and a second authority for the same ID.
+	stickyAddr := ""
+	if r, ok := rt.lookupRoute(id); ok && !r.reconciling {
+		stickyAddr = r.addr
+	}
 
 	// Buffered to the candidate count: attempt goroutines can always
 	// deliver and exit, even after the caller has returned.
@@ -311,7 +338,7 @@ func (rt *Router) Forward(ctx context.Context, id string, body []byte, timeout t
 			}
 			outstanding++
 			n.inflight.Add(1)
-			go rt.attempt(ctx, n, id, body, timeout, resCh)
+			go rt.attempt(ctx, n, id, body, timeout, n.addr == stickyAddr, resCh)
 			return true
 		}
 		return false
@@ -366,8 +393,61 @@ func (rt *Router) Forward(ctx context.Context, id string, body []byte, timeout t
 // attempt runs one replica attempt. The breaker slot taken by Allow is
 // always resolved here — a lost hedge still Records, or the single-probe
 // half-open admission would wedge.
-func (rt *Router) attempt(ctx context.Context, n *node, id string, body []byte, timeout time.Duration, resCh chan<- attemptResult) {
+//
+// A sticky attempt (the replica pinned as id's ledger authority)
+// additionally retries transient failures in place, bounded by the
+// router's retry policy and cut short the moment the breaker opens: a
+// flaky link to the pin is worth a few backoffs, because the failover
+// Forward would fall back to reaches a replica without the verdict and
+// classifies the retransmit fresh. A genuinely dead pin still fails
+// over — its failures trip the breaker, which ends the retry loop.
+func (rt *Router) attempt(ctx context.Context, n *node, id string, body []byte, timeout time.Duration, sticky bool, resCh chan<- attemptResult) {
 	data, err := n.client.ClassifyRaw(ctx, id, body, timeout)
+	if sticky {
+		pol := rt.opts.Retry
+		maxAttempts := pol.MaxAttempts
+		if maxAttempts <= 0 {
+			maxAttempts = retry.DefaultMaxAttempts
+		}
+		backoff := pol.InitialBackoff
+		if backoff <= 0 {
+			backoff = retry.DefaultInitialBackoff
+		}
+		maxBackoff := pol.MaxBackoff
+		if maxBackoff <= 0 {
+			maxBackoff = retry.DefaultMaxBackoff
+		}
+		mult := pol.Multiplier
+		if mult <= 0 {
+			mult = 2
+		}
+	retryLoop:
+		for tries := 1; err != nil && !retry.IsPermanent(err) && tries < maxAttempts; tries++ {
+			// Resolve the current breaker slot with this failure, then ask
+			// for a new one; refusal means the pin looks dead and the
+			// remaining candidates should have their chance.
+			n.failed.Add(1)
+			n.breaker.Record(err)
+			if n.breaker.Allow() != nil {
+				n.inflight.Add(-1)
+				rt.drainCond.Broadcast()
+				resCh <- attemptResult{addr: n.addr, err: err}
+				return
+			}
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+				data, err = n.client.ClassifyRaw(ctx, id, body, timeout)
+			case <-ctx.Done():
+				t.Stop()
+				err = ctx.Err()
+				break retryLoop
+			}
+			if backoff = time.Duration(float64(backoff) * mult); backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+	}
 	switch {
 	case err == nil:
 		n.served.Add(1)
@@ -385,13 +465,29 @@ func (rt *Router) attempt(ctx context.Context, n *node, id string, body []byte, 
 	resCh <- attemptResult{addr: n.addr, data: data, err: err}
 }
 
+// stickyRoute is one sticky-cache entry. A pinned entry (reconciling
+// false) names the replica whose ledger holds the ID's verdict and is
+// tried first. A reconciling entry is the per-ID half of the
+// reconciliation window: the pinned replica died with the verdict
+// possibly only on its disk, so the pin no longer confers authority —
+// retransmits go to the current ring owner, which consults whatever
+// history was imported ("replay") and classifies fresh only if the
+// record truly never left the dead node ("reclassify"). The entry
+// resolves back to pinned when any replica answers the ID or a
+// reconcile/handoff re-pins it.
+type stickyRoute struct {
+	addr        string
+	reconciling bool
+}
+
 // candidatesFor returns the attempt order for id: sticky replica first
-// (if still usable), then healthy ring successors, then degraded ones
-// as a last resort.
+// (if still usable and not in a reconciliation window), then healthy
+// ring successors, then degraded ones as a last resort.
 func (rt *Router) candidatesFor(id string) []*node {
 	ring := rt.ring.Load()
 	succ := ring.Successors(id)
 	sticky, hasSticky := rt.lookupRoute(id)
+	preferSticky := hasSticky && !sticky.reconciling
 
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -409,11 +505,11 @@ func (rt *Router) candidatesFor(id string) []*node {
 			degraded = append(degraded, n)
 		}
 	}
-	if hasSticky {
-		appendNode(sticky)
+	if preferSticky {
+		appendNode(sticky.addr)
 	}
 	for _, addr := range succ {
-		if hasSticky && addr == sticky {
+		if preferSticky && addr == sticky.addr {
 			continue
 		}
 		appendNode(addr)
@@ -421,8 +517,9 @@ func (rt *Router) candidatesFor(id string) []*node {
 	return append(healthy, degraded...)
 }
 
-// recordRoute pins id to the replica whose ledger now owns its verdict.
-// The cache is bounded: FIFO eviction at MaxServedRoutes.
+// recordRoute pins id to the replica whose ledger now owns its verdict,
+// resolving any reconciliation window for the ID. The cache is bounded:
+// FIFO eviction at MaxServedRoutes.
 func (rt *Router) recordRoute(id, addr string) {
 	rt.routeMu.Lock()
 	defer rt.routeMu.Unlock()
@@ -433,14 +530,47 @@ func (rt *Router) recordRoute(id, addr string) {
 			rt.routeOrder = rt.routeOrder[1:]
 		}
 	}
-	rt.routes[id] = addr
+	rt.routes[id] = stickyRoute{addr: addr}
 }
 
-func (rt *Router) lookupRoute(id string) (string, bool) {
+func (rt *Router) lookupRoute(id string) (stickyRoute, bool) {
 	rt.routeMu.Lock()
 	defer rt.routeMu.Unlock()
-	addr, ok := rt.routes[id]
-	return addr, ok
+	r, ok := rt.routes[id]
+	return r, ok
+}
+
+// invalidateRoutes opens the reconciliation window for every sticky
+// entry pinned to addr: the node left the ring (eject or leave) and a
+// pin to it would steer retransmits at a corpse until capacity eviction
+// aged it out. Entries flip in place rather than delete so the router
+// remembers which IDs are in the window (reconcile re-pins them) and a
+// later answer from any owner resolves them through recordRoute.
+// Returns how many entries flipped.
+func (rt *Router) invalidateRoutes(addr string) int {
+	rt.routeMu.Lock()
+	defer rt.routeMu.Unlock()
+	flipped := 0
+	for id, r := range rt.routes {
+		if r.addr == addr && !r.reconciling {
+			rt.routes[id] = stickyRoute{addr: r.addr, reconciling: true}
+			flipped++
+		}
+	}
+	return flipped
+}
+
+// repinRoute points an existing sticky entry at the replica that now
+// durably holds the ID (handoff ack or reconcile import), closing its
+// reconciliation window. IDs absent from the cache are not added: the
+// ring already routes them to the importer, and growing the cache here
+// would let a large handoff evict genuinely hot pins.
+func (rt *Router) repinRoute(id, addr string) {
+	rt.routeMu.Lock()
+	defer rt.routeMu.Unlock()
+	if _, ok := rt.routes[id]; ok {
+		rt.routes[id] = stickyRoute{addr: addr}
+	}
 }
 
 // FetchResult resolves GET /result for id across the cluster: the

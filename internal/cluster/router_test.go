@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -8,11 +9,13 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/retry"
 	"repro/internal/serve"
 )
@@ -35,6 +38,10 @@ type fakeReplica struct {
 	ledger         map[string]string
 	classified     int
 	hang           chan struct{}
+	// failImport rejects that many handoff import chunks with a 500,
+	// simulating an importer that cannot journal.
+	failImport int
+	imported   int
 }
 
 func newFakeReplica(t *testing.T) *fakeReplica {
@@ -102,6 +109,52 @@ func (f *fakeReplica) handle(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		json.NewEncoder(w).Encode(map[string]any{"state": f.lifecycleState})
+	case "/admin/handoff/export":
+		// Same wire shape as a longtaild: the full ledger as CRC frames
+		// of kind 2 (result), payload "id\n" + body.
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		ids := make([]string, 0, len(f.ledger))
+		for id := range f.ledger {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		var out []byte
+		for _, id := range ids {
+			out = journal.AppendFrame(out, 2, append([]byte(id+"\n"), f.ledger[id]...))
+		}
+		w.Write(out)
+	case "/admin/handoff/import":
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		recs, tail := journal.DecodeFrames(data)
+		if tail != 0 {
+			http.Error(w, "damaged chunk", http.StatusInternalServerError)
+			return
+		}
+		f.mu.Lock()
+		defer f.mu.Unlock()
+		if f.failImport > 0 {
+			f.failImport--
+			http.Error(w, "induced import failure", http.StatusInternalServerError)
+			return
+		}
+		imported, dups := 0, 0
+		for _, rec := range recs {
+			idx := bytes.IndexByte(rec.Data, '\n')
+			id, body := string(rec.Data[:idx]), string(rec.Data[idx+1:])
+			if _, ok := f.ledger[id]; ok {
+				dups++
+				continue
+			}
+			f.ledger[id] = body
+			imported++
+		}
+		f.imported += imported
+		json.NewEncoder(w).Encode(map[string]any{"imported": imported, "duplicates": dups})
 	case "/healthz":
 		f.mu.Lock()
 		defer f.mu.Unlock()

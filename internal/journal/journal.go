@@ -218,12 +218,51 @@ func (j *Journal) openSegmentLocked() error {
 
 // encodeFrame renders one record as a framed byte slice.
 func encodeFrame(r Record) []byte {
-	buf := make([]byte, frameHeaderSize+1+len(r.Data))
-	binary.LittleEndian.PutUint32(buf[0:4], uint32(1+len(r.Data)))
-	buf[8] = r.Kind
-	copy(buf[9:], r.Data)
-	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(buf[8:], castagnoli))
-	return buf
+	return AppendFrame(make([]byte, 0, frameHeaderSize+1+len(r.Data)), r.Kind, r.Data)
+}
+
+// AppendFrame appends one record to dst in the journal's frame encoding
+// — `[u32 payload length][u32 CRC-32C][kind][data]`, CRC over
+// kind+data — and returns the extended slice. It is the byte-stream
+// counterpart of Append: anything framed with it round-trips through
+// DecodeFrames, so subsystems that ship journal-shaped records over
+// other channels (the serving layer's ledger handoff chunks) share the
+// WAL's corruption detection instead of inventing their own.
+func AppendFrame(dst []byte, kind byte, payload []byte) []byte {
+	off := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0, kind)
+	dst = append(dst, payload...)
+	binary.LittleEndian.PutUint32(dst[off:off+4], uint32(1+len(payload)))
+	binary.LittleEndian.PutUint32(dst[off+4:off+8], crc32.Checksum(dst[off+frameHeaderSize:], castagnoli))
+	return dst
+}
+
+// DecodeFrames parses a byte stream of frames produced by AppendFrame
+// (or read back from a segment file), returning the valid record prefix
+// and how many trailing bytes did not form a complete, CRC-clean frame.
+// Record payloads are copied out of data, so the caller may reuse the
+// buffer. A non-zero tail means truncation or corruption: a torn crash
+// tail when reading a segment, a damaged chunk when receiving a
+// handoff transfer.
+func DecodeFrames(data []byte) (recs []Record, tail int64) {
+	off := int64(0)
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if len(rest) < frameHeaderSize {
+			return recs, int64(len(rest))
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		if n == 0 || n > maxFrameSize || int64(frameHeaderSize)+int64(n) > int64(len(rest)) {
+			return recs, int64(len(rest))
+		}
+		payload := rest[frameHeaderSize : frameHeaderSize+int(n)]
+		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(rest[4:8]) {
+			return recs, int64(len(rest))
+		}
+		recs = append(recs, Record{Kind: payload[0], Data: append([]byte(nil), payload[1:]...)})
+		off += int64(frameHeaderSize) + int64(n)
+	}
+	return recs, 0
 }
 
 // write appends one frame to the active segment (rotating first if the
@@ -632,23 +671,6 @@ func readFrames(path string) ([]Record, int64, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("journal: read %s: %w", filepath.Base(path), err)
 	}
-	var recs []Record
-	off := int64(0)
-	for off < int64(len(data)) {
-		rest := data[off:]
-		if len(rest) < frameHeaderSize {
-			return recs, int64(len(rest)), nil
-		}
-		n := binary.LittleEndian.Uint32(rest[0:4])
-		if n == 0 || n > maxFrameSize || int64(frameHeaderSize)+int64(n) > int64(len(rest)) {
-			return recs, int64(len(rest)), nil
-		}
-		payload := rest[frameHeaderSize : frameHeaderSize+int(n)]
-		if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(rest[4:8]) {
-			return recs, int64(len(rest)), nil
-		}
-		recs = append(recs, Record{Kind: payload[0], Data: append([]byte(nil), payload[1:]...)})
-		off += int64(frameHeaderSize) + int64(n)
-	}
-	return recs, 0, nil
+	recs, tail := DecodeFrames(data)
+	return recs, tail, nil
 }

@@ -33,10 +33,14 @@ var JournalOrder = &lintkit.Analyzer{
 	Run: runJournalOrder,
 }
 
-// journalCallNames are the durable-accept entry points.
+// journalCallNames are the durable-accept entry points. Import and
+// ImportChunk cover the handoff plane: acking a received chunk is a
+// transfer of authority, so the chunk's records must hit the journal
+// before the ack escapes.
 var journalCallNames = map[string]bool{
 	"Accept": true, "AcceptWire": true, "Append": true, "AppendAsync": true,
 	"AppendFunc": true, "AppendAsyncFunc": true,
+	"Import": true, "ImportChunk": true,
 }
 
 func runJournalOrder(pass *lintkit.Pass) error {

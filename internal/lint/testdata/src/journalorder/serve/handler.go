@@ -14,6 +14,7 @@ type ledger struct{}
 
 func (l *ledger) Accept(id string, body []byte) error   { return nil }
 func (l *ledger) AppendAsync(kind byte, b []byte) error { return nil }
+func (l *ledger) ImportChunk(data []byte) error         { return nil }
 
 // Good: journal first, respond second — the durable handshake.
 func handleGood(w http.ResponseWriter, l *ledger, id string, body []byte) {
@@ -38,6 +39,23 @@ func handleBad(w http.ResponseWriter, l *ledger, id string, body []byte) {
 func pipelineBad(out chan VerdictRecord, l *ledger, id string, body []byte) {
 	out <- VerdictRecord{File: id} // want `verdict channel send happens before the batch's journal accept`
 	l.AppendAsync(1, body)
+}
+
+// Good: a handoff import journals the chunk before the ack escapes —
+// the ack is a transfer of authority the source acts on.
+func handleImportGood(w http.ResponseWriter, l *ledger, chunk []byte) {
+	if err := l.ImportChunk(chunk); err != nil {
+		http.Error(w, "import failed", http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// Bad: the import ack escapes before the chunk is journaled; the
+// source deletes its copy and a crash here loses the range entirely.
+func handleImportBad(w http.ResponseWriter, l *ledger, chunk []byte) {
+	w.WriteHeader(http.StatusOK) // want `http response WriteHeader happens before the batch's journal accept`
+	l.ImportChunk(chunk)
 }
 
 // Fine: a pure responder never journals, so ordering does not apply

@@ -393,6 +393,68 @@ func (c *Client) Lifecycle(ctx context.Context) (map[string]any, error) {
 	return out, nil
 }
 
+// HandoffExport pulls the replica's full ledger as one stream of
+// CRC-framed handoff records (the concatenation of its export chunks).
+// Single-shot by design: the cluster orchestrator owns retry policy
+// and breaker state, the same way it owns them for forwarded classify
+// traffic.
+func (c *Client) HandoffExport(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/admin/handoff/export", nil)
+	if err != nil {
+		return nil, retry.Permanent(err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve: /admin/handoff/export: %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	return data, nil
+}
+
+// HandoffImportStatsWire is the JSON ack /admin/handoff/import returns.
+type HandoffImportStatsWire struct {
+	Imported   int `json:"imported"`
+	Pending    int `json:"pending"`
+	Duplicates int `json:"duplicates"`
+}
+
+// HandoffImport ships one chunk of framed handoff records to the
+// replica. A nil error means the receiver journaled and fsynced every
+// entry before answering — the durable ack that lets the sender
+// release authority for those IDs. Single-shot; callers wrap it in
+// retry.Do.
+func (c *Client) HandoffImport(ctx context.Context, chunk []byte) (HandoffImportStatsWire, error) {
+	var st HandoffImportStatsWire
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/admin/handoff/import", bytes.NewReader(chunk))
+	if err != nil {
+		return st, retry.Permanent(err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("serve: /admin/handoff/import: %s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		return st, fmt.Errorf("serve: handoff import ack: %w", err)
+	}
+	return st, nil
+}
+
 // Metrics fetches the raw /metrics exposition text.
 func (c *Client) Metrics(ctx context.Context) (string, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)

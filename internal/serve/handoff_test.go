@@ -1,0 +1,368 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/journal"
+)
+
+// fillLedger installs n completed batches ("done-00"...) with
+// distinctive bodies and p pending batches ("pend-00"...), returning
+// the completed bodies by ID for byte-identity checks.
+func fillLedger(t *testing.T, l *Ledger, n, p int) map[string][]byte {
+	t.Helper()
+	f := sharedFixture(t)
+	bodies := make(map[string][]byte, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("done-%02d", i)
+		ev := f.replay[i%len(f.replay) : i%len(f.replay)+1]
+		if err := l.Accept(id, ev); err != nil {
+			t.Fatal(err)
+		}
+		body, err := l.Result(id, []VerdictRecord{{Type: "verdict", File: fmt.Sprintf("file-%02d", i), Verdict: "benign"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[id] = body
+	}
+	for i := 0; i < p; i++ {
+		id := fmt.Sprintf("pend-%02d", i)
+		ev := f.replay[i%len(f.replay) : i%len(f.replay)+2]
+		if err := l.Accept(id, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return bodies
+}
+
+// TestHandoffExportImportRoundTrip: the basic transfer — everything
+// exported from one ledger lands in another byte-identical, completed
+// entries answering Lookup and pending ones re-entering the pending
+// set.
+func TestHandoffExportImportRoundTrip(t *testing.T) {
+	src, _ := newTestLedger(t, t.TempDir())
+	defer src.Close()
+	bodies := fillLedger(t, src, 8, 3)
+
+	chunks, err := src.ExportRange(func(string) bool { return true }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) == 0 {
+		t.Fatal("export of a populated ledger produced no chunks")
+	}
+
+	dst, _ := newTestLedger(t, t.TempDir())
+	defer dst.Close()
+	var st HandoffImportStats
+	for _, c := range chunks {
+		s, err := dst.ImportChunk(c.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Imported += s.Imported
+		st.Pending += s.Pending
+		st.Duplicates += s.Duplicates
+	}
+	if st.Imported != 8 || st.Pending != 3 || st.Duplicates != 0 {
+		t.Fatalf("import stats = %+v, want 8 imported / 3 pending / 0 dup", st)
+	}
+	for id, want := range bodies {
+		got, ok := dst.Lookup(id)
+		if !ok {
+			t.Fatalf("imported ledger lost %s", id)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("imported body for %s differs:\n got %q\nwant %q", id, got, want)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if !dst.IsPending(fmt.Sprintf("pend-%02d", i)) {
+			t.Fatalf("pending pend-%02d did not survive handoff", i)
+		}
+	}
+}
+
+// TestHandoffExportRange: predicate filtering, deterministic chunking
+// at a small byte budget, and the empty range exporting zero chunks.
+func TestHandoffExportRange(t *testing.T) {
+	l, _ := newTestLedger(t, t.TempDir())
+	defer l.Close()
+	fillLedger(t, l, 10, 2)
+
+	t.Run("predicate filters", func(t *testing.T) {
+		chunks, err := l.ExportRange(func(id string) bool { return strings.HasSuffix(id, "1") }, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, c := range chunks {
+			total += c.Entries
+		}
+		// Of done-00..done-09 and pend-00/pend-01, exactly done-01 and
+		// pend-01 end in "1".
+		if total != 2 {
+			t.Fatalf("filtered export carried %d entries, want 2", total)
+		}
+	})
+
+	t.Run("small budget splits chunks", func(t *testing.T) {
+		chunks, err := l.ExportRange(func(string) bool { return true }, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chunks) < 2 {
+			t.Fatalf("64-byte budget produced %d chunks, want several", len(chunks))
+		}
+		for i, c := range chunks {
+			if c.Seq != i {
+				t.Fatalf("chunk %d has Seq %d", i, c.Seq)
+			}
+			if c.Entries == 0 {
+				t.Fatalf("chunk %d is empty", i)
+			}
+		}
+	})
+
+	t.Run("empty range", func(t *testing.T) {
+		chunks, err := l.ExportRange(func(string) bool { return false }, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(chunks) != 0 {
+			t.Fatalf("empty range exported %d chunks", len(chunks))
+		}
+	})
+
+	t.Run("nil predicate", func(t *testing.T) {
+		if _, err := l.ExportRange(nil, 0); err == nil {
+			t.Fatal("nil predicate accepted")
+		}
+	})
+}
+
+// TestHandoffImportIdempotent: duplicated and reordered chunk delivery
+// — the retransmission patterns a flaky transfer produces — converge to
+// the same ledger state with duplicates counted, not re-imported.
+func TestHandoffImportIdempotent(t *testing.T) {
+	src, _ := newTestLedger(t, t.TempDir())
+	defer src.Close()
+	bodies := fillLedger(t, src, 6, 2)
+	chunks, err := src.ExportRange(func(string) bool { return true }, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) < 2 {
+		t.Fatalf("need >= 2 chunks to reorder, got %d", len(chunks))
+	}
+
+	cases := []struct {
+		name  string
+		order func() [][]byte
+	}{
+		{"duplicate every chunk", func() [][]byte {
+			var out [][]byte
+			for _, c := range chunks {
+				out = append(out, c.Data, c.Data)
+			}
+			return out
+		}},
+		{"reverse order", func() [][]byte {
+			out := make([][]byte, 0, len(chunks))
+			for i := len(chunks) - 1; i >= 0; i-- {
+				out = append(out, chunks[i].Data)
+			}
+			return out
+		}},
+		{"interleaved replay", func() [][]byte {
+			var out [][]byte
+			for _, c := range chunks {
+				out = append(out, c.Data)
+			}
+			for i := len(chunks) - 1; i >= 0; i-- {
+				out = append(out, chunks[i].Data)
+			}
+			return out
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dst, _ := newTestLedger(t, t.TempDir())
+			defer dst.Close()
+			var imported, pending, dups int
+			for _, data := range tc.order() {
+				st, err := dst.ImportChunk(data)
+				if err != nil {
+					t.Fatal(err)
+				}
+				imported += st.Imported
+				pending += st.Pending
+				dups += st.Duplicates
+			}
+			if imported != 6 || pending != 2 {
+				t.Fatalf("imported %d / pending %d, want 6 / 2", imported, pending)
+			}
+			for id, want := range bodies {
+				got, ok := dst.Lookup(id)
+				if !ok || !bytes.Equal(got, want) {
+					t.Fatalf("%s: got %q ok=%v, want %q", id, got, ok, want)
+				}
+			}
+		})
+	}
+}
+
+// TestHandoffImportRejectsDamage: a truncated or bit-flipped chunk is
+// refused whole — no prefix import that would hide the damage.
+func TestHandoffImportRejectsDamage(t *testing.T) {
+	src, _ := newTestLedger(t, t.TempDir())
+	defer src.Close()
+	fillLedger(t, src, 3, 0)
+	chunks, err := src.ExportRange(func(string) bool { return true }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := chunks[0].Data
+
+	dst, _ := newTestLedger(t, t.TempDir())
+	defer dst.Close()
+	if _, err := dst.ImportChunk(data[:len(data)-3]); err == nil {
+		t.Fatal("truncated chunk imported")
+	}
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)-1] ^= 0xff
+	if _, err := dst.ImportChunk(flipped); err == nil {
+		t.Fatal("bit-flipped chunk imported")
+	}
+	if ids := dst.CompletedIDs(); len(ids) != 0 {
+		t.Fatalf("damaged chunks left a partial import: %v", ids)
+	}
+}
+
+// TestHandoffImportCrashReplay: kill -9 on the importer. Before the
+// chunk ack (ImportChunk returning) nothing is promised; after it the
+// entries must survive the crash, and replaying the same chunk against
+// the recovered ledger — what a source that never saw the ack does —
+// converges as pure duplicates.
+func TestHandoffImportCrashReplay(t *testing.T) {
+	src, _ := newTestLedger(t, t.TempDir())
+	defer src.Close()
+	bodies := fillLedger(t, src, 5, 1)
+	chunks, err := src.ExportRange(func(string) bool { return true }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj, err := faults.NewInjector(faults.Config{Seed: 11, TornWriteRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := faults.NewCrashFS(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	dst, _, err := OpenLedger(LedgerOptions{Journal: journal.Options{
+		Dir:      dir,
+		OpenFile: func(path string) (journal.File, error) { return fs.Open(path) },
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range chunks {
+		if _, err := dst.ImportChunk(c.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The acks above are durable promises; kill -9 now.
+	if err := fs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	dst2, rec, err := OpenLedger(LedgerOptions{Journal: journal.Options{Dir: dir}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst2.Close()
+	if rec.Results != 5 || len(rec.Pending) != 1 {
+		t.Fatalf("recovered %d results / %d pending, want 5 / 1", rec.Results, len(rec.Pending))
+	}
+	for id, want := range bodies {
+		got, ok := dst2.Lookup(id)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("acked import lost to crash: %s got %q ok=%v", id, got, ok)
+		}
+	}
+	// Source never saw the ack (response lost in the crash): it replays
+	// the full transfer. Everything must dedup.
+	for _, c := range chunks {
+		st, err := dst2.ImportChunk(c.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Imported != 0 || st.Pending != 0 || st.Duplicates != c.Entries {
+			t.Fatalf("post-crash replay re-imported: %+v (chunk %d entries)", st, c.Entries)
+		}
+	}
+}
+
+// TestExportConcurrentCompact: satellite for the snapshot race — export
+// iteration (ExportRange, CompletedIDs, LookupVerdicts) interleaved
+// with staged compaction under -race. Every ID completed before an
+// export begins must appear in that export; compaction running
+// mid-export must never drop captured records.
+func TestExportConcurrentCompact(t *testing.T) {
+	l, _ := newTestLedger(t, t.TempDir())
+	defer l.Close()
+	fillLedger(t, l, 64, 4)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := l.Compact(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			for _, id := range l.CompletedIDs() {
+				if _, ok := l.LookupVerdicts(id); !ok {
+					t.Errorf("CompletedIDs listed %s but LookupVerdicts missed it", id)
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		chunks, err := l.ExportRange(func(id string) bool { return strings.HasPrefix(id, "done-") }, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		for _, c := range chunks {
+			got += c.Entries
+		}
+		if got != 64 {
+			t.Fatalf("export round %d saw %d completed entries, want 64", i, got)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -133,6 +133,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/classify", s.handleClassify)
 	mux.HandleFunc("/result", s.handleResult)
 	mux.HandleFunc("/admin/reload", s.handleReload)
+	mux.HandleFunc("/admin/handoff/export", s.handleHandoffExport)
+	mux.HandleFunc("/admin/handoff/import", s.handleHandoffImport)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -485,6 +487,68 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		"generation": gen,
 		"rules":      len(clf.Rules),
 	})
+}
+
+// handleHandoffExport streams this replica's full ledger as
+// concatenated CRC-framed handoff records. The policy decision of
+// *which* IDs are migrating lives with the caller (the cluster router
+// knows the ring; this process does not), so the HTTP surface exports
+// everything and the importer filters by ownership. Exporting is
+// read-only: the source stays authoritative for every ID until an
+// importer has durably acked it.
+func (s *Server) handleHandoffExport(w http.ResponseWriter, r *http.Request) {
+	if s.ledger == nil {
+		http.Error(w, "no journal attached", http.StatusNotFound)
+		return
+	}
+	chunks, err := s.ledger.ExportRange(func(string) bool { return true }, DefaultHandoffChunkBytes)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	for _, c := range chunks {
+		if _, err := w.Write(c.Data); err != nil {
+			return
+		}
+	}
+}
+
+// handleHandoffImport installs one chunk of handoff records shipped in
+// the request body. The 200 response IS the authority transfer: it is
+// written only after ImportChunk has journaled and fsynced every entry,
+// so a source that sees the ack may forget the range knowing a crash on
+// this end cannot lose it. Errors (framing, journal I/O) leave the
+// source authoritative — it simply retries or keeps the range pinned.
+func (s *Server) handleHandoffImport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.ledger == nil {
+		http.Error(w, "no journal attached", http.StatusNotFound)
+		return
+	}
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, err := s.ledger.ImportChunk(data)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{
+		"imported":   st.Imported,
+		"pending":    st.Pending,
+		"duplicates": st.Duplicates,
+	})
+	// Imported pending batches still need verdicts; the deferred worker
+	// classifies them exactly like recovered-from-journal accepts.
+	for _, id := range s.ledger.PendingIDs() {
+		s.enqueueDeferred(id)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
