@@ -25,7 +25,12 @@ func buildVettool(t *testing.T) string {
 }
 
 // expectedFindings is the exact diagnostic set the badmod fixture
-// module must produce, as (file-position regexp, message regexp) pairs.
+// module must produce, as (file-position regexp, message regexp)
+// pairs. The serve findings are the interprocedural seeds: the
+// lock-order cycle and the dropped context only surface when the lock
+// package's facts reach serve's analysis through the vetx pipeline.
+// (Facts-positioned findings carry no column, so those regexps only
+// pin file and line.)
 var expectedFindings = []struct{ pos, msg string }{
 	{`app/app\.go:\d+:\d+`, `error formatted with %v loses the error chain`},
 	{`app/app\.go:\d+:\d+`, `comparing an error to sentinel ErrBusy with ==`},
@@ -33,6 +38,12 @@ var expectedFindings = []struct{ pos, msg string }{
 	{`app/app\.go:\d+:\d+`, `atomic\.Uint64 field gen may only be the receiver of its own methods`},
 	{`synth/gen\.go:\d+:\d+`, `time\.Now breaks seed-determinism`},
 	{`synth/gen\.go:\d+:\d+`, `global math/rand\.Intn uses shared process state`},
+	{`serve/serve\.go:\d+`, `lock order cycle: serve\.mu -> lock\.mu -> serve\.mu`},
+	{`serve/serve\.go:\d+`, `lock order cycle: lock\.mu -> serve\.mu -> lock\.mu`},
+	{`serve/serve\.go:\d+:\d+`, `goroutine runs a for \{\} loop with no exit`},
+	{`serve/serve\.go:\d+:\d+`, `context\.Background\(\) in Handler severs the caller's deadline`},
+	{`serve/serve\.go:\d+:\d+`, `call drops the request context: lock\.Refresh roots a fresh context`},
+	{`serve/serve\.go:\d+`, `metric longtail_Served_Total is not snake_case`},
 }
 
 // checkFindings asserts output contains exactly the expected set.
@@ -101,6 +112,63 @@ func TestStandaloneMode(t *testing.T) {
 		t.Fatalf("standalone run: err = %v (stderr %q), want exit status 2", err, stderr.String())
 	}
 	checkFindings(t, stderr.String())
+}
+
+// TestJSONReport runs the standalone loader with -json and checks the
+// machine-readable report: every finding carries file/line/analyzer/
+// message, and the fixture's //lint:allow site appears in the
+// suppressed list with its documented reason — the audit trail CI
+// archives as LINT_report.json.
+func TestJSONReport(t *testing.T) {
+	bin := buildVettool(t)
+	badmod, err := filepath.Abs(filepath.Join("testdata", "badmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-json", "./...")
+	cmd.Dir = badmod
+	cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err = cmd.Run()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != 2 {
+		t.Fatalf("-json run: err = %v (stderr %q), want exit status 2", err, stderr.String())
+	}
+	var report struct {
+		Findings []struct {
+			File, Analyzer, Message, SuppressedBy string
+			Line                                  int
+		}
+		Suppressed []struct {
+			File, Analyzer, Message, SuppressedBy string
+			Line                                  int
+		}
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &report); err != nil {
+		t.Fatalf("-json output is not a report document: %v\n%s", err, stdout.String())
+	}
+	if len(report.Findings) != len(expectedFindings) {
+		t.Errorf("-json reported %d findings, want %d", len(report.Findings), len(expectedFindings))
+	}
+	for _, f := range report.Findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("finding missing a required field: %+v", f)
+		}
+		if f.SuppressedBy != "" {
+			t.Errorf("active finding carries a suppression reason: %+v", f)
+		}
+	}
+	found := false
+	for _, s := range report.Suppressed {
+		if s.Analyzer == "metricdrift" && strings.Contains(s.SuppressedBy, "legacy dashboard") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("suppressed list missing the fixture's //lint:allow metricdrift site: %+v", report.Suppressed)
+	}
 }
 
 // TestAnalyzerFlagsReachVettool verifies config-driven scoping flows

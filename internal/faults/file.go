@@ -36,10 +36,16 @@ type CrashFS struct {
 	inj *Injector
 
 	mu      sync.Mutex
-	files   []*CrashableFile
-	opened  int
-	crashed bool
-	stats   FileStats
+	files   []*CrashableFile // guarded by mu
+	opened  int              // guarded by mu
+	crashed bool             // guarded by mu
+
+	// statsMu guards stats alone and is always the innermost lock.
+	// Stats updates happen under CrashableFile.mu (Write/Sync) while
+	// Crash holds mu and takes each CrashableFile.mu — folding stats
+	// under mu would close a mu -> CrashableFile.mu -> mu cycle.
+	statsMu sync.Mutex
+	stats   FileStats // guarded by statsMu
 }
 
 // NewCrashFS builds a crashable filesystem driven by inj (which may
@@ -93,8 +99,8 @@ func (fs *CrashFS) Crash() error {
 
 // Stats returns a snapshot of the counters.
 func (fs *CrashFS) Stats() FileStats {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	fs.statsMu.Lock()
+	defer fs.statsMu.Unlock()
 	return fs.stats
 }
 
@@ -109,10 +115,10 @@ type CrashableFile struct {
 	key  string
 
 	mu      sync.Mutex
-	size    int64 // bytes written
-	durable int64 // bytes guaranteed on disk after the last fsync
-	syncs   int   // fsync attempts, for per-call fault keys
-	crashed bool
+	size    int64 // guarded by mu: bytes written
+	durable int64 // guarded by mu: bytes guaranteed on disk after the last fsync
+	syncs   int   // guarded by mu: fsync attempts, for per-call fault keys
+	crashed bool  // guarded by mu
 }
 
 // Write appends to the file. The bytes are not durable until a
@@ -128,9 +134,9 @@ func (cf *CrashableFile) Write(p []byte) (int, error) {
 	if err != nil {
 		return n, err
 	}
-	cf.fs.mu.Lock()
+	cf.fs.statsMu.Lock()
 	cf.fs.stats.Writes++
-	cf.fs.mu.Unlock()
+	cf.fs.statsMu.Unlock()
 	return n, nil
 }
 
@@ -149,19 +155,19 @@ func (cf *CrashableFile) Sync() error {
 	if cf.fs.inj.SyncFails(key) {
 		kept := int64(cf.fs.inj.PartialFraction(key) * float64(cf.size-cf.durable))
 		cf.durable += kept
-		cf.fs.mu.Lock()
+		cf.fs.statsMu.Lock()
 		cf.fs.stats.SyncFailures++
 		cf.fs.stats.PartialBytes += kept
-		cf.fs.mu.Unlock()
+		cf.fs.statsMu.Unlock()
 		return fmt.Errorf("faults: %s: partial fsync (%d bytes persisted): %w", cf.key, kept, ErrInjected)
 	}
 	if err := cf.f.Sync(); err != nil {
 		return err
 	}
 	cf.durable = cf.size
-	cf.fs.mu.Lock()
+	cf.fs.statsMu.Lock()
 	cf.fs.stats.Syncs++
-	cf.fs.mu.Unlock()
+	cf.fs.statsMu.Unlock()
 	return nil
 }
 
@@ -192,16 +198,17 @@ func (cf *CrashableFile) crash() error {
 		// cut at an arbitrary (deterministic) byte offset.
 		keep += int64(cf.fs.inj.PartialFraction(cf.key+"|torn") * float64(tail))
 	}
-	cf.fs.stats.TornKept += keep - cf.durable
-	cf.fs.stats.TornBytes += cf.size - keep
 	err := os.Truncate(cf.path, keep)
 	if os.IsNotExist(err) {
 		// The file was deleted (or renamed away) after it was opened —
 		// e.g. a journal segment removed by compaction. Nothing of it can
-		// survive the crash, so there is nothing to truncate.
-		cf.fs.stats.TornKept -= keep - cf.durable
-		cf.fs.stats.TornBytes -= cf.size - keep
+		// survive the crash, so there is nothing to truncate and nothing
+		// of it shows up in the torn-byte accounting.
 		return nil
 	}
+	cf.fs.statsMu.Lock()
+	cf.fs.stats.TornKept += keep - cf.durable
+	cf.fs.stats.TornBytes += cf.size - keep
+	cf.fs.statsMu.Unlock()
 	return err
 }

@@ -156,10 +156,10 @@ type Evaluator struct {
 	dropped    atomic.Uint64
 
 	mu      sync.Mutex
-	stats   Stats
-	rules   map[ruleKey]*ruleCounts
-	ring    []Disagreement
-	ringCap int
+	stats   Stats                   // guarded by mu
+	rules   map[ruleKey]*ruleCounts // guarded by mu
+	ring    []Disagreement          // guarded by mu
+	ringCap int                     // guarded by mu
 }
 
 // EvaluatorConfig sizes the evaluator; the zero value selects defaults.

@@ -36,18 +36,20 @@ type Harvester struct {
 	delay   time.Duration
 
 	mu   sync.Mutex
-	rep  map[dataset.FileHash]dataset.DownloadEvent // first event per file
-	seen map[dataset.FileHash]bool                  // scheduled (or profile-less)
+	rep  map[dataset.FileHash]dataset.DownloadEvent // guarded by mu: first event per file
+	seen map[dataset.FileHash]bool                  // guarded by mu: scheduled (or profile-less)
 	// served is the champion's live verdict per file, from the ledger.
+	// Guarded by mu.
 	served  map[dataset.FileHash]string
-	drained map[string]bool // ledger request IDs already drained
+	drained map[string]bool // guarded by mu: ledger request IDs already drained
 	// truth is the harvested label per file; harvested are the derived
-	// training instances, in drain order.
+	// training instances, in drain order. Both guarded by mu.
 	truth     map[dataset.FileHash]bool
 	harvested []features.Instance
 	// discarded counts due re-scans that yielded no confident label
 	// (unknown, likely benign, likely malicious); liveFP / liveDetected
 	// score the champion's served verdicts against harvested truth.
+	// All guarded by mu.
 	discarded    int
 	liveFP       int
 	liveDetected int

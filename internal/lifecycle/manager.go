@@ -111,12 +111,12 @@ type Manager struct {
 	evals    []*Evaluator
 
 	mu         sync.Mutex
-	state      State
-	challenger *classify.Classifier
-	label      string
-	reason     string
-	promoted   uint64
-	runs       int
+	state      State                // guarded by mu
+	challenger *classify.Classifier // guarded by mu
+	label      string               // guarded by mu
+	reason     string               // guarded by mu
+	promoted   uint64               // guarded by mu
+	runs       int                  // guarded by mu
 }
 
 // NewManager wires the gate over one or more evaluators (one per local

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/lintkit"
+)
+
+// Goroutinelife demands a provable termination path for every `go`
+// statement in production code. A goroutine terminates provably when
+// its body (or a function it statically calls, within a small depth)
+// exhibits a completion signal: a WaitGroup.Done, a channel operation
+// or select (close-signaled shutdown), or any use of a context —
+// including simply receiving one as an argument at the spawn site,
+// which delegates lifetime to the caller's cancellation.
+//
+// Two findings, both reported at the `go` statement:
+//
+//   - the spawned function runs a `for {}` loop with no exit statement
+//     and no signal inside — it can never terminate;
+//   - the spawned function (transitively) shows no completion signal
+//     at all — nothing bounds its lifetime, so a restart/shutdown
+//     leaks it.
+//
+// Unresolvable spawns (interface methods, external packages) are
+// skipped rather than guessed at. Test files are exempt: test
+// goroutines die with the process.
+var Goroutinelife = &lintkit.Analyzer{
+	Name: "goroutinelife",
+	Doc:  "every go statement needs a provable termination path (WaitGroup.Done, channel/select signal, or context)",
+	Run:  runGoroutinelife,
+}
+
+func runGoroutinelife(pass *lintkit.Pass) error {
+	for _, f := range pass.Files {
+		if lintkit.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				checkGoStmt(pass, gs)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGoStmt(pass *lintkit.Pass, gs *ast.GoStmt) {
+	call := gs.Call
+	// A context handed to the goroutine at the spawn site is the
+	// canonical lifetime contract; nothing further to prove.
+	for _, arg := range call.Args {
+		if typeIsContext(pass.TypeOf(arg)) {
+			return
+		}
+	}
+	var ff *lintkit.FuncFact
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		ff = lintkit.SummarizeFuncLit(pass.Path, pass.Fset, pass.Info, fun)
+	default:
+		var callee *types.Func
+		switch f := fun.(type) {
+		case *ast.Ident:
+			callee, _ = pass.Info.Uses[f].(*types.Func)
+		case *ast.SelectorExpr:
+			callee, _ = pass.Info.Uses[f.Sel].(*types.Func)
+		}
+		key := lintkit.CanonFuncName(callee)
+		if key == "" || pass.Facts == nil {
+			return // interface dispatch or untyped: don't guess
+		}
+		ff = pass.Facts.Func(key)
+	}
+	if ff == nil {
+		return // external or unsummarized: facts make no claim
+	}
+	if ff.LoopNoExit {
+		pass.Reportf(gs.Pos(),
+			"goroutine runs a for {} loop with no exit and no termination signal (loop at %s:%d) — it can never stop",
+			lintkit.PathBase(ff.LoopFile), ff.LoopLine)
+		return
+	}
+	if !signalsReachable(pass.Facts, ff, 3, make(map[*lintkit.FuncFact]bool)) {
+		pass.Reportf(gs.Pos(),
+			"goroutine has no provable termination path: no WaitGroup.Done, channel operation, or context use in the spawned function or its callees")
+	}
+}
+
+// signalsReachable reports whether ff or any function it statically
+// reaches within depth shows a completion signal.
+func signalsReachable(facts *lintkit.FactSet, ff *lintkit.FuncFact, depth int, seen map[*lintkit.FuncFact]bool) bool {
+	if ff == nil || seen[ff] {
+		return false
+	}
+	seen[ff] = true
+	if ff.Signals {
+		return true
+	}
+	if depth == 0 || facts == nil {
+		return false
+	}
+	for _, c := range ff.Calls {
+		if signalsReachable(facts, facts.Func(c), depth-1, seen) {
+			return true
+		}
+	}
+	for _, ca := range ff.ClosureArgs {
+		if signalsReachable(facts, facts.Func(ca.Lit), depth-1, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// typeIsContext reports whether t is context.Context.
+func typeIsContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

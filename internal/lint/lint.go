@@ -18,6 +18,19 @@
 //	errwrap      — errors wrap with %w and compare with errors.Is
 //	atomicswap   — sync/atomic fields are only touched via their methods
 //
+// Four analyzers are interprocedural, built on lintkit's cross-package
+// facts (per-package summaries serialized alongside export data and
+// imported transitively — see lintkit/facts.go):
+//
+//	lockorder    — the global mutex-acquisition graph is acyclic; no
+//	              double locks or lock-value copies
+//	goroutinelife — every go statement has a provable termination path
+//	              (WaitGroup.Done, channel signal, or context)
+//	ctxflow      — request paths propagate the caller's context; no
+//	              context.Background/TODO or deadline-dropping callees
+//	metricdrift  — longtail_* metric names are snake_case, uniquely
+//	              spelled tree-wide, and documented
+//
 // Intentional exceptions carry `//lint:allow <analyzer> <reason>`
 // (reason mandatory — see lintkit). The suite runs standalone
 // (`longtailvet ./...`) and as `go vet -vettool=$(longtailvet)`.
@@ -35,6 +48,10 @@ func Suite() []*lintkit.Analyzer {
 	return []*lintkit.Analyzer{
 		Determinism,
 		Lockguard,
+		Lockorder,
+		Goroutinelife,
+		Ctxflow,
+		Metricdrift,
 		JournalOrder,
 		RetryPolicy,
 		ErrWrap,

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -43,8 +44,75 @@ func TestLockguardCatchesCompactionBug(t *testing.T) {
 	}
 }
 
+func TestLockguardClean(t *testing.T) {
+	lintkittest.Run(t, "testdata/src/lockguard/clean", Lockguard)
+}
+
+// TestLockorder pins the acceptance bug class: a real cross-package
+// lock-order cycle, where one direction comes from a call made under a
+// lock and the other from a closure run under the callee's lock — both
+// resolved through serialized facts.
+func TestLockorder(t *testing.T) {
+	lintkittest.Run(t, "testdata/src/lockorder/a", Lockorder)
+}
+
+func TestLockorderClean(t *testing.T) {
+	lintkittest.Run(t, "testdata/src/lockorder/clean", Lockorder)
+}
+
+// TestGoroutinelife pins the leaked-goroutine class: unexitable loops
+// in literals and named spawns, and signal-free fire-and-forget.
+func TestGoroutinelife(t *testing.T) {
+	lintkittest.Run(t, "testdata/src/goroutinelife/app", Goroutinelife)
+}
+
+func TestGoroutinelifeClean(t *testing.T) {
+	lintkittest.Run(t, "testdata/src/goroutinelife/clean", Goroutinelife)
+}
+
+// TestCtxflow pins the dropped-context class: rooting on a request
+// path, and calling a (facts-resolved) callee that severs the deadline.
+func TestCtxflow(t *testing.T) {
+	lintkittest.Run(t, "testdata/src/ctxflow/serve", Ctxflow)
+}
+
+func TestCtxflowClean(t *testing.T) {
+	lintkittest.Run(t, "testdata/src/ctxflow/cluster", Ctxflow)
+}
+
+// withMetricDocs points metricdrift at the fixture's own documentation
+// file for the duration of one test.
+func withMetricDocs(t *testing.T, path string) {
+	t.Helper()
+	f := Metricdrift.Lookup("metricdrift.docs")
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := f.Value
+	f.Value = abs
+	t.Cleanup(func() { f.Value = old })
+}
+
+// TestMetricdrift pins the misspelled-metric class: case drift,
+// segmentation drift against the documented spelling, and undocumented
+// names.
+func TestMetricdrift(t *testing.T) {
+	withMetricDocs(t, "testdata/src/metricdrift/docs/METRICS.md")
+	lintkittest.Run(t, "testdata/src/metricdrift/app", Metricdrift)
+}
+
+func TestMetricdriftClean(t *testing.T) {
+	withMetricDocs(t, "testdata/src/metricdrift/docs/METRICS.md")
+	lintkittest.Run(t, "testdata/src/metricdrift/clean", Metricdrift)
+}
+
 func TestJournalOrder(t *testing.T) {
 	lintkittest.Run(t, "testdata/src/journalorder/serve", JournalOrder)
+}
+
+func TestJournalOrderClean(t *testing.T) {
+	lintkittest.Run(t, "testdata/src/journalorder/clean/serve", JournalOrder)
 }
 
 func TestRetryPolicy(t *testing.T) {
@@ -66,8 +134,16 @@ func TestErrWrap(t *testing.T) {
 	lintkittest.Run(t, "testdata/src/errwrap/app", ErrWrap)
 }
 
+func TestErrWrapClean(t *testing.T) {
+	lintkittest.Run(t, "testdata/src/errwrap/clean", ErrWrap)
+}
+
 func TestAtomicSwap(t *testing.T) {
 	lintkittest.Run(t, "testdata/src/atomicswap/app", AtomicSwap)
+}
+
+func TestAtomicSwapClean(t *testing.T) {
+	lintkittest.Run(t, "testdata/src/atomicswap/clean", AtomicSwap)
 }
 
 // TestAllowDirectives runs the whole suite over the directive fixture:

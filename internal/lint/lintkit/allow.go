@@ -29,20 +29,27 @@ type allowDirective struct {
 
 // allowIndex answers "is this diagnostic suppressed?" for one package.
 type allowIndex struct {
-	// byLine maps file -> line -> analyzers allowed on that line (the
+	// byLine maps file -> line -> directives on that line (the
 	// directive's own line; a directive suppresses its line and the one
 	// below, covering both same-line and line-above placement).
-	byLine map[string]map[int][]string
+	byLine map[string]map[int][]allowEntry
 	// spans are declaration-wide allowances from doc comments.
 	spans []allowSpan
 	// missingReason collects malformed directives to report.
 	missingReason []allowDirective
 }
 
+// allowEntry is one well-formed directive's payload.
+type allowEntry struct {
+	analyzer string
+	reason   string
+}
+
 type allowSpan struct {
 	file       string
 	start, end int // line range, inclusive
 	analyzer   string
+	reason     string
 }
 
 // parseAllowComment extracts the directive from one comment, if any.
@@ -72,7 +79,7 @@ func parseAllowComment(c *ast.Comment) (analyzer, reason string, ok bool) {
 
 // buildAllowIndex scans every comment in the package's files.
 func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
-	idx := &allowIndex{byLine: make(map[string]map[int][]string)}
+	idx := &allowIndex{byLine: make(map[string]map[int][]allowEntry)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -90,10 +97,10 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
 				}
 				lines := idx.byLine[pos.Filename]
 				if lines == nil {
-					lines = make(map[int][]string)
+					lines = make(map[int][]allowEntry)
 					idx.byLine[pos.Filename] = lines
 				}
-				lines[pos.Line] = append(lines[pos.Line], analyzer)
+				lines[pos.Line] = append(lines[pos.Line], allowEntry{analyzer: analyzer, reason: reason})
 			}
 		}
 		// Doc-comment directives cover their whole declaration.
@@ -118,6 +125,7 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
 					start:    fset.Position(decl.Pos()).Line,
 					end:      fset.Position(decl.End()).Line,
 					analyzer: analyzer,
+					reason:   reason,
 				})
 			}
 		}
@@ -126,21 +134,21 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) *allowIndex {
 }
 
 // allows reports whether a finding from analyzer at (file, line) is
-// suppressed.
-func (idx *allowIndex) allows(analyzer, file string, line int) bool {
+// suppressed, and by which directive's reason.
+func (idx *allowIndex) allows(analyzer, file string, line int) (bool, string) {
 	if lines, ok := idx.byLine[file]; ok {
 		for _, l := range []int{line, line - 1} {
-			for _, a := range lines[l] {
-				if a == analyzer {
-					return true
+			for _, e := range lines[l] {
+				if e.analyzer == analyzer {
+					return true, e.reason
 				}
 			}
 		}
 	}
 	for _, s := range idx.spans {
 		if s.analyzer == analyzer && s.file == file && line >= s.start && line <= s.end {
-			return true
+			return true, s.reason
 		}
 	}
-	return false
+	return false, ""
 }

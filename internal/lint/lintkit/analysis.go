@@ -76,6 +76,12 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Facts holds the interprocedural summaries for this package and
+	// its (in-module, transitive) dependencies — see facts.go. Never
+	// nil under the standard drivers; test harnesses constructing a
+	// Pass by hand may leave it nil, and the FactSet accessors are
+	// nil-tolerant.
+	Facts *FactSet
 
 	report func(Diagnostic)
 }
@@ -89,6 +95,27 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportPosition records a finding at an explicit file:line — the form
+// interprocedural analyzers use when the evidence comes from facts
+// (whose positions are serialized file/line pairs, not token.Pos values
+// in this process's FileSet).
+func (p *Pass) ReportPosition(file string, line int, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line},
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// OwnFacts returns this package's own summary from the fact set, or
+// nil when facts are unavailable.
+func (p *Pass) OwnFacts() *PackageFacts {
+	if p.Facts == nil {
+		return nil
+	}
+	return p.Facts.Pkgs[CanonPath(p.Path)]
+}
+
 // TypeOf is a nil-tolerant shorthand for Info.TypeOf.
 func (p *Pass) TypeOf(e ast.Expr) types.Type {
 	if p.Info == nil {
@@ -98,11 +125,16 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 }
 
 // Diagnostic is one reported finding, already resolved to a concrete
-// file position.
+// file position. Suppressed findings (covered by a //lint:allow
+// directive) are retained with the directive's reason so machine
+// consumers (-json, the DESIGN.md audit table) can enumerate every
+// escape hatch in the tree.
 type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos            token.Position
+	Analyzer       string
+	Message        string
+	Suppressed     bool   `json:",omitempty"`
+	SuppressReason string `json:",omitempty"`
 }
 
 // String renders the standard vet form the rest of the toolchain (and

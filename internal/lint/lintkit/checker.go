@@ -2,14 +2,22 @@ package lintkit
 
 import "fmt"
 
+// Result is one package's analysis outcome: the surviving findings,
+// plus the findings a //lint:allow directive suppressed (kept, with the
+// directive's reason, for -json reports and the DESIGN.md audit table).
+type Result struct {
+	Diags      []Diagnostic
+	Suppressed []Diagnostic
+}
+
 // Run applies each analyzer to the loaded package and returns the
-// surviving findings in stable order. Findings covered by a
-// //lint:allow directive are dropped; malformed directives (missing
+// findings in stable order. Findings covered by a //lint:allow
+// directive move to Result.Suppressed; malformed directives (missing
 // analyzer or reason) are reported as findings themselves, attributed
 // to the pseudo-analyzer "allow".
-func Run(lp *LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+func Run(lp *LoadedPackage, analyzers []*Analyzer) (*Result, error) {
 	idx := buildAllowIndex(lp.Fset, lp.Files)
-	var diags []Diagnostic
+	res := &Result{}
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer: a,
@@ -18,10 +26,15 @@ func Run(lp *LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:    lp.Files,
 			Pkg:      lp.Pkg,
 			Info:     lp.Info,
+			Facts:    lp.Facts,
 			report: func(d Diagnostic) {
-				if !idx.allows(d.Analyzer, d.Pos.Filename, d.Pos.Line) {
-					diags = append(diags, d)
+				if ok, reason := idx.allows(d.Analyzer, d.Pos.Filename, d.Pos.Line); ok {
+					d.Suppressed = true
+					d.SuppressReason = reason
+					res.Suppressed = append(res.Suppressed, d)
+					return
 				}
+				res.Diags = append(res.Diags, d)
 			},
 		}
 		if err := a.Run(pass); err != nil {
@@ -29,12 +42,13 @@ func Run(lp *LoadedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 	}
 	for _, m := range idx.missingReason {
-		diags = append(diags, Diagnostic{
+		res.Diags = append(res.Diags, Diagnostic{
 			Pos:      lp.Fset.Position(m.pos),
 			Analyzer: "allow",
 			Message:  "lint:allow directive must name an analyzer and give a reason: //lint:allow <analyzer> <reason>",
 		})
 	}
-	SortDiagnostics(diags)
-	return diags, nil
+	SortDiagnostics(res.Diags)
+	SortDiagnostics(res.Suppressed)
+	return res, nil
 }

@@ -10,6 +10,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 )
 
@@ -26,9 +27,10 @@ import (
 //     content hash, so vet's result cache invalidates when the analyzers
 //     change), and finally once per package with a JSON config file
 //     argument (*.cfg) listing sources and export data. Dependencies
-//     arrive with VetxOnly=true and are skipped after writing the
-//     (empty) facts file cmd/go expects — the suite needs no
-//     cross-package facts.
+//     arrive with VetxOnly=true: module-internal ones are type-checked
+//     and summarized into the facts file cmd/go threads to importers
+//     (the interprocedural analyzers' transport); standard-library ones
+//     get an empty facts file and no analysis.
 func Main(analyzers ...*Analyzer) {
 	progname := filepath.Base(os.Args[0])
 	fs := flag.NewFlagSet(progname, flag.ExitOnError)
@@ -114,12 +116,45 @@ func selfHash() string {
 	return fmt.Sprintf("%x", h.Sum(nil))[:40]
 }
 
-// emit prints findings and returns the process exit code.
-func emit(diags []Diagnostic, jsonOut bool) int {
+// jsonFinding is the machine-readable finding shape `-json` emits.
+type jsonFinding struct {
+	File         string `json:"file"`
+	Line         int    `json:"line"`
+	Col          int    `json:"col,omitempty"`
+	Analyzer     string `json:"analyzer"`
+	Message      string `json:"message"`
+	SuppressedBy string `json:"suppressedBy,omitempty"`
+}
+
+// jsonReport is the `-json` document: active findings plus every
+// //lint:allow-suppressed finding with its documented reason — the
+// machine-readable audit trail CI archives as LINT_report.json.
+type jsonReport struct {
+	Findings   []jsonFinding `json:"findings"`
+	Suppressed []jsonFinding `json:"suppressed"`
+}
+
+func toJSONFindings(diags []Diagnostic) []jsonFinding {
+	out := make([]jsonFinding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonFinding{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message, SuppressedBy: d.SuppressReason,
+		})
+	}
+	return out
+}
+
+// emit prints findings and returns the process exit code. Only active
+// findings fail the run; suppressed ones appear in -json output only.
+func emit(diags, suppressed []Diagnostic, jsonOut bool) int {
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "\t")
-		enc.Encode(diags)
+		enc.Encode(jsonReport{
+			Findings:   toJSONFindings(diags),
+			Suppressed: toJSONFindings(suppressed),
+		})
 	} else {
 		for _, d := range diags {
 			fmt.Fprintln(os.Stderr, d.String())
@@ -138,21 +173,26 @@ func standaloneRun(patterns []string, analyzers []*Analyzer, jsonOut bool) int {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	var diags []Diagnostic
+	var diags, suppressed []Diagnostic
 	for _, lp := range pkgs {
-		ds, err := Run(lp, analyzers)
+		res, err := Run(lp, analyzers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		diags = append(diags, ds...)
+		diags = append(diags, res.Diags...)
+		suppressed = append(suppressed, res.Suppressed...)
 	}
 	SortDiagnostics(diags)
-	return emit(diags, jsonOut)
+	SortDiagnostics(suppressed)
+	return emit(diags, suppressed, jsonOut)
 }
 
 // vetConfig mirrors the JSON config cmd/go writes for vet tools (the
-// unitchecker protocol).
+// unitchecker protocol). PackageVetx/VetxOutput carry the
+// interprocedural facts files between per-package invocations exactly
+// like gc export data; Standard marks standard-library packages, which
+// get an empty facts file instead of a source type-check.
 type vetConfig struct {
 	ID                        string
 	Compiler                  string
@@ -162,12 +202,18 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
 // vettoolRun analyzes one package as directed by a vet config file.
+// Every non-standard package — dependencies included, which arrive
+// with VetxOnly=true — is type-checked and summarized, and its facts
+// file re-exports the transitive facts it imported, so each invocation
+// only needs its direct dependencies' vetx files.
 func vettoolRun(cfgPath string, analyzers []*Analyzer, jsonOut bool) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
@@ -179,17 +225,40 @@ func vettoolRun(cfgPath string, analyzers []*Analyzer, jsonOut bool) int {
 		fmt.Fprintf(os.Stderr, "longtailvet: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// cmd/go requires the facts file to exist even though this suite
-	// records no cross-package facts.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+	writeVetx := func(facts *FactSet) int {
+		if cfg.VetxOutput == "" {
+			return 0
+		}
+		var out []byte
+		if facts != nil {
+			out = EncodeFacts(facts)
+		}
+		if err := os.WriteFile(cfg.VetxOutput, out, 0o666); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-	}
-	if cfg.VetxOnly {
-		// A dependency: facts-only invocation, nothing to analyze.
 		return 0
+	}
+	if cfg.Standard[cfg.ImportPath] || isStdUnit(&cfg) {
+		// Standard-library dependency: no facts, nothing to analyze —
+		// but cmd/go requires the vetx file to exist. (cfg.Standard only
+		// marks the unit's imports, so the unit's own origin is checked
+		// against GOROOT: the standalone loader never summarizes the
+		// standard library, and the two modes must produce identical
+		// findings.)
+		return writeVetx(nil)
+	}
+	facts := NewFactSet()
+	for _, vetxFile := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue // missing dependency facts degrade, not fail
+		}
+		if dep, err := DecodeFacts(data); err == nil {
+			for _, pf := range dep.Pkgs {
+				facts.Add(pf)
+			}
+		}
 	}
 	fset := token.NewFileSet()
 	compilerImp := exportDataImporter(fset, func(path string) (string, bool) {
@@ -204,18 +273,45 @@ func vettoolRun(cfgPath string, analyzers []*Analyzer, jsonOut bool) int {
 	})
 	lp, err := TypeCheck(cfg.ID, fset, cfg.GoFiles, imp, cfg.GoVersion)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
+		if code := writeVetx(facts); code != 0 {
+			return code
+		}
+		if cfg.SucceedOnTypecheckFailure || cfg.VetxOnly {
 			return 0
 		}
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	diags, err := Run(lp, analyzers)
+	facts.Add(SummarizePackage(lp.Path, lp.Fset, lp.Files, lp.Info))
+	lp.Facts = facts
+	if code := writeVetx(facts); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		// A dependency: facts-only invocation, nothing to analyze.
+		return 0
+	}
+	res, err := Run(lp, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	return emit(diags, jsonOut)
+	return emit(res.Diags, res.Suppressed, jsonOut)
+}
+
+// isStdUnit reports whether the unit's sources live under GOROOT —
+// cmd/go vets standard-library dependencies for their facts files, but
+// this suite's facts describe the module's own code only.
+func isStdUnit(cfg *vetConfig) bool {
+	if len(cfg.GoFiles) == 0 {
+		return false
+	}
+	goroot := runtime.GOROOT()
+	if goroot == "" {
+		return false
+	}
+	rel, err := filepath.Rel(filepath.Clean(goroot), filepath.Clean(cfg.GoFiles[0]))
+	return err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator))
 }
 
 type importerFunc func(path string) (*types.Package, error)

@@ -1,0 +1,216 @@
+package lintkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cross-package facts. Each package's summarizer (callgraph.go) distills
+// its typed syntax into a PackageFacts value: a lightweight call graph
+// (static calls and method sets; interface dispatch is dropped rather
+// than widened, so every recorded edge is real), the mutex events each
+// function performs, goroutine-termination signals, context rooting,
+// and the `longtail_*` metric literals the package emits. Facts travel
+// exactly like gc export data: in vettool mode they are serialized to
+// the VetxOutput file cmd/go assigns each package and re-imported
+// through PackageVetx; in standalone mode the loader computes them for
+// every in-module package before analysis begins. Either way an
+// analyzer sees the same FactSet and can answer interprocedural
+// questions ("what locks does this callee take, transitively?") without
+// whole-program loading.
+
+// LockEdge is one ordered pair in the global mutex-acquisition graph:
+// the lock To was (or would be) acquired while From was held, at
+// File:Line. Lock identities are type-level — "pkg/path.Type.field" for
+// a mutex field, "pkg/path.var" for a package-level mutex — so the
+// graph spans instances, which is what a lock *hierarchy* is about.
+type LockEdge struct {
+	From string
+	To   string
+	File string `json:",omitempty"`
+	Line int    `json:",omitempty"`
+}
+
+// CallUnder records a static call made while locks were held: every
+// lock the callee acquires transitively becomes an edge from each held
+// lock.
+type CallUnder struct {
+	Callee string
+	Held   []string
+	File   string `json:",omitempty"`
+	Line   int    `json:",omitempty"`
+}
+
+// ParamInvoke records that a function invokes its Param'th (flattened)
+// func-typed parameter while holding Held — the journal-style "run this
+// closure under my lock" shape. A caller passing a function literal in
+// that position inherits edges from Held into the literal's locks.
+type ParamInvoke struct {
+	Param int
+	Held  []string
+}
+
+// ClosureArg records a function literal passed as the Param'th argument
+// of a static call; Lit names the literal's own summary in the same
+// package's Funcs map.
+type ClosureArg struct {
+	Callee string
+	Param  int
+	Lit    string
+	File   string `json:",omitempty"`
+	Line   int    `json:",omitempty"`
+}
+
+// FuncFact is one function's interprocedural summary. Function keys are
+// canonical: "pkg/path.Func" for package functions, "pkg/path.Type.Method"
+// for methods (pointer and value receivers collapse), and
+// "<parent>$<n>" for the n'th function literal inside parent.
+type FuncFact struct {
+	// Acquires lists lock IDs this function itself Lock()s or RLock()s.
+	Acquires []string `json:",omitempty"`
+	// Edges are held→acquired pairs observed lexically inside the body.
+	Edges []LockEdge `json:",omitempty"`
+	// DoubleLocks are re-acquisitions of a lock already held on the same
+	// syntactic path — self-deadlocks for a plain sync.Mutex.
+	DoubleLocks []LockEdge `json:",omitempty"`
+	// CallsUnder are static calls made while locks were held.
+	CallsUnder []CallUnder `json:",omitempty"`
+	// Calls lists every statically resolved callee (deduplicated).
+	Calls []string `json:",omitempty"`
+	// InvokesParamUnder marks func-typed parameters invoked under locks.
+	InvokesParamUnder []ParamInvoke `json:",omitempty"`
+	// ClosureArgs are function literals handed to static callees.
+	ClosureArgs []ClosureArg `json:",omitempty"`
+	// Signals reports a termination/completion signal in the body: a
+	// channel operation or select, a WaitGroup.Done, or any use of a
+	// context (Done/Err or passing one to a call).
+	Signals bool `json:",omitempty"`
+	// LoopNoExit reports a `for {}` loop with no reachable exit (return,
+	// break, panic/fatal) and no signal inside — a goroutine running it
+	// can never terminate. LoopFile/LoopLine locate the loop.
+	LoopNoExit bool   `json:",omitempty"`
+	LoopFile   string `json:",omitempty"`
+	LoopLine   int    `json:",omitempty"`
+	// RootsCtx reports a context.Background()/TODO() call outside an
+	// `if ctx == nil` guard; CtxParam reports a context.Context or
+	// *http.Request parameter. A RootsCtx function without a CtxParam
+	// severs any caller's deadline.
+	RootsCtx  bool   `json:",omitempty"`
+	RootsFile string `json:",omitempty"`
+	RootsLine int    `json:",omitempty"`
+	CtxParam  bool   `json:",omitempty"`
+}
+
+// MetricUse is one `longtail_*` metric name occurrence in non-test code.
+type MetricUse struct {
+	Name string
+	File string
+	Line int
+}
+
+// PackageFacts is everything one package exports to downstream
+// analysis.
+type PackageFacts struct {
+	Path    string
+	Funcs   map[string]*FuncFact `json:",omitempty"`
+	Metrics []MetricUse          `json:",omitempty"`
+}
+
+// FactSet is the union of facts visible to one analysis pass: the
+// current package plus its (transitive, in-module) dependencies.
+type FactSet struct {
+	Pkgs map[string]*PackageFacts
+}
+
+// NewFactSet returns an empty fact set.
+func NewFactSet() *FactSet {
+	return &FactSet{Pkgs: make(map[string]*PackageFacts)}
+}
+
+// Add merges pf into the set (later adds win, so a package's own
+// summary overrides a stale re-export from a dependency).
+func (fs *FactSet) Add(pf *PackageFacts) {
+	if pf == nil || pf.Path == "" {
+		return
+	}
+	fs.Pkgs[pf.Path] = pf
+}
+
+// Func resolves a canonical function key ("pkg/path.Name", possibly
+// with $n literal suffixes) to its fact, or nil.
+func (fs *FactSet) Func(key string) *FuncFact {
+	if fs == nil {
+		return nil
+	}
+	pkg := key
+	if i := strings.IndexByte(pkg, '$'); i >= 0 {
+		pkg = pkg[:i]
+	}
+	// The package path is everything before the first dot after the
+	// last slash (method keys have two trailing dots).
+	slash := strings.LastIndexByte(pkg, '/')
+	dot := strings.IndexByte(pkg[slash+1:], '.')
+	if dot < 0 {
+		return nil
+	}
+	pf := fs.Pkgs[pkg[:slash+1+dot]]
+	if pf == nil {
+		return nil
+	}
+	return pf.Funcs[key]
+}
+
+// factsEnvelope is the on-disk vetx framing. A version bump invalidates
+// stale facts (the driver's selfHash already invalidates vet's action
+// cache whenever the binary changes, so this is belt and braces for
+// hand-kept files).
+type factsEnvelope struct {
+	Version int
+	Pkgs    []*PackageFacts
+}
+
+// factsVersion is the current facts file format version.
+const factsVersion = 1
+
+// EncodeFacts serializes the set deterministically (packages sorted by
+// path, map keys sorted by encoding/json).
+func EncodeFacts(fs *FactSet) []byte {
+	env := factsEnvelope{Version: factsVersion}
+	if fs != nil {
+		for _, pf := range fs.Pkgs {
+			env.Pkgs = append(env.Pkgs, pf)
+		}
+	}
+	sort.Slice(env.Pkgs, func(i, j int) bool { return env.Pkgs[i].Path < env.Pkgs[j].Path })
+	data, err := json.Marshal(env)
+	if err != nil {
+		// Only unmarshalable types reach this; the envelope has none.
+		panic(fmt.Sprintf("lintkit: encoding facts: %v", err))
+	}
+	return data
+}
+
+// DecodeFacts parses a facts file. Empty input decodes to an empty set
+// (cmd/go pre-creates empty vetx files for packages without facts); a
+// version mismatch also yields an empty set rather than an error, so a
+// stale dependency file degrades to intraprocedural analysis instead of
+// failing the build.
+func DecodeFacts(data []byte) (*FactSet, error) {
+	fs := NewFactSet()
+	if len(data) == 0 {
+		return fs, nil
+	}
+	var env factsEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("lintkit: decoding facts: %w", err)
+	}
+	if env.Version != factsVersion {
+		return fs, nil
+	}
+	for _, pf := range env.Pkgs {
+		fs.Add(pf)
+	}
+	return fs, nil
+}

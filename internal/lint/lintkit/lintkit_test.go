@@ -62,8 +62,12 @@ func g() {
 		{"gamma", 5, false},
 	}
 	for _, c := range cases {
-		if got := idx.allows(c.analyzer, "p.go", c.line); got != c.want {
+		got, reason := idx.allows(c.analyzer, "p.go", c.line)
+		if got != c.want {
 			t.Errorf("allows(%s, line %d) = %v, want %v", c.analyzer, c.line, got, c.want)
+		}
+		if got && reason == "" {
+			t.Errorf("allows(%s, line %d) suppressed without a reason", c.analyzer, c.line)
 		}
 	}
 }

@@ -44,11 +44,11 @@ func Run(t *testing.T, dir string, analyzers ...*lintkit.Analyzer) {
 	}
 	var diags []lintkit.Diagnostic
 	for _, lp := range pkgs {
-		ds, err := lintkit.Run(lp, analyzers)
+		res, err := lintkit.Run(lp, analyzers)
 		if err != nil {
 			t.Fatalf("running analyzers on %s: %v", dir, err)
 		}
-		diags = append(diags, ds...)
+		diags = append(diags, res.Diags...)
 	}
 	checkWants(t, abs, diags)
 }
@@ -142,11 +142,11 @@ func Findings(t *testing.T, dir string, analyzers ...*lintkit.Analyzer) []lintki
 	}
 	var diags []lintkit.Diagnostic
 	for _, lp := range pkgs {
-		ds, err := lintkit.Run(lp, analyzers)
+		res, err := lintkit.Run(lp, analyzers)
 		if err != nil {
 			t.Fatalf("running analyzers on %s: %v", dir, err)
 		}
-		diags = append(diags, ds...)
+		diags = append(diags, res.Diags...)
 	}
 	lintkit.SortDiagnostics(diags)
 	return diags

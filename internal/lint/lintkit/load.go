@@ -24,6 +24,10 @@ type LoadedPackage struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Facts is the interprocedural fact set shared by every package in
+	// one Load: the summaries of all non-standard packages in the build
+	// graph (targets and in-module dependencies alike).
+	Facts *FactSet
 }
 
 // listPackage is the subset of `go list -json` output the loader needs.
@@ -40,9 +44,14 @@ type listPackage struct {
 
 // Load resolves patterns with `go list -export -deps` run in dir and
 // type-checks every directly matched (non-dependency) package from
-// source. Imports resolve through the compiler export data the go
-// command reports, so loading is exact, offline, and as fast as a
-// regular build — dependencies are never re-type-checked from source.
+// source. Standard-library imports resolve through the compiler export
+// data the go command reports, so loading is exact, offline, and as
+// fast as a regular build. Non-standard dependencies (the module's own
+// packages) are additionally type-checked from source so their
+// interprocedural facts (facts.go) can be summarized: the resulting
+// FactSet is shared by every returned package, giving analyzers the
+// same cross-package view the vettool protocol assembles from vetx
+// files.
 func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
 	args := append([]string{
 		"list", "-e", "-export", "-deps",
@@ -57,7 +66,7 @@ func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
 		return nil, fmt.Errorf("lintkit: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.Bytes())
 	}
 	exports := make(map[string]string)
-	var targets []*listPackage
+	var targets, factDeps []*listPackage
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listPackage
@@ -72,9 +81,12 @@ func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly {
-			pkg := p
+		pkg := p
+		switch {
+		case !p.DepOnly:
 			targets = append(targets, &pkg)
+		case !p.Standard && len(p.GoFiles) > 0:
+			factDeps = append(factDeps, &pkg)
 		}
 	}
 
@@ -83,19 +95,37 @@ func Load(dir string, patterns ...string) ([]*LoadedPackage, error) {
 		f, ok := exports[path]
 		return f, ok
 	})
+	facts := NewFactSet()
+	for _, p := range factDeps {
+		lp, err := TypeCheck(p.ImportPath, fset, sourceFiles(p), imp, runtime.Version())
+		if err != nil {
+			// A dependency that fails source type-checking degrades to
+			// no facts rather than failing the whole run; its export
+			// data still serves the import graph.
+			continue
+		}
+		facts.Add(SummarizePackage(lp.Path, lp.Fset, lp.Files, lp.Info))
+	}
 	var loaded []*LoadedPackage
 	for _, p := range targets {
-		files := make([]string, len(p.GoFiles))
-		for i, f := range p.GoFiles {
-			files[i] = joinDir(p.Dir, f)
-		}
-		lp, err := TypeCheck(p.ImportPath, fset, files, imp, runtime.Version())
+		lp, err := TypeCheck(p.ImportPath, fset, sourceFiles(p), imp, runtime.Version())
 		if err != nil {
 			return nil, err
 		}
+		facts.Add(SummarizePackage(lp.Path, lp.Fset, lp.Files, lp.Info))
+		lp.Facts = facts
 		loaded = append(loaded, lp)
 	}
 	return loaded, nil
+}
+
+// sourceFiles resolves a listed package's GoFiles against its directory.
+func sourceFiles(p *listPackage) []string {
+	files := make([]string, len(p.GoFiles))
+	for i, f := range p.GoFiles {
+		files[i] = joinDir(p.Dir, f)
+	}
+	return files
 }
 
 func joinDir(dir, file string) string {

@@ -1,0 +1,22 @@
+// Package clean is the atomicswap negative fixture: every atomic field
+// is only ever the receiver of its own methods.
+package clean
+
+import "sync/atomic"
+
+type rules struct{ gen int }
+
+type engine struct {
+	current atomic.Pointer[rules]
+	served  atomic.Uint64
+}
+
+func (e *engine) swap(next *rules) *rules {
+	return e.current.Swap(next)
+}
+
+func (e *engine) observe() (int, uint64) {
+	r := e.current.Load()
+	e.served.Add(1)
+	return r.gen, e.served.Load()
+}

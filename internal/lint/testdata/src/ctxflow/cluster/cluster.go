@@ -1,0 +1,28 @@
+// Package cluster is the ctxflow negative fixture: an in-scope package
+// whose request paths propagate the incoming context, and whose
+// startup wiring (no context parameter) may root freely.
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// Forward derives everything from the request's context.
+func Forward(w http.ResponseWriter, r *http.Request) {
+	handle(r.Context())
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func handle(ctx context.Context) {
+	sub, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	<-sub.Done()
+}
+
+// Boot is startup wiring: no context parameter, so rooting here is the
+// process's own lifetime decision, not a dropped deadline.
+func Boot() context.Context {
+	return context.Background()
+}

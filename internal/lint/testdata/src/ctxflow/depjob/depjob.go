@@ -1,0 +1,19 @@
+// Package depjob is the dependency side of the ctxflow fixture: Fetch
+// roots a fresh context and accepts none, a fact the analyzing package
+// learns only through the serialized summaries.
+package depjob
+
+import (
+	"context"
+	"time"
+)
+
+// Fetch does remote work on a self-made context — callers on a request
+// path lose their deadline here.
+func Fetch(key string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = ctx
+	_ = key
+	return nil
+}

@@ -1,0 +1,39 @@
+// Package serve is the ctxflow positive fixture: its base name puts it
+// in the enforced scope, and every function here carries a context or
+// request, so rooting or dropping contexts is flagged.
+package serve
+
+import (
+	"context"
+	"net/http"
+
+	"repro/internal/lint/testdata/src/ctxflow/depjob"
+)
+
+// Handle roots a fresh context despite holding the request, then calls
+// a dependency that severs the deadline on its own (known only through
+// facts).
+func Handle(w http.ResponseWriter, r *http.Request) {
+	ctx := context.Background() // want `severs the caller's deadline`
+	_ = ctx
+	if err := depjob.Fetch("key"); err != nil { // want `drops the request context`
+		http.Error(w, err.Error(), http.StatusBadGateway)
+	}
+}
+
+// Relay launders the deadline through context.TODO.
+func Relay(ctx context.Context) {
+	work(context.TODO()) // want `severs the caller's deadline`
+}
+
+// Guarded uses the sanctioned nil fallback, then propagates.
+func Guarded(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	work(ctx)
+}
+
+func work(ctx context.Context) {
+	<-ctx.Done()
+}

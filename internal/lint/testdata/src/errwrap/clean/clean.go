@@ -1,0 +1,27 @@
+// Package clean is the errwrap negative fixture: errors wrap with %w
+// and sentinels compare through errors.Is, so the chain survives.
+package clean
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrMissing = errors.New("missing")
+
+func wrap(err error) error {
+	return fmt.Errorf("loading manifest: %w", err)
+}
+
+func classify(err error) string {
+	switch {
+	case err == nil: // nil comparisons are fine
+		return "ok"
+	case errors.Is(err, ErrMissing):
+		return "missing"
+	case errors.Is(err, io.EOF):
+		return "eof"
+	}
+	return fmt.Sprintf("failed with code %d", 7) // non-error %d is fine
+}

@@ -1,0 +1,36 @@
+// Package app is the goroutinelife positive fixture: spawned
+// goroutines with no termination path, as literals and as named
+// functions resolved through the facts.
+package app
+
+// Leak spawns a literal that spins forever with no exit or signal.
+func Leak() {
+	go func() { // want `for \{\} loop with no exit`
+		n := 0
+		for {
+			n++
+		}
+	}()
+}
+
+// spin is the named equivalent; its summary travels via facts.
+func spin() {
+	for {
+	}
+}
+
+// SpawnSpin spawns the spinner.
+func SpawnSpin() {
+	go spin() // want `for \{\} loop with no exit`
+}
+
+// fire does bounded work but exhibits no termination signal — nothing
+// ties its lifetime to a WaitGroup, channel, or context.
+func fire() {
+	println("fired")
+}
+
+// SpawnFire spawns it without any lifetime contract.
+func SpawnFire() {
+	go fire() // want `no provable termination path`
+}

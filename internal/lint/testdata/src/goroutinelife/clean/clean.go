@@ -1,0 +1,54 @@
+// Package clean is the goroutinelife negative fixture: each sanctioned
+// termination path in turn.
+package clean
+
+import (
+	"context"
+	"sync"
+)
+
+// WaitGrouped signals completion through wg.Done.
+func WaitGrouped() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		println("work")
+	}()
+	wg.Wait()
+}
+
+func run(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// ContextBound hands the goroutine a context at the spawn site.
+func ContextBound(ctx context.Context) {
+	go run(ctx)
+}
+
+// ChannelSignaled selects on a quit channel.
+func ChannelSignaled(quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// notify signals through a send; reached one call deep from the spawn.
+func notify(done chan<- struct{}) {
+	done <- struct{}{}
+}
+
+// Indirect proves the depth-bounded reachability: the signal is in the
+// callee, not the literal.
+func Indirect(done chan struct{}) {
+	go func() {
+		notify(done)
+	}()
+}

@@ -1,0 +1,38 @@
+// Package clean is the lockguard negative fixture: every guarded field
+// access holds its guard (directly, via defer, or behind a Locked
+// suffix), so nothing is flagged.
+package clean
+
+import "sync"
+
+type store struct {
+	mu sync.RWMutex
+	// guarded by mu
+	items map[string][]byte
+
+	statsMu sync.Mutex
+	hits    int // guarded by statsMu
+}
+
+func (s *store) put(id string, body []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items[id] = body
+}
+
+func (s *store) get(id string) []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.items[id]
+}
+
+func (s *store) bump() {
+	s.statsMu.Lock()
+	s.hits++
+	s.statsMu.Unlock()
+}
+
+// sizeLocked promises the caller holds mu.
+func (s *store) sizeLocked() int {
+	return len(s.items)
+}

@@ -1,0 +1,49 @@
+// Package a is the lockorder positive fixture: One establishes
+// muA -> muB through a call made under muA, Two establishes
+// muB -> muA through a closure run under b's lock — a cross-package
+// lock-order cycle. Dbl self-deadlocks, Snapshot copies a lock.
+package a
+
+import (
+	"sync"
+
+	"repro/internal/lint/testdata/src/lockorder/b"
+)
+
+var muA sync.Mutex
+
+// One acquires muA, then calls into b, which acquires muB: muA -> muB.
+func One() {
+	muA.Lock()
+	b.Do() // want `lock order cycle`
+	muA.Unlock()
+}
+
+// Two hands b a closure that acquires muA; b runs it under muB:
+// muB -> muA, closing the cycle.
+func Two() {
+	b.Take(func() { // want `lock order cycle`
+		muA.Lock()
+		muA.Unlock()
+	})
+}
+
+// Counter carries its own lock.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Dbl re-locks the same mutex on the same path.
+func Dbl(c *Counter) {
+	c.mu.Lock()
+	c.mu.Lock() // want `already held`
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// Snapshot copies the counter — and its lock — through a dereference.
+func Snapshot(c *Counter) int {
+	dup := *c // want `contains a mutex`
+	return dup.n
+}

@@ -1,0 +1,22 @@
+// Package b is the dependency side of the lockorder fixture: its lock
+// events reach the analyzing package only through serialized facts,
+// proving the cross-package plumbing.
+package b
+
+import "sync"
+
+var muB sync.Mutex
+
+// Do acquires the package lock briefly.
+func Do() {
+	muB.Lock()
+	muB.Unlock()
+}
+
+// Take runs f while holding muB — the run-under-my-lock shape that
+// gives callers' closures edges from muB.
+func Take(f func()) {
+	muB.Lock()
+	f()
+	muB.Unlock()
+}

@@ -1,0 +1,18 @@
+// Package app is the metricdrift positive fixture: one name per
+// failure class, plus healthy names that prove the severity ordering
+// stops at the first applicable check.
+package app
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMetrics renders an exposition page.
+func WriteMetrics(w io.Writer, n int) {
+	fmt.Fprintf(w, "longtail_requests_total %d\n", n)
+	fmt.Fprintf(w, "longtail_latency_seconds_bucket{le=\"0.1\"} %d\n", n)
+	fmt.Fprintf(w, "longtail_Batches_Total %d\n", n)  // want `not snake_case`
+	fmt.Fprintf(w, "longtail_request_stotal %d\n", n) // want `conflicts with spelling`
+	fmt.Fprintf(w, "longtail_orphan_gauge %d\n", n)   // want `not documented`
+}

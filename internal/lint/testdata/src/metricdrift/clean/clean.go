@@ -1,0 +1,17 @@
+// Package clean is the metricdrift negative fixture: snake_case,
+// uniquely spelled, documented names — including histogram series that
+// resolve to their documented base.
+package clean
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteMetrics renders a conforming exposition page.
+func WriteMetrics(w io.Writer, n int) {
+	fmt.Fprintf(w, "longtail_requests_total %d\n", n)
+	fmt.Fprintf(w, "longtail_batches_total %d\n", n)
+	fmt.Fprintf(w, "longtail_latency_seconds_sum %d\n", n)
+	fmt.Fprintf(w, "longtail_latency_seconds_count %d\n", n)
+}
