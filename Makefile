@@ -9,8 +9,8 @@ GO ?= go
 LONGTAILVET ?= bin/longtailvet
 
 .PHONY: verify verify-fast build vet test fmtcheck lint lint-report \
-	longtailvet staticcheck govulncheck bench bench-json chaos-serve \
-	chaos-cluster chaos-lifecycle chaos-churn fuzz-smoke
+	longtailvet staticcheck govulncheck bench bench-json bench-gate \
+	chaos-serve chaos-cluster chaos-lifecycle chaos-churn fuzz-smoke
 
 verify: verify-fast fuzz-smoke chaos-cluster chaos-lifecycle chaos-churn
 
@@ -77,8 +77,11 @@ govulncheck:
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzUnmarshalEventLine -fuzztime=30s -run '^$$' ./internal/export/
 	$(GO) test -fuzz=FuzzJournalRecovery -fuzztime=30s -run '^$$' ./internal/journal/
+	$(GO) test -fuzz=FuzzShardedRecovery -fuzztime=30s -run '^$$' ./internal/journal/
 	$(GO) test -fuzz=FuzzParseAllowDirective -fuzztime=30s -run '^$$' ./internal/lint/lintkit/
 	$(GO) test -fuzz=FuzzFactsRoundTrip -fuzztime=30s -run '^$$' ./internal/lint/lintkit/
+	$(GO) test -fuzz=FuzzBinaryEvents -fuzztime=30s -run '^$$' ./internal/serve/
+	$(GO) test -fuzz=FuzzBinaryVerdicts -fuzztime=30s -run '^$$' ./internal/serve/
 
 # Serving-layer chaos harness under the race detector: kill -9
 # mid-replay with injected transport faults and a torn journal tail,
@@ -143,3 +146,17 @@ bench-json:
 		-stamp "$$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
 		BENCH_serve.txt
 	@echo "wrote BENCH_serve.json and appended BENCH_history.json"
+
+# Multi-core regression fence over the bench-json artifact: the
+# journaled serve path (per-core sharded WAL, group-commit ack queue)
+# must keep at least 65% of the unjournaled path's events/sec. On
+# runners below 4 CPUs benchjson skips the check — with no parallelism
+# the overlapping fsyncs measure as pure overhead — so the gate only
+# binds where the sharded design can actually show up. Run after
+# bench-json (it re-parses BENCH_serve.txt).
+bench-gate:
+	$(GO) run ./cmd/benchjson -o /dev/null \
+		-gate-num BenchmarkServeThroughputJournaled \
+		-gate-den BenchmarkServeThroughput \
+		-gate-metric events/sec -gate-ratio 0.65 -gate-min-cores 4 \
+		BENCH_serve.txt

@@ -584,10 +584,14 @@ func BenchmarkServeThroughput(b *testing.B) {
 }
 
 // BenchmarkServeThroughputJournaled is BenchmarkServeThroughput with
-// the write-ahead journal enabled: every batch pays a group-committed
-// fsync for its accept record (overlapped with classification) plus an
-// async result record. The events/sec metric against the unjournaled
-// benchmark is the durability tax; the acceptance bar is >= 80% of it.
+// the write-ahead journal enabled, striped over one shard per core:
+// every batch pays a group-committed fsync for its accept record
+// (overlapped with classification and with the other shards' fsyncs)
+// plus an async result record. The events/sec metric against the
+// unjournaled benchmark is the durability tax; the acceptance bar is
+// >= 80% of it on a multi-core runner (CI gates the ratio at 0.65 via
+// benchjson; a single-core host serializes the shards and measures the
+// overlap as overhead).
 func BenchmarkServeThroughputJournaled(b *testing.B) {
 	p := sharedPipeline(b)
 	months := p.Store.Months()
@@ -612,6 +616,7 @@ func BenchmarkServeThroughputJournaled(b *testing.B) {
 	defer engine.Close()
 	ledger, _, err := serve.OpenLedger(serve.LedgerOptions{
 		Journal: journal.Options{Dir: b.TempDir()},
+		Shards:  runtime.GOMAXPROCS(0),
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -5,7 +5,9 @@
 //
 // Usage:
 //
-//	benchjson [-o out.json] [-history hist.json -sha SHA -stamp STAMP] [bench-output.txt]
+//	benchjson [-o out.json] [-history hist.json -sha SHA -stamp STAMP]
+//	          [-gate-num NAME -gate-den NAME [-gate-metric UNIT]
+//	           [-gate-ratio F] [-gate-min-cores N]] [bench-output.txt]
 //
 // With no file argument it reads stdin. The input is the standard
 // testing-package benchmark format:
@@ -21,6 +23,16 @@
 // benchmark lines parse, so a silently-empty bench run fails the make
 // target instead of archiving an empty artifact.
 //
+// The report also records the runner's GOMAXPROCS and CPU count —
+// throughput from a 1-core and a 16-core machine must never be diffed
+// as if comparable. With -gate-num/-gate-den the tool doubles as the
+// CI regression fence: after writing the report it checks that the
+// numerator benchmark kept at least -gate-ratio of the denominator's
+// -gate-metric (default events/sec) and exits nonzero otherwise; on
+// runners below -gate-min-cores CPUs the gate is skipped, because with
+// no parallelism the sharded journal's overlapping fsyncs measure as
+// pure overhead.
+//
 // With -history the run is additionally appended to a cumulative JSON
 // array, each entry keyed by the git SHA and timestamp the CALLER
 // passes in via -sha and -stamp — the tool itself never consults the
@@ -35,6 +47,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -53,10 +66,16 @@ type Result struct {
 
 // Report is the whole document.
 type Report struct {
-	Goos       string   `json:"goos,omitempty"`
-	Goarch     string   `json:"goarch,omitempty"`
-	Pkg        string   `json:"pkg,omitempty"`
-	CPU        string   `json:"cpu,omitempty"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// GOMAXPROCS and NumCPU record the parallelism of the machine that
+	// ran the benchmarks (injected by main, not parsed from the input):
+	// throughput numbers from a 1-core runner and a 16-core runner are
+	// not comparable, and the archived artifact must say which it was.
+	GOMAXPROCS int      `json:"gomaxprocs,omitempty"`
+	NumCPU     int      `json:"numcpu,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
 }
 
@@ -114,7 +133,7 @@ type HistoryEntry struct {
 	Report *Report `json:"report"`
 }
 
-func run(in io.Reader, out io.Writer) (*Report, error) {
+func run(in io.Reader, out io.Writer, gomaxprocs, numcpu int) (*Report, error) {
 	rep, err := parse(in)
 	if err != nil {
 		return nil, err
@@ -122,9 +141,68 @@ func run(in io.Reader, out io.Writer) (*Report, error) {
 	if len(rep.Benchmarks) == 0 {
 		return nil, fmt.Errorf("benchjson: no benchmark result lines in input")
 	}
+	rep.GOMAXPROCS, rep.NumCPU = gomaxprocs, numcpu
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return rep, enc.Encode(rep)
+}
+
+// stripProcSuffix removes the -GOMAXPROCS suffix the testing package
+// appends to parallel benchmark names (BenchmarkServeThroughput-8),
+// so gate names match regardless of the runner's core count.
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// findBench returns the first benchmark whose proc-suffix-stripped name
+// equals name.
+func findBench(rep *Report, name string) *Result {
+	for i := range rep.Benchmarks {
+		if stripProcSuffix(rep.Benchmarks[i].Name) == name {
+			return &rep.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// gate enforces a minimum ratio between two benchmarks' values of one
+// metric — the CI regression fence: the journaled serve path must keep
+// at least minRatio of the unjournaled path's events/sec, or the run
+// fails. A missing benchmark or metric is a failure too: a gate that
+// silently skips because the bench didn't run protects nothing.
+func gate(rep *Report, num, den, metric string, minRatio float64) error {
+	nb, db := findBench(rep, num), findBench(rep, den)
+	if nb == nil {
+		return fmt.Errorf("benchjson: gate numerator %q not in the report", num)
+	}
+	if db == nil {
+		return fmt.Errorf("benchjson: gate denominator %q not in the report", den)
+	}
+	nv, ok := nb.Metrics[metric]
+	if !ok {
+		return fmt.Errorf("benchjson: %q has no %q metric", num, metric)
+	}
+	dv, ok := db.Metrics[metric]
+	if !ok {
+		return fmt.Errorf("benchjson: %q has no %q metric", den, metric)
+	}
+	if dv <= 0 {
+		return fmt.Errorf("benchjson: %q %s = %g, cannot form a ratio", den, metric, dv)
+	}
+	if ratio := nv / dv; ratio < minRatio {
+		return fmt.Errorf("benchjson: gate failed: %s/%s %s ratio %.3f < %.3f (%g vs %g)",
+			num, den, metric, ratio, minRatio, nv, dv)
+	}
+	return nil
 }
 
 // appendHistory appends one keyed run to the cumulative history array
@@ -160,6 +238,11 @@ func main() {
 	historyPath := flag.String("history", "", "append this run to a cumulative history JSON array at this path")
 	sha := flag.String("sha", "", "git commit SHA keying the -history entry (required with -history)")
 	stamp := flag.String("stamp", "", "timestamp keying the -history entry, e.g. date -u +%Y-%m-%dT%H:%M:%SZ (required with -history)")
+	gateNum := flag.String("gate-num", "", "gate: benchmark name (proc suffix stripped) whose metric forms the ratio numerator")
+	gateDen := flag.String("gate-den", "", "gate: benchmark name forming the ratio denominator")
+	gateMetric := flag.String("gate-metric", "events/sec", "gate: metric to compare")
+	gateRatio := flag.Float64("gate-ratio", 0.65, "gate: minimum numerator/denominator ratio")
+	gateMinCores := flag.Int("gate-min-cores", 4, "gate: skip the check below this many CPUs (single-core runners measure fsync overlap as pure overhead)")
 	flag.Parse()
 
 	in := io.Reader(os.Stdin)
@@ -182,7 +265,7 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	rep, err := run(in, out)
+	rep, err := run(in, out, runtime.GOMAXPROCS(0), runtime.NumCPU())
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -192,5 +275,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	if *gateNum != "" || *gateDen != "" {
+		if rep.NumCPU < *gateMinCores {
+			fmt.Fprintf(os.Stderr, "benchjson: gate skipped: %d CPUs < %d (ratio is meaningless without parallel fsync pipelines)\n",
+				rep.NumCPU, *gateMinCores)
+			return
+		}
+		if err := gate(rep, *gateNum, *gateDen, *gateMetric, *gateRatio); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate passed: %s/%s %s >= %.2f\n", *gateNum, *gateDen, *gateMetric, *gateRatio)
 	}
 }

@@ -46,7 +46,7 @@ func TestParse(t *testing.T) {
 
 func TestRunRoundTrips(t *testing.T) {
 	var out bytes.Buffer
-	if _, err := run(strings.NewReader(sample), &out); err != nil {
+	if _, err := run(strings.NewReader(sample), &out, 8, 16); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -56,12 +56,48 @@ func TestRunRoundTrips(t *testing.T) {
 	if len(rep.Benchmarks) != 3 {
 		t.Fatalf("round trip lost benchmarks: %+v", rep)
 	}
+	if rep.GOMAXPROCS != 8 || rep.NumCPU != 16 {
+		t.Fatalf("parallelism not recorded: gomaxprocs=%d numcpu=%d", rep.GOMAXPROCS, rep.NumCPU)
+	}
 }
 
 func TestRunRejectsEmpty(t *testing.T) {
 	var out bytes.Buffer
-	if _, err := run(strings.NewReader("PASS\nok x 1s\n"), &out); err == nil {
+	if _, err := run(strings.NewReader("PASS\nok x 1s\n"), &out, 1, 1); err == nil {
 		t.Fatal("want error on input with no benchmark lines")
+	}
+}
+
+func TestGate(t *testing.T) {
+	rep := &Report{Benchmarks: []Result{
+		{Name: "BenchmarkServeThroughput-8", Metrics: map[string]float64{"events/sec": 300000}},
+		{Name: "BenchmarkServeThroughputJournaled-8", Metrics: map[string]float64{"events/sec": 250000}},
+		{Name: "BenchmarkRuleMatch/indexed", Metrics: map[string]float64{"ns/op": 290}},
+	}}
+	// 250k/300k ~ 0.83: passes at 0.65, fails at 0.9.
+	if err := gate(rep, "BenchmarkServeThroughputJournaled", "BenchmarkServeThroughput", "events/sec", 0.65); err != nil {
+		t.Fatalf("gate at 0.65 failed: %v", err)
+	}
+	if err := gate(rep, "BenchmarkServeThroughputJournaled", "BenchmarkServeThroughput", "events/sec", 0.9); err == nil {
+		t.Fatal("gate at 0.9 passed a 0.83 ratio")
+	}
+	// A missing benchmark or metric must fail loudly, never skip.
+	if err := gate(rep, "BenchmarkMissing", "BenchmarkServeThroughput", "events/sec", 0.65); err == nil {
+		t.Fatal("gate with missing numerator passed")
+	}
+	if err := gate(rep, "BenchmarkServeThroughputJournaled", "BenchmarkServeThroughput", "fsyncs", 0.65); err == nil {
+		t.Fatal("gate with missing metric passed")
+	}
+	// Sub-benchmark names with digits after a dash that is not a proc
+	// suffix must not be mangled.
+	if got := stripProcSuffix("BenchmarkServeThroughput-8"); got != "BenchmarkServeThroughput" {
+		t.Fatalf("stripProcSuffix = %q", got)
+	}
+	if got := stripProcSuffix("BenchmarkRuleMatch/indexed"); got != "BenchmarkRuleMatch/indexed" {
+		t.Fatalf("stripProcSuffix mangled %q", got)
+	}
+	if got := stripProcSuffix("BenchmarkX-8a"); got != "BenchmarkX-8a" {
+		t.Fatalf("stripProcSuffix mangled %q", got)
 	}
 }
 

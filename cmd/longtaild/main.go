@@ -12,8 +12,8 @@
 // Usage:
 //
 //	longtaild [-addr :8787] [-dataset dataset.jsonl] [-rules rules.json]
-//	          [-journal-dir DIR] [-seed N] [-scale F] [-tau F]
-//	          [-shards N] [-queue N] [-pprof localhost:6060]
+//	          [-journal-dir DIR] [-journal-shards N] [-seed N] [-scale F]
+//	          [-tau F] [-shards N] [-queue N] [-pprof localhost:6060]
 //
 // With -journal-dir the daemon keeps a write-ahead journal of accepted
 // /classify batches: every batch is fsynced before it is acknowledged,
@@ -111,6 +111,7 @@ func run() error {
 	shards := flag.Int("shards", 4, "worker shards")
 	queue := flag.Int("queue", 1024, "bounded ingest queue size (events)")
 	journalDir := flag.String("journal-dir", "", "write-ahead journal directory (empty: serve stateless)")
+	journalShards := flag.Int("journal-shards", 1, "journal WAL shards; >1 stripes accepts over per-shard group-commit fsync loops (1 keeps the flat single-WAL format)")
 	lifecycleOn := flag.Bool("lifecycle", false, "enable champion/challenger lifecycle (/admin/lifecycle, shadow evaluation, gated self-promotion)")
 	fpBudget := flag.Float64("lifecycle-fp-budget", 0.001, "max challenger FP rate over known-benign shadow traffic (paper's 0.1%)")
 	minShadow := flag.Int("lifecycle-min-samples", 200, "shadow-classified events required before the promotion gate decides")
@@ -176,6 +177,7 @@ func run() error {
 		var rec *serve.LedgerRecovery
 		ledger, rec, err = serve.OpenLedger(serve.LedgerOptions{
 			Journal:    journal.Options{Dir: *journalDir},
+			Shards:     *journalShards,
 			MaxResults: *retention,
 		})
 		if err != nil {

@@ -377,7 +377,7 @@ func RunChaosChurn(cfg ChaosChurnConfig) (*ChaosChurnReport, error) {
 			Type: "verdict", File: string(ev.File), Verdict: v.String(), Generation: 1, Rules: matched,
 		})
 	}
-	if err := appendTornResult(victim.dir, churnID(partialAt), tornVerdicts); err != nil {
+	if _, err := appendTornResult(victim.dir, chaosNodeShards, churnID(partialAt), tornVerdicts); err != nil {
 		return nil, err
 	}
 	victim.ln.Close()

@@ -136,6 +136,11 @@ type chaosNode struct {
 	stopped bool
 }
 
+// chaosNodeShards is the journal shard count every chaos replica opens
+// with. Torn-tail writers (appendTornResult) must pass the same value
+// so the fragment lands in the shard the restarted node will scan.
+const chaosNodeShards = 2
+
 // startChaosNode boots a replica. addr "" picks a fresh port; a
 // concrete addr rebinds a restarted replica where the ring expects it.
 // openFile, when non-nil, routes journal I/O through a CrashFS. The
@@ -147,8 +152,13 @@ func startChaosNode(addr, dir string, ex *features.Extractor, clf *classify.Clas
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	// Every replica stripes its journal over chaosNodeShards shards, so
+	// the cluster harnesses (chaos-cluster, chaos-churn, chaos-lifecycle)
+	// all run their kill -9 / handoff / retransmit assertions over the
+	// sharded commit path rather than the flat one.
 	ledger, rec, err := serve.OpenLedger(serve.LedgerOptions{
 		Journal:      journal.Options{Dir: dir, OpenFile: openFile},
+		Shards:       chaosNodeShards,
 		CompactBytes: 1 << 14,
 	})
 	if err != nil {
@@ -407,7 +417,7 @@ func RunChaosCluster(cfg ChaosClusterConfig) (*ChaosClusterReport, error) {
 			Type: "verdict", File: string(ev.File), Verdict: v.String(), Generation: 1, Rules: matched,
 		})
 	}
-	if err := appendTornResult(victim.dir, chaosClusterID(killAt), tornVerdicts); err != nil {
+	if _, err := appendTornResult(victim.dir, chaosNodeShards, chaosClusterID(killAt), tornVerdicts); err != nil {
 		return nil, err
 	}
 	victim.ln.Close()

@@ -37,6 +37,11 @@ type ChaosServeConfig struct {
 	// JournalDir is the write-ahead journal directory shared by both
 	// daemon incarnations (the crash handoff).
 	JournalDir string
+	// JournalShards stripes the first daemon's journal over this many
+	// WAL shards (>1 exercises the merge-by-sequence recovery with torn
+	// tails on multiple shards; the restart reopens with a different
+	// count to prove dedup survives a -journal-shards change).
+	JournalShards int
 	// Batch is events per /classify request.
 	Batch int
 	// CrashWindow is how many batches arrive in the kill window: accepted
@@ -63,11 +68,12 @@ func DefaultChaosServeConfig(seed int64, dir string) ChaosServeConfig {
 			AckLossRate:            0.5, // half the faults lose the response, not the request
 			TornWriteRate:          1,
 		},
-		JournalDir:   dir,
-		Batch:        32,
-		CrashWindow:  4,
-		CompactBytes: 1 << 14,
-		Tau:          0.001,
+		JournalDir:    dir,
+		JournalShards: 3,
+		Batch:         32,
+		CrashWindow:   4,
+		CompactBytes:  1 << 14,
+		Tau:           0.001,
 	}
 }
 
@@ -95,6 +101,12 @@ type ChaosServeReport struct {
 	TornTailBytes    int64
 	Compactions      uint64
 	Replayed         int
+	// JournalShards is the stripe width of the first daemon's journal;
+	// TornShards counts the distinct shards left with torn tails at the
+	// kill (>= 2 when striped — the merge must discard independent
+	// tears).
+	JournalShards int
+	TornShards    int
 	// Exactly-once accounting after restart: every batch retransmitted,
 	// all answered from the ledger (Phase2Dedup), only the recovered
 	// pending events reclassified (ReclassifiedEvents).
@@ -170,14 +182,12 @@ func (t *flakyTransport) counts() (requests, faulted int) {
 // retransmits, client restarts and daemon incarnations.
 func chaosServeID(b int) string { return fmt.Sprintf("cs-%04d", b) }
 
-// appendTornResult appends a half-flushed result record to the newest
-// journal segment: a complete frame header (length and CRC of the full
-// payload) followed by only the first half of the payload — exactly the
-// on-disk state a kill -9 leaves when it lands mid-write. It bypasses
-// the ledger API on purpose: any durable path (fsync or compaction
-// snapshot) would defeat the tear.
-func appendTornResult(dir, id string, verdicts []serve.VerdictRecord) error {
-	entries, err := os.ReadDir(dir)
+// tornAppend writes a complete frame header (length and CRC of the
+// full payload) followed by only the first half of the payload to the
+// newest segment in segDir — exactly the on-disk state a kill -9
+// leaves when it lands mid-write.
+func tornAppend(segDir string, full []byte) error {
+	entries, err := os.ReadDir(segDir)
 	if err != nil {
 		return err
 	}
@@ -190,25 +200,12 @@ func appendTornResult(dir, id string, verdicts []serve.VerdictRecord) error {
 		}
 	}
 	if newest == "" {
-		return fmt.Errorf("experiments: chaos-serve: no journal segment to tear")
+		return fmt.Errorf("experiments: chaos-serve: no journal segment to tear in %s", segDir)
 	}
-	var payload bytes.Buffer
-	payload.WriteByte(2) // journal record kind: ledger result
-	payload.WriteString(id)
-	payload.WriteByte('\n')
-	for i := range verdicts {
-		line, err := json.Marshal(&verdicts[i])
-		if err != nil {
-			return err
-		}
-		payload.Write(line)
-		payload.WriteByte('\n')
-	}
-	full := payload.Bytes()
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(full)))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(full, crc32.MakeTable(crc32.Castagnoli)))
-	f, err := os.OpenFile(filepath.Join(dir, newest), os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(filepath.Join(segDir, newest), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
@@ -218,6 +215,68 @@ func appendTornResult(dir, id string, verdicts []serve.VerdictRecord) error {
 	}
 	_, err = f.Write(full[:len(full)/2])
 	return err
+}
+
+// chaosShardDir is the directory whose segments hold records keyed by
+// shard index si (the root for a flat single-WAL journal).
+func chaosShardDir(dir string, shards, si int) string {
+	if shards <= 1 {
+		return dir
+	}
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d", si))
+}
+
+// appendTornResult appends a half-flushed result record for id to the
+// journal — into the shard directory owning id (with the sequence
+// prefix sharded records carry) when the journal is striped, the root
+// segment otherwise. It bypasses the ledger API on purpose: any
+// durable path (fsync or compaction snapshot) would defeat the tear.
+// It returns the shard index torn.
+func appendTornResult(dir string, shards int, id string, verdicts []serve.VerdictRecord) (int, error) {
+	var payload bytes.Buffer
+	payload.WriteByte(2) // journal record kind: ledger result
+	if shards > 1 {
+		// The sequence prefix every sharded record carries. The frame is
+		// torn, so recovery never parses it — any value past the
+		// already-recovered range is realistic.
+		var seq [8]byte
+		binary.LittleEndian.PutUint64(seq[:], 1<<62)
+		payload.Write(seq[:])
+	}
+	payload.WriteString(id)
+	payload.WriteByte('\n')
+	for i := range verdicts {
+		line, err := json.Marshal(&verdicts[i])
+		if err != nil {
+			return 0, err
+		}
+		payload.Write(line)
+		payload.WriteByte('\n')
+	}
+	si := 0
+	if shards > 1 {
+		si = journal.ShardIndex(id, shards)
+	}
+	return si, tornAppend(chaosShardDir(dir, shards, si), payload.Bytes())
+}
+
+// tearAnotherShard lands a second torn fragment on a shard other than
+// avoid, so the crash leaves torn tails on >= 2 shards and recovery
+// must discard independent tears while merging. Returns the shard
+// torn, or -1 when the journal has no second shard to tear.
+func tearAnotherShard(dir string, shards, avoid int) (int, error) {
+	for si := 0; si < shards; si++ {
+		if si == avoid {
+			continue
+		}
+		frag := append([]byte{2}, make([]byte, 8)...) // kind + sequence prefix
+		frag = append(frag, []byte("mid-write result record lost to the kill")...)
+		if err := tornAppend(chaosShardDir(dir, shards, si), frag); err != nil {
+			return -1, err
+		}
+		return si, nil
+	}
+	return -1, nil
 }
 
 // RunChaosServe replays a month of events against a journaled serving
@@ -306,6 +365,7 @@ func RunChaosServe(cfg ChaosServeConfig) (*ChaosServeReport, error) {
 			Dir:      cfg.JournalDir,
 			OpenFile: func(path string) (journal.File, error) { return fs.Open(path) },
 		},
+		Shards:       cfg.JournalShards,
 		CompactBytes: cfg.CompactBytes,
 	})
 	if err != nil {
@@ -370,8 +430,22 @@ func RunChaosServe(cfg ChaosServeConfig) (*ChaosServeReport, error) {
 			Type: "verdict", File: string(ev.File), Verdict: v.String(), Generation: 1, Rules: matched,
 		})
 	}
-	if err := appendTornResult(cfg.JournalDir, chaosServeID(tornBatch), tornVerdicts); err != nil {
+	tornShard, err := appendTornResult(cfg.JournalDir, cfg.JournalShards, chaosServeID(tornBatch), tornVerdicts)
+	if err != nil {
 		return nil, err
+	}
+	rep.JournalShards = cfg.JournalShards
+	rep.TornShards = 1
+	if cfg.JournalShards > 1 {
+		// A second shard tears too: the kill caught independent sync
+		// loops mid-flush, and the merge must discard both tails.
+		other, err := tearAnotherShard(cfg.JournalDir, cfg.JournalShards, tornShard)
+		if err != nil {
+			return nil, err
+		}
+		if other >= 0 {
+			rep.TornShards++
+		}
 	}
 	tsA.Close()
 	srvA.Close()
@@ -388,8 +462,16 @@ func RunChaosServe(cfg ChaosServeConfig) (*ChaosServeReport, error) {
 		return nil, err
 	}
 	defer engineB.Close()
+	// The restart asks for a narrower stripe on purpose: the on-disk
+	// shard directories win (shard counts only grow), and dedup must be
+	// indifferent to what -journal-shards says across a restart.
+	phase2Shards := cfg.JournalShards
+	if phase2Shards > 1 {
+		phase2Shards--
+	}
 	ledgerB, rec, err := serve.OpenLedger(serve.LedgerOptions{
 		Journal:      journal.Options{Dir: cfg.JournalDir},
+		Shards:       phase2Shards,
 		CompactBytes: cfg.CompactBytes,
 	})
 	if err != nil {
@@ -473,7 +555,8 @@ func ChaosServe(p *Pipeline, w io.Writer) error {
 	fmt.Fprintf(w, "phase-1 ledger dedups     %6d\n", rep.Phase1Dedup)
 	fmt.Fprintf(w, "recovery: results         %6d batches\n", rep.RecoveredResults)
 	fmt.Fprintf(w, "recovery: pending         %6d batches replayed through the engine\n", rep.Replayed)
-	fmt.Fprintf(w, "recovery: torn tail       %6d bytes discarded\n", rep.TornTailBytes)
+	fmt.Fprintf(w, "recovery: torn tail       %6d bytes discarded (torn tails on %d of %d journal shards)\n",
+		rep.TornTailBytes, rep.TornShards, rep.JournalShards)
 	fmt.Fprintf(w, "journal compactions       %6d\n", rep.Compactions)
 	fmt.Fprintf(w, "\nretransmit of all %d batches after restart:\n", rep.Batches)
 	fmt.Fprintf(w, "  answered from ledger    %6d\n", rep.Phase2Dedup)

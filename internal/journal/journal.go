@@ -117,6 +117,36 @@ type Stats struct {
 	Bytes       uint64
 }
 
+// SyncBatchBounds are the upper bounds (records acked per fsync) of the
+// group-commit batch-size histogram, roughly doubling; the implicit
+// final bucket is +Inf. A healthy commit path under load shows mass in
+// the middle buckets — every fsync retiring many accepts — while mass
+// pinned at 1 means appenders are paying per-record fsyncs.
+var SyncBatchBounds = []uint64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// syncBatchBuckets is len(SyncBatchBounds) plus the +Inf bucket.
+const syncBatchBuckets = 10
+
+// BatchStats is a snapshot of the acked-records-per-fsync histogram.
+type BatchStats struct {
+	// Buckets holds per-bucket (non-cumulative) observation counts,
+	// one per SyncBatchBounds entry plus the +Inf bucket.
+	Buckets [syncBatchBuckets]uint64
+	// Sum is the total records acked across all fsyncs; Count is the
+	// number of fsyncs that advanced the durable high-water mark.
+	Sum   uint64
+	Count uint64
+}
+
+// add folds another snapshot into s (for aggregating across shards).
+func (s *BatchStats) add(o BatchStats) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Sum += o.Sum
+	s.Count += o.Count
+}
+
 // Journal is an open write-ahead log. All methods are safe for
 // concurrent use.
 type Journal struct {
@@ -127,8 +157,12 @@ type Journal struct {
 	segIndex  uint64     // guarded by mu
 	segBytes  int64      // guarded by mu
 	liveBytes int64      // guarded by mu; bytes appended since the last compaction, across rotations
-	appendSeq uint64     // guarded by mu; records written (not necessarily durable)
 	frameBuf  []byte     // guarded by mu; reusable frame scratch, so steady-state appends allocate nothing
+
+	// appendSeq counts records written (not necessarily durable). It is
+	// only advanced under mu but read lock-free by the sync loop and the
+	// lag gauge, hence atomic.
+	appendSeq atomic.Uint64
 
 	// syncMu serializes the fsync itself; group commit happens here.
 	// syncStateMu is a separate, never-held-during-IO lock over
@@ -141,11 +175,30 @@ type Journal struct {
 	syncSeg     File   // guarded by syncStateMu; segment the next fsync applies to
 	syncHi      uint64 // guarded by syncStateMu; appendSeq covered once syncSeg syncs
 
+	// The group-commit acknowledgment queue: with the sync loop running
+	// (StartSyncLoop), durable appenders never fsync themselves — they
+	// enqueue (write the record) and park on ackCond until the loop's
+	// next completed fsync covers their sequence number, so one fsync
+	// acks a whole batch of accepts. ackMu is taken only around condvar
+	// state, never across I/O; lock order is mu → syncMu → ackMu.
+	ackMu     sync.Mutex
+	ackCond   *sync.Cond    // broadcast under ackMu whenever syncedSeq advances or the loop stops/fails
+	wakeCond  *sync.Cond    // signaled under ackMu when an appender is waiting on durability
+	loopOn    bool          // guarded by ackMu
+	loopStop  bool          // guarded by ackMu
+	loopErr   error         // guarded by ackMu; last sync-loop fsync error
+	loopErrHi uint64        // guarded by ackMu; appendSeq the failed fsync attempted to cover
+	loopDone  chan struct{} // guarded by ackMu (the reference; closed by the loop itself)
+
 	appends     atomic.Uint64
 	syncs       atomic.Uint64
 	rotations   atomic.Uint64
 	compactions atomic.Uint64
 	bytes       atomic.Uint64
+
+	batchCounts [syncBatchBuckets]atomic.Uint64
+	batchSum    atomic.Uint64
+	batchN      atomic.Uint64
 
 	closeOnce  sync.Once
 	closeErr   error
@@ -168,11 +221,24 @@ func Open(opts Options) (*Journal, *Recovered, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	j := &Journal{opts: opts, segIndex: lastSeg + 1, liveBytes: segmentDiskBytes(opts.Dir)}
-	if err := j.openSegmentLocked(); err != nil {
+	j, err := newJournal(opts, lastSeg, segmentDiskBytes(opts.Dir))
+	if err != nil {
 		return nil, nil, err
 	}
 	return j, rec, nil
+}
+
+// newJournal constructs an open journal appending to segment lastSeg+1,
+// with liveBytes seeding the compaction-debt counter. Recovery has
+// already happened (Open) or is orchestrated by the caller (OpenSharded).
+func newJournal(opts Options, lastSeg uint64, liveBytes int64) (*Journal, error) {
+	j := &Journal{opts: opts, segIndex: lastSeg + 1, liveBytes: liveBytes}
+	j.ackCond = sync.NewCond(&j.ackMu)
+	j.wakeCond = sync.NewCond(&j.ackMu)
+	if err := j.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	return j, nil
 }
 
 // segmentDiskBytes sums the on-disk segment sizes, seeding liveBytes at
@@ -211,7 +277,7 @@ func (j *Journal) openSegmentLocked() error {
 	j.segBytes = 0
 	j.syncStateMu.Lock()
 	j.syncSeg = f
-	j.syncHi = j.appendSeq
+	j.syncHi = j.appendSeq.Load()
 	j.syncStateMu.Unlock()
 	return nil
 }
@@ -307,7 +373,7 @@ func (j *Journal) writeFunc(kind byte, build func(dst []byte) []byte) (uint64, e
 	}
 	j.segBytes += int64(len(frame))
 	j.liveBytes += int64(len(frame))
-	j.appendSeq++
+	seq := j.appendSeq.Add(1)
 	j.appends.Add(1)
 	j.bytes.Add(uint64(len(frame)))
 	// Publish the high-water mark the next fsync of this segment covers.
@@ -315,9 +381,9 @@ func (j *Journal) writeFunc(kind byte, build func(dst []byte) []byte) (uint64, e
 	// fsync — concurrent appends landing here are the commit group the
 	// current fsync holder's successor will cover in one sync.
 	j.syncStateMu.Lock()
-	j.syncHi = j.appendSeq
+	j.syncHi = seq
 	j.syncStateMu.Unlock()
-	return j.appendSeq, nil
+	return seq, nil
 }
 
 // rotateLocked seals the active segment (fsync + close, so everything
@@ -332,9 +398,7 @@ func (j *Journal) rotateLocked() error {
 	if err := j.seg.Close(); err != nil {
 		return fmt.Errorf("journal: rotate close: %w", err)
 	}
-	if j.appendSeq > j.syncedSeq.Load() {
-		j.syncedSeq.Store(j.appendSeq)
-	}
+	j.advanceSynced(j.appendSeq.Load())
 	j.segIndex++
 	j.rotations.Add(1)
 	f, err := j.opts.openFile(filepath.Join(j.opts.Dir, segmentName(j.segIndex)))
@@ -345,20 +409,183 @@ func (j *Journal) rotateLocked() error {
 	j.segBytes = 0
 	j.syncStateMu.Lock()
 	j.syncSeg = f
-	j.syncHi = j.appendSeq
+	j.syncHi = j.appendSeq.Load()
 	j.syncStateMu.Unlock()
 	return nil
 }
 
+// advanceSynced publishes hi as the durable high-water mark, records
+// the group-commit batch size it retired, and wakes every ack-queue
+// waiter whose record it covers. Callers hold syncMu (the only place
+// syncedSeq advances), so the load-compare-store is race-free.
+func (j *Journal) advanceSynced(hi uint64) {
+	prev := j.syncedSeq.Load()
+	if hi <= prev {
+		return
+	}
+	j.syncedSeq.Store(hi)
+	j.recordSyncBatch(hi - prev)
+	j.ackMu.Lock()
+	j.ackCond.Broadcast()
+	j.ackMu.Unlock()
+}
+
+// recordSyncBatch observes one fsync that retired n records.
+func (j *Journal) recordSyncBatch(n uint64) {
+	i := 0
+	for i < len(SyncBatchBounds) && n > SyncBatchBounds[i] {
+		i++
+	}
+	j.batchCounts[i].Add(1)
+	j.batchSum.Add(n)
+	j.batchN.Add(1)
+}
+
+// SyncBatches returns a snapshot of the acked-per-fsync histogram.
+func (j *Journal) SyncBatches() BatchStats {
+	var s BatchStats
+	for i := range j.batchCounts {
+		s.Buckets[i] = j.batchCounts[i].Load()
+	}
+	s.Sum = j.batchSum.Load()
+	s.Count = j.batchN.Load()
+	return s
+}
+
+// SyncLag returns how many appended records are not yet durable — the
+// depth of the acknowledgment queue.
+func (j *Journal) SyncLag() uint64 {
+	// Load the durable mark first: appendSeq only grows, so racing the
+	// two loads this way can only over-report lag, never underflow.
+	synced := j.syncedSeq.Load()
+	appended := j.appendSeq.Load()
+	if appended <= synced {
+		return 0
+	}
+	return appended - synced
+}
+
+// StartSyncLoop starts the journal's background group-commit loop:
+// from then on, durable appends enqueue and park until the loop's next
+// completed fsync acks them in batch, instead of competing to fsync
+// themselves. Idempotent; the loop stops at Close. Without the loop the
+// journal keeps the caller-driven group commit (whoever reaches the
+// fsync first syncs for everyone), which is the right shape for
+// single-writer callers that cannot amortize an extra goroutine.
+func (j *Journal) StartSyncLoop() {
+	j.ackMu.Lock()
+	if j.loopOn || j.closed.Load() {
+		j.ackMu.Unlock()
+		return
+	}
+	j.loopOn = true
+	j.loopStop = false
+	j.loopDone = make(chan struct{})
+	done := j.loopDone
+	j.ackMu.Unlock()
+	go j.syncLoop(done)
+}
+
+// syncLoop is the group-commit worker: wait until at least one appender
+// parks on the ack queue, fsync once to the current append high-water
+// mark, broadcast, repeat. An fsync failure is delivered to exactly the
+// waiters it attempted to cover (their sequence numbers are <= the
+// captured high-water mark); the loop then parks until new appends
+// arrive rather than hot-retrying a failing device. Terminates when
+// stopSyncLoop (via Close) sets loopStop; done is closed on exit so the
+// stopper can join.
+func (j *Journal) syncLoop(done chan struct{}) {
+	defer close(done)
+	var failedHi uint64
+	for {
+		j.ackMu.Lock()
+		for !j.loopStop {
+			appended := j.appendSeq.Load()
+			if appended > j.syncedSeq.Load() && appended > failedHi {
+				break
+			}
+			j.wakeCond.Wait()
+		}
+		if j.loopStop {
+			j.ackMu.Unlock()
+			return
+		}
+		j.ackMu.Unlock()
+		hi := j.appendSeq.Load()
+		if err := j.syncTo(hi); err != nil {
+			failedHi = hi
+			j.ackMu.Lock()
+			j.loopErr = err
+			j.loopErrHi = hi
+			j.ackCond.Broadcast()
+			j.ackMu.Unlock()
+			continue
+		}
+		failedHi = 0
+	}
+}
+
+// stopSyncLoop stops the background loop and joins it, then wakes any
+// parked waiters so they fall back to syncing themselves.
+func (j *Journal) stopSyncLoop() {
+	j.ackMu.Lock()
+	if !j.loopOn {
+		j.ackMu.Unlock()
+		return
+	}
+	j.loopStop = true
+	j.wakeCond.Signal()
+	done := j.loopDone
+	j.ackMu.Unlock()
+	<-done
+	j.ackMu.Lock()
+	j.loopOn = false
+	j.ackCond.Broadcast()
+	j.ackMu.Unlock()
+}
+
+// waitDurable blocks until record seq is durable. With the sync loop
+// running it enqueues on the acknowledgment queue (waking the loop) and
+// is acked in batch by the next completed fsync; otherwise it takes the
+// caller-driven group-commit path.
+func (j *Journal) waitDurable(seq uint64) error {
+	if j.syncedSeq.Load() >= seq {
+		return nil // someone else's group commit already covered us
+	}
+	j.ackMu.Lock()
+	if !j.loopOn {
+		j.ackMu.Unlock()
+		return j.syncTo(seq)
+	}
+	j.wakeCond.Signal()
+	for j.syncedSeq.Load() < seq {
+		if j.loopErr != nil && j.loopErrHi >= seq {
+			err := j.loopErr
+			j.ackMu.Unlock()
+			return err
+		}
+		if j.loopStop || !j.loopOn {
+			// The loop is shutting down with our record still queued;
+			// settle it ourselves (Close's final sync usually already has).
+			j.ackMu.Unlock()
+			return j.syncTo(seq)
+		}
+		j.ackCond.Wait()
+	}
+	j.ackMu.Unlock()
+	return nil
+}
+
 // Append writes a record and returns once it is durable. Concurrent
-// appenders group-commit: whoever reaches the fsync first syncs for
-// everyone written before it.
+// appenders group-commit: with the sync loop running they are acked in
+// batch by its next fsync; without it, whoever reaches the fsync first
+// syncs for everyone written before it.
 func (j *Journal) Append(kind byte, data []byte) error {
 	seq, err := j.write(Record{Kind: kind, Data: data})
 	if err != nil {
 		return err
 	}
-	return j.syncTo(seq)
+	return j.waitDurable(seq)
 }
 
 // AppendAsync writes a record without waiting for durability. Use it
@@ -377,7 +604,7 @@ func (j *Journal) AppendFunc(kind byte, build func(dst []byte) []byte) error {
 	if err != nil {
 		return err
 	}
-	return j.syncTo(seq)
+	return j.waitDurable(seq)
 }
 
 // AppendAsyncFunc is AppendAsync with the payload rendered by build
@@ -390,10 +617,7 @@ func (j *Journal) AppendAsyncFunc(kind byte, build func(dst []byte) []byte) erro
 
 // Sync forces everything appended so far to durable storage.
 func (j *Journal) Sync() error {
-	j.mu.Lock()
-	seq := j.appendSeq
-	j.mu.Unlock()
-	return j.syncTo(seq)
+	return j.syncTo(j.appendSeq.Load())
 }
 
 // syncTo blocks until record seq is durable, fsyncing if needed.
@@ -413,9 +637,7 @@ func (j *Journal) syncTo(seq uint64) error {
 		return fmt.Errorf("journal: sync: %w", err)
 	}
 	j.syncs.Add(1)
-	if hi > j.syncedSeq.Load() {
-		j.syncedSeq.Store(hi)
-	}
+	j.advanceSynced(hi)
 	if j.syncedSeq.Load() < seq {
 		// Only possible if the record was written to a newer segment
 		// after we captured syncSeg; rotation syncs the old segment, so
@@ -584,9 +806,11 @@ func (j *Journal) Stats() Stats {
 	}
 }
 
-// Close syncs and closes the active segment. Idempotent.
+// Close stops the sync loop (if running), syncs and closes the active
+// segment. Idempotent.
 func (j *Journal) Close() error {
 	j.closeOnce.Do(func() {
+		j.stopSyncLoop()
 		j.mu.Lock()
 		defer j.mu.Unlock()
 		j.closed.Store(true)
@@ -597,6 +821,11 @@ func (j *Journal) Close() error {
 		}
 		if err := j.seg.Close(); err != nil && j.closeErr == nil {
 			j.closeErr = err
+		}
+		if j.closeErr == nil {
+			// Publish the final sync so late waiters settle without
+			// touching the now-closed segment.
+			j.advanceSynced(j.appendSeq.Load())
 		}
 	})
 	return j.closeErr
@@ -610,20 +839,16 @@ func recover_(dir string) (*Recovered, uint64, error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("journal: %w", err)
 	}
-	var segIdx, snapIdx []uint64
+	var snapIdx []uint64
 	for _, e := range entries {
 		var idx uint64
-		if n, _ := fmt.Sscanf(e.Name(), "wal-%08d.seg", &idx); n == 1 {
-			segIdx = append(segIdx, idx)
-		}
 		if n, _ := fmt.Sscanf(e.Name(), "state-%08d.snap", &idx); n == 1 {
 			snapIdx = append(snapIdx, idx)
 		}
 	}
-	sort.Slice(segIdx, func(a, b int) bool { return segIdx[a] < segIdx[b] })
 	sort.Slice(snapIdx, func(a, b int) bool { return snapIdx[a] > snapIdx[b] })
 
-	rec := &Recovered{}
+	var snapshot []byte
 	var fromSeg uint64
 	// Newest snapshot that parses wins; a torn snapshot (crash during
 	// Compact before the rename) is simply skipped.
@@ -633,11 +858,41 @@ func recover_(dir string) (*Recovered, uint64, error) {
 			return nil, 0, err
 		}
 		if len(recs) >= 1 && torn == 0 {
-			rec.Snapshot = recs[0].Data
+			snapshot = recs[0].Data
 			fromSeg = idx
 			break
 		}
 	}
+	rec, lastSeg, err := replaySegments(dir, fromSeg)
+	if err != nil {
+		return nil, 0, err
+	}
+	rec.Snapshot = snapshot
+	return rec, lastSeg, nil
+}
+
+// replaySegments replays the segment files in dir with index >= fromSeg
+// in order, stopping after a torn frame that is not the final segment's
+// crash tail. Returns the replayed records (Snapshot left nil) and the
+// highest segment index present on disk (0 if none). The sharded
+// journal calls this directly: its compaction snapshots live at the
+// root, so per-shard replay boundaries arrive as an argument instead of
+// being discovered from a local snapshot file.
+func replaySegments(dir string, fromSeg uint64) (*Recovered, uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	var segIdx []uint64
+	for _, e := range entries {
+		var idx uint64
+		if n, _ := fmt.Sscanf(e.Name(), "wal-%08d.seg", &idx); n == 1 {
+			segIdx = append(segIdx, idx)
+		}
+	}
+	sort.Slice(segIdx, func(a, b int) bool { return segIdx[a] < segIdx[b] })
+
+	rec := &Recovered{}
 	lastSeg := uint64(0)
 	if len(segIdx) > 0 {
 		lastSeg = segIdx[len(segIdx)-1]

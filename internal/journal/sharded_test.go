@@ -1,0 +1,527 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// reopenSharded recovers dir with the given shard count, failing the
+// test on error.
+func reopenSharded(t *testing.T, dir string, shards int) (*Sharded, *Recovered) {
+	t.Helper()
+	s, rec, err := OpenSharded(Options{Dir: dir}, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, rec
+}
+
+// TestShardedFlatCompat: shards=1 on a directory with no sharded state
+// is byte-identical to the single WAL — what OpenSharded writes, Open
+// recovers, and vice versa, with no shard directories created.
+func TestShardedFlatCompat(t *testing.T) {
+	dir := t.TempDir()
+	s, rec := reopenSharded(t, dir, 1)
+	if !s.flat {
+		t.Fatal("shards=1 on a fresh dir did not open in flat mode")
+	}
+	if rec.Snapshot != nil || len(rec.Records) != 0 {
+		t.Fatalf("fresh dir recovered %+v", rec)
+	}
+	for i := 0; i < 30; i++ {
+		if err := s.Append(fmt.Sprintf("key-%d", i), 1, []byte(fmt.Sprintf("rec-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The flat reader must see exactly the same records: no sequence
+	// prefixes, no shard subdirectories.
+	j, rec2 := reopen(t, dir)
+	defer j.Close()
+	if len(rec2.Records) != 30 {
+		t.Fatalf("flat Open recovered %d records from a shards=1 journal, want 30", len(rec2.Records))
+	}
+	for i, r := range rec2.Records {
+		if string(r.Data) != fmt.Sprintf("rec-%02d", i) {
+			t.Fatalf("record %d = %q: shards=1 is not byte-compatible with the flat format", i, r.Data)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			t.Fatalf("flat mode created directory %s", e.Name())
+		}
+	}
+}
+
+// TestShardedRecoversLegacyFlatJournal: a journal written by the flat
+// single-WAL code recovers through OpenSharded — first unchanged at
+// shards=1, then as the pre-migration history at shards>1, ordered
+// before everything appended sharded.
+func TestShardedRecoversLegacyFlatJournal(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := j.Append(1, []byte(fmt.Sprintf("flat-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s, rec := reopenSharded(t, dir, 3)
+	if s.flat {
+		t.Fatal("shards=3 opened in flat mode")
+	}
+	if len(rec.Records) != 10 {
+		t.Fatalf("sharded open recovered %d legacy records, want 10", len(rec.Records))
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Append(fmt.Sprintf("key-%d", i), 2, []byte(fmt.Sprintf("sharded-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-migration recovery: flat history strictly first, sharded
+	// records after it, both in append order.
+	_, rec2 := reopenSharded(t, dir, 3)
+	if len(rec2.Records) != 15 {
+		t.Fatalf("recovered %d records, want 15", len(rec2.Records))
+	}
+	for i := 0; i < 10; i++ {
+		if string(rec2.Records[i].Data) != fmt.Sprintf("flat-%d", i) {
+			t.Fatalf("record %d = %q, want the legacy flat history first", i, rec2.Records[i].Data)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if string(rec2.Records[10+i].Data) != fmt.Sprintf("sharded-%d", i) {
+			t.Fatalf("record %d = %q, want sharded records in append order", 10+i, rec2.Records[10+i].Data)
+		}
+	}
+}
+
+// appendKeyed appends count records with deterministic keys and
+// payloads and returns, per shard, the global indices routed to it.
+func appendKeyed(t *testing.T, s *Sharded, n, count int) [][]int {
+	t.Helper()
+	perShard := make([][]int, n)
+	for i := 0; i < count; i++ {
+		key := fmt.Sprintf("k-%03d", i)
+		if err := s.Append(key, byte(1+i%3), []byte(fmt.Sprintf("rec-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+		si := ShardIndex(key, n)
+		perShard[si] = append(perShard[si], i)
+	}
+	return perShard
+}
+
+// TestShardedMergeEqualsSingleWAL: the same (kind, payload) sequence fed
+// to a 4-shard journal and to a single WAL recovers to identical
+// records in identical order — the merge by sequence number is
+// equivalent to one file's physical order.
+func TestShardedMergeEqualsSingleWAL(t *testing.T) {
+	const count = 60
+	shardedDir, flatDir := t.TempDir(), t.TempDir()
+	s, _ := reopenSharded(t, shardedDir, 4)
+	ref, _, err := Open(Options{Dir: flatDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < count; i++ {
+		kind, payload := byte(1+i%3), []byte(fmt.Sprintf("rec-%04d", i))
+		if err := s.Append(fmt.Sprintf("k-%03d", i), kind, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Append(kind, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The stripes must actually spread: a single hot shard would make
+	// the merge trivially file-ordered.
+	busy := 0
+	for _, st := range s.ShardStats() {
+		if st.Appends > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("only %d shards received records; the merge test is vacuous", busy)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, srec := reopenSharded(t, shardedDir, 4)
+	_, frec := reopen(t, flatDir)
+	if len(srec.Records) != len(frec.Records) {
+		t.Fatalf("sharded recovered %d records, single WAL %d", len(srec.Records), len(frec.Records))
+	}
+	for i := range srec.Records {
+		if srec.Records[i].Kind != frec.Records[i].Kind || !bytes.Equal(srec.Records[i].Data, frec.Records[i].Data) {
+			t.Fatalf("record %d diverges: sharded %d %q, flat %d %q", i,
+				srec.Records[i].Kind, srec.Records[i].Data, frec.Records[i].Kind, frec.Records[i].Data)
+		}
+	}
+}
+
+// truncateShardTail cuts n bytes off the newest segment in shard si's
+// directory — the on-disk shape of a crash that tore that shard's tail.
+func truncateShardTail(t *testing.T, dir string, si int, n int64) {
+	t.Helper()
+	sdir := filepath.Join(dir, shardDirName(si))
+	entries, err := os.ReadDir(sdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var newest string
+	for _, e := range entries {
+		var idx uint64
+		if cnt, _ := fmt.Sscanf(e.Name(), "wal-%08d.seg", &idx); cnt == 1 {
+			newest = filepath.Join(sdir, e.Name())
+		}
+	}
+	if newest == "" {
+		t.Fatalf("shard %d has no segment to tear", si)
+	}
+	fi, err := os.Stat(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() <= n {
+		t.Fatalf("shard %d segment is %d bytes, cannot tear %d", si, fi.Size(), n)
+	}
+	if err := os.Truncate(newest, fi.Size()-n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedTornTailsOnTwoShards: tearing the tails of two shards
+// loses exactly those shards' trailing records — every other record
+// survives, and the merge keeps the survivors in global append order.
+func TestShardedTornTailsOnTwoShards(t *testing.T) {
+	const n, count = 4, 60
+	dir := t.TempDir()
+	s, _ := reopenSharded(t, dir, n)
+	perShard := appendKeyed(t, s, n, count)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the two busiest shards. Each record frame is
+	// frameHeaderSize + kind + 8-byte sequence + 8-byte payload = 25
+	// bytes; cutting 2 frames + 3 bytes tears a third frame mid-payload,
+	// so each torn shard loses exactly its last 3 records.
+	const frameSize = frameHeaderSize + 1 + 8 + 8
+	torn := []int{-1, -1}
+	for si := range perShard {
+		if torn[0] < 0 || len(perShard[si]) > len(perShard[torn[0]]) {
+			torn[1] = torn[0]
+			torn[0] = si
+		} else if torn[1] < 0 || len(perShard[si]) > len(perShard[torn[1]]) {
+			torn[1] = si
+		}
+	}
+	lost := make(map[int]bool)
+	for _, si := range torn {
+		if len(perShard[si]) < 4 {
+			t.Fatalf("shard %d holds only %d records; pick a bigger corpus", si, len(perShard[si]))
+		}
+		truncateShardTail(t, dir, si, 2*frameSize+3)
+		ids := perShard[si]
+		for _, id := range ids[len(ids)-3:] {
+			lost[id] = true
+		}
+	}
+
+	_, rec := reopenSharded(t, dir, n)
+	if rec.TornTail == 0 {
+		t.Fatal("mid-frame truncation not reported as torn bytes")
+	}
+	var want []int
+	for i := 0; i < count; i++ {
+		if !lost[i] {
+			want = append(want, i)
+		}
+	}
+	if len(rec.Records) != len(want) {
+		t.Fatalf("recovered %d records, want %d (all minus the 6 torn-off)", len(rec.Records), len(want))
+	}
+	for pos, id := range want {
+		r := rec.Records[pos]
+		if r.Kind != byte(1+id%3) || string(r.Data) != fmt.Sprintf("rec-%04d", id) {
+			t.Fatalf("position %d = kind %d %q, want record %d: merge lost order", pos, r.Kind, r.Data, id)
+		}
+	}
+}
+
+// TestShardedCrashDurablePrefix: under an injected crash filesystem,
+// every record Append acknowledged as durable survives recovery across
+// all shards, in order; async records may be lost but never corrupt the
+// merge.
+func TestShardedCrashDurablePrefix(t *testing.T) {
+	inj, err := faults.NewInjector(faults.Config{Seed: 11, TornWriteRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := faults.NewCrashFS(inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	const n = 3
+	s, _, err := OpenSharded(Options{
+		Dir:      dir,
+		OpenFile: func(path string) (File, error) { return fs.Open(path) },
+	}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := s.Append(fmt.Sprintf("k-%03d", i), 1, []byte(fmt.Sprintf("durable-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.AppendAsync(fmt.Sprintf("a-%03d", i), 2, []byte(fmt.Sprintf("volatile-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := reopenSharded(t, dir, n)
+	durable := 0
+	for _, r := range rec.Records {
+		if r.Kind == 1 {
+			if string(r.Data) != fmt.Sprintf("durable-%02d", durable) {
+				t.Fatalf("durable record %d = %q: lost or reordered", durable, r.Data)
+			}
+			durable++
+		}
+	}
+	if durable != 40 {
+		t.Fatalf("recovered %d durable records, want all 40 acknowledged ones", durable)
+	}
+}
+
+// TestShardedCompaction: a sharded compaction collapses every shard's
+// history (and any legacy flat files) into one root snapshot; recovery
+// sees the snapshot plus only post-compaction records, and the covered
+// files are gone.
+func TestShardedCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// Legacy flat history first, so the compaction also exercises the
+	// migration cleanup.
+	j, _, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(1, []byte("flat-old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 3
+	s, _ := reopenSharded(t, dir, n)
+	appendKeyed(t, s, n, 20)
+	if err := s.Compact([]byte("snapshot-state")); err != nil {
+		t.Fatal(err)
+	}
+	if lb := s.LiveBytes(); lb != 0 {
+		t.Fatalf("LiveBytes = %d after Compact, want 0", lb)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Append(fmt.Sprintf("post-%d", i), 2, []byte(fmt.Sprintf("new-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec := reopenSharded(t, dir, n)
+	if string(rec.Snapshot) != "snapshot-state" {
+		t.Fatalf("snapshot = %q", rec.Snapshot)
+	}
+	if len(rec.Records) != 4 {
+		t.Fatalf("recovered %d post-snapshot records, want 4", len(rec.Records))
+	}
+	for i, r := range rec.Records {
+		if string(r.Data) != fmt.Sprintf("new-%d", i) {
+			t.Fatalf("post-snapshot record %d = %q", i, r.Data)
+		}
+	}
+	// The migration cleanup must have removed the flat-format files; the
+	// snapshot's state observed their replay.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		var idx uint64
+		if cnt, _ := fmt.Sscanf(e.Name(), "wal-%08d.seg", &idx); cnt == 1 {
+			t.Fatalf("compaction left legacy flat segment %s behind", e.Name())
+		}
+		if cnt, _ := fmt.Sscanf(e.Name(), "state-%08d.snap", &idx); cnt == 1 {
+			t.Fatalf("compaction left legacy flat snapshot %s behind", e.Name())
+		}
+	}
+}
+
+// TestShardedTornSnapshotSkipped: a snapshot file torn by a crash
+// mid-compaction is skipped; recovery falls back to the newest valid
+// snapshot and the records it does not cover.
+func TestShardedTornSnapshotSkipped(t *testing.T) {
+	dir := t.TempDir()
+	const n = 2
+	s, _ := reopenSharded(t, dir, n)
+	appendKeyed(t, s, n, 10)
+	if err := s.Compact([]byte("good-state")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("after", 2, []byte("post-snap")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A newer snapshot that never finished: garbage bytes under a
+	// higher index.
+	if err := os.WriteFile(filepath.Join(dir, shardedSnapshotName(99)), []byte("torn-garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := reopenSharded(t, dir, n)
+	if string(rec.Snapshot) != "good-state" {
+		t.Fatalf("snapshot = %q, want the older valid snapshot", rec.Snapshot)
+	}
+	if len(rec.Records) != 1 || string(rec.Records[0].Data) != "post-snap" {
+		t.Fatalf("recovered %+v, want exactly the post-snapshot record", rec.Records)
+	}
+}
+
+// TestShardedShardCountGrowth: reopening with a higher shard count
+// keeps every record (placement never moves, the merge makes it
+// irrelevant) and routes new appends over the wider stripe set; an
+// explicit lower count is overridden by the directories on disk.
+func TestShardedShardCountGrowth(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := reopenSharded(t, dir, 2)
+	appendKeyed(t, s, 2, 30)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s4, rec := reopenSharded(t, dir, 4)
+	if got := s4.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d after growth, want 4", got)
+	}
+	if len(rec.Records) != 30 {
+		t.Fatalf("recovered %d records after growth, want 30", len(rec.Records))
+	}
+	for i := 30; i < 50; i++ {
+		if err := s4.Append(fmt.Sprintf("k-%03d", i), byte(1+i%3), []byte(fmt.Sprintf("rec-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s4.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// shards=1 cannot shrink a striped journal: the directories win.
+	s1, rec2 := reopenSharded(t, dir, 1)
+	defer s1.Close()
+	if got := s1.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d when reopened with shards=1, want the on-disk 4", got)
+	}
+	if len(rec2.Records) != 50 {
+		t.Fatalf("recovered %d records, want 50", len(rec2.Records))
+	}
+	for i, r := range rec2.Records {
+		if string(r.Data) != fmt.Sprintf("rec-%04d", i) {
+			t.Fatalf("record %d = %q: growth broke the global order", i, r.Data)
+		}
+	}
+}
+
+// TestShardedGroupCommitAcrossShards: concurrent keyed appends share
+// fsyncs within each shard (the ack queue batches them) and the
+// batch-size histogram sees multi-record syncs.
+func TestShardedGroupCommitAcrossShards(t *testing.T) {
+	dir := t.TempDir()
+	const n = 2
+	s, _, err := OpenSharded(Options{
+		Dir: dir,
+		OpenFile: func(path string) (File, error) {
+			f, err := os.Create(path)
+			if err != nil {
+				return nil, err
+			}
+			return &slowSyncFile{f: f}, nil
+		},
+	}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 40
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			for i := 0; i < perWriter; i++ {
+				if err := s.Append(fmt.Sprintf("w%d-%03d", w, i), 1, []byte(fmt.Sprintf("w%d-%03d", w, i))); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Appends != writers*perWriter {
+		t.Fatalf("Appends = %d, want %d", st.Appends, writers*perWriter)
+	}
+	if st.Syncs >= st.Appends {
+		t.Fatalf("no group commit: %d syncs for %d appends", st.Syncs, st.Appends)
+	}
+	bs := s.SyncBatches()
+	if bs.Count == 0 || bs.Sum != uint64(writers*perWriter) {
+		t.Fatalf("batch histogram count=%d sum=%d, want sum %d", bs.Count, bs.Sum, writers*perWriter)
+	}
+	if lag := s.ShardLag(); len(lag) != n {
+		t.Fatalf("ShardLag returned %d shards, want %d", len(lag), n)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, rec := reopenSharded(t, dir, n)
+	if len(rec.Records) != writers*perWriter {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), writers*perWriter)
+	}
+}

@@ -24,6 +24,15 @@ import (
 // annotations; paths that intentionally respond before journaling
 // (e.g. rejecting a malformed request) are fine because rejection
 // paths don't call Accept at all.
+//
+// The sharded journal and its group-commit ack queue do not weaken
+// the invariant, and the analyzer needs no special case for them:
+// Accept still appends to the batch's shard before returning, and the
+// ack queue only delays the response further (the handler blocks on
+// the shard's next fsync before writing bytes). Sharded entry points
+// (AppendFunc/AppendAsyncFunc, which draw the global sequence number
+// inside the shard's write lock) count as journal calls exactly like
+// the flat Append/AppendAsync pair.
 var JournalOrder = &lintkit.Analyzer{
 	Name: "journalorder",
 	Doc:  "no response write may precede the batch's journal accept in the same function",

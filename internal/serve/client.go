@@ -46,6 +46,11 @@ type Client struct {
 	// Timeout, when set, is sent as the per-request deadline header so
 	// the server can shed work this client has already given up on.
 	Timeout time.Duration
+	// Binary selects the compact binary wire format for /classify and
+	// /result (Content-Type negotiation; see wire.go). Retransmit safety
+	// is unaffected — the server journals one canonical form — so a
+	// client may flip this between a transmit and its retransmit.
+	Binary bool
 
 	seq atomic.Uint64
 
@@ -84,7 +89,7 @@ func (c *Client) nextRequestID(body []byte) string {
 // The same requestID header rides every attempt. A 202 means the
 // server journaled the batch and deferred classification; the caller
 // polls /result.
-func (c *Client) post(ctx context.Context, path string, body []byte, requestID string) ([]byte, bool, error) {
+func (c *Client) post(ctx context.Context, path string, body []byte, requestID, contentType string) ([]byte, bool, error) {
 	var out []byte
 	deferred := false
 	err := retry.Do(ctx, c.Retry, func(ctx context.Context) error {
@@ -94,6 +99,9 @@ func (c *Client) post(ctx context.Context, path string, body []byte, requestID s
 		}
 		if requestID != "" {
 			req.Header.Set(RequestIDHeader, requestID)
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
 		}
 		if c.Timeout > 0 {
 			req.Header.Set(TimeoutHeader, fmt.Sprintf("%d", c.Timeout.Milliseconds()))
@@ -160,7 +168,7 @@ func parseVerdicts(data []byte) ([]VerdictRecord, error) {
 // (stable across retries) makes the batch retransmit-safe against a
 // ledger-backed server.
 func (c *Client) Classify(ctx context.Context, events []dataset.DownloadEvent) ([]VerdictRecord, error) {
-	body, err := marshalEvents(events)
+	body, err := c.marshalEvents(events)
 	if err != nil {
 		return nil, err
 	}
@@ -172,11 +180,23 @@ func (c *Client) Classify(ctx context.Context, events []dataset.DownloadEvent) (
 // batch under its original ID after a crash (of either side) yields
 // the original verdicts, never a second accounting.
 func (c *Client) ClassifyWithID(ctx context.Context, id string, events []dataset.DownloadEvent) ([]VerdictRecord, error) {
-	body, err := marshalEvents(events)
+	body, err := c.marshalEvents(events)
 	if err != nil {
 		return nil, err
 	}
 	return c.classify(ctx, id, body, len(events))
+}
+
+func (c *Client) marshalEvents(events []dataset.DownloadEvent) ([]byte, error) {
+	if c.Binary {
+		size := 8
+		for i := range events {
+			size += minBinaryEvent + len(events[i].File) + len(events[i].Machine) +
+				len(events[i].Process) + len(events[i].URL) + len(events[i].Domain) + 4
+		}
+		return appendBinaryEvents(make([]byte, 0, size), events), nil
+	}
+	return marshalEvents(events)
 }
 
 func marshalEvents(events []dataset.DownloadEvent) ([]byte, error) {
@@ -197,7 +217,11 @@ func marshalEvents(events []dataset.DownloadEvent) ([]byte, error) {
 }
 
 func (c *Client) classify(ctx context.Context, id string, body []byte, n int) ([]VerdictRecord, error) {
-	data, deferred, err := c.post(ctx, "/classify", body, id)
+	ct := ""
+	if c.Binary {
+		ct = ContentTypeBinaryEvents
+	}
+	data, deferred, err := c.post(ctx, "/classify", body, id, ct)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +232,12 @@ func (c *Client) classify(ctx context.Context, id string, body []byte, n int) ([
 			return nil, err
 		}
 	}
-	verdicts, err := parseVerdicts(data)
+	var verdicts []VerdictRecord
+	if c.Binary {
+		verdicts, err = decodeBinaryVerdicts(string(data))
+	} else {
+		verdicts, err = parseVerdicts(data)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -232,6 +261,9 @@ func (c *Client) pollResult(ctx context.Context, id string) ([]byte, error) {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/result?id="+id, nil)
 		if err != nil {
 			return retry.Permanent(err)
+		}
+		if c.Binary {
+			req.Header.Set("Accept", ContentTypeBinaryVerdicts)
 		}
 		resp, err := c.httpClient().Do(req)
 		if err != nil {
@@ -338,7 +370,7 @@ func (c *Client) FetchResult(ctx context.Context, id string) ([]byte, error) {
 // Reload posts a rulemine-format JSON rule set to /admin/reload and
 // returns the new rule-set generation.
 func (c *Client) Reload(ctx context.Context, rulesJSON []byte) (uint64, error) {
-	data, _, err := c.post(ctx, "/admin/reload", rulesJSON, "")
+	data, _, err := c.post(ctx, "/admin/reload", rulesJSON, "", "")
 	if err != nil {
 		return 0, err
 	}

@@ -183,7 +183,7 @@ func (l *Ledger) ImportChunk(data []byte) (HandoffImportStats, error) {
 			// escape the caller): a crash after the append replays the
 			// record on recovery; a crash before it leaves nothing — never
 			// an acknowledged entry whose only copy was in memory.
-			if err := l.j.AppendAsyncFunc(recResult, func(dst []byte) []byte {
+			if err := l.j.AppendAsyncFunc(id, recResult, func(dst []byte) []byte {
 				return append(dst, r.Data...)
 			}); err != nil {
 				return st, fmt.Errorf("serve: handoff import %s: %w", id, err)
@@ -214,7 +214,7 @@ func (l *Ledger) ImportChunk(data []byte) (HandoffImportStats, error) {
 				st.Duplicates++
 				continue
 			}
-			if err := l.j.AppendAsyncFunc(recAccept, func(dst []byte) []byte {
+			if err := l.j.AppendAsyncFunc(id, recAccept, func(dst []byte) []byte {
 				return append(dst, r.Data...)
 			}); err != nil {
 				return st, fmt.Errorf("serve: handoff import %s: %w", id, err)
@@ -233,8 +233,9 @@ func (l *Ledger) ImportChunk(data []byte) (HandoffImportStats, error) {
 			return st, fmt.Errorf("serve: handoff import: unknown record kind %d", r.Kind)
 		}
 	}
-	// One group fsync acks the whole chunk: cheaper than per-entry
-	// durability, still strictly before the caller's acknowledgment.
+	// One group fsync (per journal shard) acks the whole chunk: cheaper
+	// than per-entry durability, still strictly before the caller's
+	// acknowledgment.
 	if err := l.j.Sync(); err != nil {
 		return st, fmt.Errorf("serve: handoff import: %w", err)
 	}

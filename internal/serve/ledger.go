@@ -40,7 +40,7 @@ const (
 //     ledger (Lookup) without reclassification, so a response lost on
 //     the wire never double-counts events in the FP/TP accounting.
 type Ledger struct {
-	j *journal.Journal
+	j *journal.Sharded
 
 	mu      sync.Mutex
 	pending map[string][]dataset.DownloadEvent // guarded by mu
@@ -75,6 +75,13 @@ type LedgerOptions struct {
 	// Journal configures the underlying write-ahead log; Dir is
 	// required.
 	Journal journal.Options
+	// Shards stripes the journal over this many independent WALs, each
+	// with its own group-commit sync loop, so accept fsyncs overlap
+	// across cores (journal.OpenSharded). Request IDs pick the shard by
+	// FNV affinity; recovery merges all shards by global sequence.
+	// Values <= 1 keep the flat single-WAL on-disk format; a directory
+	// already sharded on disk can only grow the count.
+	Shards int
 	// CompactBytes compacts the journal (snapshot of the full ledger
 	// state, then segment truncation) whenever the bytes journaled since
 	// the last compaction — cumulative across segment rotations, not the
@@ -114,7 +121,7 @@ type ledgerSnapshot struct {
 // OpenLedger opens (or creates) the journal in opts.Journal.Dir and
 // reconstructs the ledger state a previous process left behind.
 func OpenLedger(opts LedgerOptions) (*Ledger, *LedgerRecovery, error) {
-	j, rec, err := journal.Open(opts.Journal)
+	j, rec, err := journal.OpenSharded(opts.Journal, opts.Shards)
 	if err != nil {
 		return nil, nil, fmt.Errorf("serve: ledger: %w", err)
 	}
@@ -320,7 +327,7 @@ func (l *Ledger) acceptFunc(id string, events []dataset.DownloadEvent, body func
 	}
 	l.pending[id] = events
 	l.mu.Unlock()
-	err := l.j.AppendFunc(recAccept, func(dst []byte) []byte {
+	err := l.j.AppendFunc(id, recAccept, func(dst []byte) []byte {
 		dst = append(dst, id...)
 		dst = append(dst, '\n')
 		return body(dst)
@@ -354,7 +361,7 @@ func (l *Ledger) Result(id string, verdicts []VerdictRecord) ([]byte, error) {
 	delete(l.pending, id)
 	lastSnap := l.lastSnapshotBytes
 	l.mu.Unlock()
-	err := l.j.AppendAsyncFunc(recResult, func(dst []byte) []byte {
+	err := l.j.AppendAsyncFunc(id, recResult, func(dst []byte) []byte {
 		dst = append(dst, id...)
 		dst = append(dst, '\n')
 		return append(dst, body...)
@@ -568,8 +575,21 @@ func appendSnapshot(results map[string][]byte, pending map[string][]dataset.Down
 	return dst, nil
 }
 
-// Stats exposes the underlying journal counters.
+// Stats exposes the underlying journal counters, aggregated across
+// shards.
 func (l *Ledger) Stats() journal.Stats { return l.j.Stats() }
+
+// JournalMetrics snapshots everything /metrics exposes about the commit
+// path: aggregate counters, per-shard counters and ack-queue lag, and
+// the group-commit batch-size histogram.
+func (l *Ledger) JournalMetrics() JournalMetrics {
+	return JournalMetrics{
+		Stats:     l.j.Stats(),
+		Shards:    l.j.ShardStats(),
+		Lag:       l.j.ShardLag(),
+		SyncBatch: l.j.SyncBatches(),
+	}
+}
 
 // Close syncs and closes the journal. Idempotent.
 func (l *Ledger) Close() error { return l.j.Close() }

@@ -135,11 +135,22 @@ func (m *Metrics) VerdictCount(v classify.Verdict) uint64 {
 	return m.verdicts[v].Load()
 }
 
+// JournalMetrics is the commit-path snapshot /metrics renders when a
+// ledger is attached: aggregate journal counters, per-shard counters
+// and acknowledgment-queue lag, and the group-commit batch-size
+// histogram (records acked per fsync).
+type JournalMetrics struct {
+	Stats     journal.Stats
+	Shards    []journal.Stats
+	Lag       []uint64
+	SyncBatch journal.BatchStats
+}
+
 // WriteTo emits the metrics in Prometheus-style text exposition format.
 // queueDepth and degraded are sampled at call time (the engine owns
-// them); js carries the journal counters when a ledger is attached
-// (nil otherwise).
-func (m *Metrics) WriteTo(w io.Writer, queueDepth int, degraded bool, js *journal.Stats) {
+// them); jm carries the journal commit-path snapshot when a ledger is
+// attached (nil otherwise).
+func (m *Metrics) WriteTo(w io.Writer, queueDepth int, degraded bool, jm *JournalMetrics) {
 	fmt.Fprintf(w, "longtail_requests_total{result=\"accepted\"} %d\n", m.RequestsAccepted.Load())
 	fmt.Fprintf(w, "longtail_requests_total{result=\"rejected\"} %d\n", m.RequestsRejected.Load())
 	fmt.Fprintf(w, "longtail_requests_total{result=\"deferred\"} %d\n", m.RequestsDeferred.Load())
@@ -157,12 +168,36 @@ func (m *Metrics) WriteTo(w io.Writer, queueDepth int, degraded bool, js *journa
 	fmt.Fprintf(w, "longtail_reload_generation %d\n", m.Generation.Load())
 	fmt.Fprintf(w, "longtail_degraded %d\n", boolGauge(degraded))
 	fmt.Fprintf(w, "longtail_queue_depth %d\n", queueDepth)
-	if js != nil {
+	if jm != nil {
+		js := jm.Stats
 		fmt.Fprintf(w, "longtail_journal_appends_total %d\n", js.Appends)
 		fmt.Fprintf(w, "longtail_journal_syncs_total %d\n", js.Syncs)
 		fmt.Fprintf(w, "longtail_journal_rotations_total %d\n", js.Rotations)
 		fmt.Fprintf(w, "longtail_journal_compactions_total %d\n", js.Compactions)
 		fmt.Fprintf(w, "longtail_journal_bytes_total %d\n", js.Bytes)
+		// Per-shard fsync counts and ack-queue lag: uneven syncs mean a
+		// skewed key distribution; sustained lag on one shard means its
+		// device (or its sync loop) is the straggler.
+		for i, st := range jm.Shards {
+			fmt.Fprintf(w, "longtail_journal_shard_syncs_total{shard=\"%d\"} %d\n", i, st.Syncs)
+		}
+		for i, lag := range jm.Lag {
+			fmt.Fprintf(w, "longtail_journal_shard_lag{shard=\"%d\"} %d\n", i, lag)
+		}
+		// Group-commit batch size: how many appended records each fsync
+		// retired. Mass pinned in the "1" bucket means the ack queue is
+		// degenerating to per-record fsyncs.
+		cum := uint64(0)
+		for i, c := range jm.SyncBatch.Buckets {
+			cum += c
+			le := "+Inf"
+			if i < len(journal.SyncBatchBounds) {
+				le = strconv.FormatUint(journal.SyncBatchBounds[i], 10)
+			}
+			fmt.Fprintf(w, "longtail_journal_sync_batch_bucket{le=%q} %d\n", le, cum)
+		}
+		fmt.Fprintf(w, "longtail_journal_sync_batch_sum %d\n", jm.SyncBatch.Sum)
+		fmt.Fprintf(w, "longtail_journal_sync_batch_count %d\n", jm.SyncBatch.Count)
 	}
 	m.QueueWait.write(w, "longtail_stage_latency_seconds", "queue")
 	m.Extract.write(w, "longtail_stage_latency_seconds", "extract")

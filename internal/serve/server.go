@@ -16,7 +16,6 @@ import (
 	"repro/internal/classify"
 	"repro/internal/dataset"
 	"repro/internal/export"
-	"repro/internal/journal"
 	"repro/internal/retry"
 )
 
@@ -234,11 +233,80 @@ func readEvents(r *http.Request, keepBody bool) ([]dataset.DownloadEvent, string
 	return events, string(body), nil
 }
 
+// readBinaryEvents decodes a binary-format /classify body. With
+// keepBody it also renders the batch's canonical line-JSON form — what
+// the ledger journals — so the journal, its snapshots, handoff chunks
+// and recovery speak exactly one format no matter what the wire spoke,
+// and a client may switch formats between a transmit and its
+// retransmit without splitting the dedup state.
+func readBinaryEvents(r *http.Request, keepBody bool) ([]dataset.DownloadEvent, string, error) {
+	raw, err := readBody(r)
+	if err != nil {
+		return nil, "", err
+	}
+	events, err := decodeBinaryEvents(raw)
+	if err != nil {
+		return nil, "", err
+	}
+	if !keepBody {
+		return events, "", nil
+	}
+	body := make([]byte, 0, len(raw)*2)
+	for i := range events {
+		body, err = export.AppendEventLine(body, &events[i])
+		if err != nil {
+			return nil, "", err
+		}
+		body = append(body, '\n')
+	}
+	return events, string(body), nil
+}
+
+// binaryRequest reports whether the /classify request negotiated the
+// binary wire format via its Content-Type.
+func binaryRequest(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	return ct == ContentTypeBinaryEvents || strings.HasPrefix(ct, ContentTypeBinaryEvents+";")
+}
+
+// wantsBinaryVerdicts reports whether the client asked GET /result for
+// binary-format verdicts via its Accept header.
+func wantsBinaryVerdicts(r *http.Request) bool {
+	a := r.Header.Get("Accept")
+	return a == ContentTypeBinaryVerdicts || strings.HasPrefix(a, ContentTypeBinaryVerdicts+";")
+}
+
 // writeVerdicts streams verdict records as line JSON, rendered by the
 // same append encoder the ledger journals (one buffer, one Write).
 func writeVerdicts(w http.ResponseWriter, verdicts []VerdictRecord) {
 	buf := make([]byte, 0, verdictBodySize(verdicts))
 	w.Write(appendVerdictBody(buf, verdicts))
+}
+
+// writeBinaryVerdicts streams verdict records in the binary format.
+func writeBinaryVerdicts(w http.ResponseWriter, verdicts []VerdictRecord) {
+	w.Header().Set("Content-Type", ContentTypeBinaryVerdicts)
+	w.Write(appendBinaryVerdicts(make([]byte, 0, 16+verdictBodySize(verdicts)), verdicts))
+}
+
+// writeLedgerBody serves a response body the ledger already journaled —
+// a first response after Result, a dedup replay, a GET /result hit. The
+// stored body is canonical line-JSON; a binary-negotiated request gets
+// it re-encoded through the deterministic binary codec, so retransmit
+// replies stay byte-identical within each format. The journal-before-
+// response invariant is upheld by the caller's contract (the body comes
+// out of the ledger), not by call order in this helper.
+func (s *Server) writeLedgerBody(w http.ResponseWriter, respBody []byte, binary bool) {
+	if !binary {
+		w.Write(respBody)
+		return
+	}
+	verdicts, err := parseVerdictBody(respBody)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeBinaryVerdicts(w, verdicts)
 }
 
 // writeDeferred acknowledges a journaled-and-deferred batch: the events
@@ -266,16 +334,17 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	m := s.engine.Metrics()
 	id := r.Header.Get(RequestIDHeader)
 	journaled := s.ledger != nil && id != ""
+	binary := binaryRequest(r)
 
 	if journaled {
 		// Exactly-once: a retransmit of a completed batch replays the
-		// journaled response verbatim; one still in flight (or deferred)
+		// journaled response verbatim (re-encoded binary when this
+		// retransmit negotiated it); one still in flight (or deferred)
 		// is re-acknowledged and nudged toward the background worker.
 		if respBody, ok := s.ledger.Lookup(id); ok {
 			m.DedupHits.Add(1)
 			m.RequestsAccepted.Add(1)
-			//lint:allow journalorder respBody is the already-journaled response; a dedup replay has nothing left to persist
-			w.Write(respBody)
+			s.writeLedgerBody(w, respBody, binary)
 			return
 		}
 		if s.ledger.IsPending(id) {
@@ -285,7 +354,14 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	events, body, err := readEvents(r, journaled)
+	var events []dataset.DownloadEvent
+	var body string
+	var err error
+	if binary {
+		events, body, err = readBinaryEvents(r, journaled)
+	} else {
+		events, body, err = readEvents(r, journaled)
+	}
 	if err != nil {
 		m.BadRequests.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -361,10 +437,14 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		m.RequestsAccepted.Add(1)
-		w.Write(respBody)
+		s.writeLedgerBody(w, respBody, binary)
 		return
 	}
 	m.RequestsAccepted.Add(1)
+	if binary {
+		writeBinaryVerdicts(w, verdicts)
+		return
+	}
 	writeVerdicts(w, verdicts)
 }
 
@@ -453,7 +533,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if respBody, ok := s.ledger.Lookup(id); ok {
-		w.Write(respBody)
+		s.writeLedgerBody(w, respBody, wantsBinaryVerdicts(r))
 		return
 	}
 	if s.ledger.IsPending(id) {
@@ -573,12 +653,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	var js *journal.Stats
+	var jm *JournalMetrics
 	if s.ledger != nil {
-		st := s.ledger.Stats()
-		js = &st
+		snap := s.ledger.JournalMetrics()
+		jm = &snap
 	}
-	s.engine.Metrics().WriteTo(w, s.engine.QueueDepth(), s.engine.DegradedReason() != "", js)
+	s.engine.Metrics().WriteTo(w, s.engine.QueueDepth(), s.engine.DegradedReason() != "", jm)
 	for _, f := range s.metricsAppenders {
 		f(w)
 	}
